@@ -1,0 +1,170 @@
+//! Distributed radix sort (Thearling & Smith, Supercomputing'92 — cited as
+//! \[30\] in the paper's related work).
+//!
+//! Parallel radix sorting for integer-like keys: build a *global histogram*
+//! of the keys' top digits, carve the digit space into `p` contiguous
+//! ranges of (approximately) equal global population, exchange once, and
+//! finish each rank locally. Unlike comparison sample sorts this needs no
+//! pivot selection — but the digit ranges cannot split *within* one key
+//! value, so a heavily duplicated key pins its entire population to one
+//! rank: radix sort shares HykSort's skew failure mode, which is why the
+//! paper's related-work section groups it with the non-robust baselines.
+//!
+//! Keys must expose a monotone unsigned-integer mapping ([`RadixKey`]);
+//! provided for all unsigned primitives and the total-order float
+//! wrappers.
+
+use mpisim::Comm;
+use sdssort::record::{OrderedF32, OrderedF64, Sortable};
+use sdssort::sort::{SortError, SortOutput};
+use sdssort::stats::SortStats;
+
+/// A key with an order-preserving mapping to `u64`:
+/// `a <= b  ⇔  a.radix_u64() <= b.radix_u64()`.
+pub trait RadixKey: Copy {
+    /// The monotone unsigned mapping.
+    fn radix_u64(&self) -> u64;
+}
+
+macro_rules! impl_radix_uint {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline]
+            fn radix_u64(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+impl_radix_uint!(u8, u16, u32, u64, usize);
+
+impl RadixKey for OrderedF32 {
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        self.ordered_bits() as u64
+    }
+}
+
+impl RadixKey for OrderedF64 {
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        self.ordered_bits()
+    }
+}
+
+/// Digit width of the global histogram (top `HIST_BITS` bits of the key).
+const HIST_BITS: u32 = 12;
+const HIST_SIZE: usize = 1 << HIST_BITS;
+
+fn top_digit(key: u64, shift: u32) -> usize {
+    (key >> shift) as usize
+}
+
+/// Distributed radix sort. Unstable. Fails collectively with
+/// [`SortError`] under the simulated memory budget, exactly like the
+/// other skew-vulnerable baselines.
+pub fn radix_sort<T>(comm: &Comm, mut data: Vec<T>) -> Result<SortOutput<T>, SortError>
+where
+    T: Sortable,
+    T::Key: RadixKey,
+{
+    let p = comm.size();
+    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let t0 = comm.clock().now();
+
+    // Local sort once: boundaries then become binary searches, and the
+    // final ordering is a k-way-mergeable layout.
+    comm.compute(|| data.sort_unstable_by_key(|r| r.key().radix_u64()));
+    if p == 1 {
+        stats.pivot_s = comm.clock().now() - t0;
+        stats.recv_count = data.len();
+        return Ok(SortOutput { data, stats });
+    }
+
+    // Find the key width actually in use so the histogram covers the top
+    // HIST_BITS of the *occupied* range (fixed shift would waste buckets
+    // on narrow keys).
+    let local_max = data.last().map(|r| r.key().radix_u64()).unwrap_or(0);
+    let global_max = comm.allreduce(local_max, u64::max);
+    let used_bits = 64 - global_max.leading_zeros();
+    let shift = used_bits.saturating_sub(HIST_BITS);
+
+    // Global digit histogram.
+    let mut hist = vec![0u64; HIST_SIZE];
+    comm.compute(|| {
+        for r in &data {
+            hist[top_digit(r.key().radix_u64(), shift).min(HIST_SIZE - 1)] += 1;
+        }
+    });
+    let hist = comm.allreduce(hist, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+    let total: u64 = hist.iter().sum();
+
+    // Carve digit space into p ranges of ≈ total/p population. A single
+    // over-populated digit cannot be split — the skew failure.
+    let target = total.div_ceil(p as u64).max(1);
+    let mut range_end_digit = Vec::with_capacity(p);
+    let mut acc = 0u64;
+    for (digit, &count) in hist.iter().enumerate() {
+        acc += count;
+        if acc >= target && range_end_digit.len() < p - 1 {
+            range_end_digit.push(digit);
+            acc = 0;
+        }
+    }
+    while range_end_digit.len() < p - 1 {
+        range_end_digit.push(HIST_SIZE - 1);
+    }
+
+    // Cut local (sorted) data at each range boundary.
+    let mut cuts = Vec::with_capacity(p + 1);
+    cuts.push(0usize);
+    for &end_digit in &range_end_digit {
+        // First record whose top digit exceeds end_digit. Computed in u128:
+        // the last digit's upper boundary is 2^64, which overflows u64.
+        let boundary = (end_digit as u128 + 1) << shift;
+        let pos = if boundary > u64::MAX as u128 {
+            data.len()
+        } else {
+            let boundary_key = boundary as u64;
+            comm.compute(|| data.partition_point(|r| r.key().radix_u64() < boundary_key))
+        };
+        cuts.push(pos);
+    }
+    cuts.push(data.len());
+    debug_assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+    let scounts: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
+    stats.pivot_s = comm.clock().now() - t0;
+
+    // Exchange with the collective memory check.
+    let t1 = comm.clock().now();
+    let rcounts = comm.alltoall(&scounts);
+    let m: usize = rcounts.iter().sum();
+    let bytes = m * std::mem::size_of::<T>();
+    let my_alloc = comm.try_alloc(bytes);
+    let any_oom = comm.allreduce(my_alloc.is_err() as u8, |a, b| a.max(b)) > 0;
+    if any_oom {
+        if my_alloc.is_ok() {
+            comm.free(bytes);
+        }
+        return Err(match my_alloc {
+            Err(e) => SortError::Oom(e),
+            Ok(()) => SortError::PeerOom,
+        });
+    }
+    let buf = comm.alltoallv_given_counts(&data, &scounts, &rcounts);
+    drop(data);
+    stats.exchange_s = comm.clock().now() - t1;
+
+    // Local ordering of the received chunks.
+    let t2 = comm.clock().now();
+    let mut disp = Vec::with_capacity(p + 1);
+    disp.push(0usize);
+    for &rc in &rcounts {
+        disp.push(disp.last().copied().expect("non-empty") + rc);
+    }
+    let out = comm.compute(|| sdssort::merge::kway_merge_offsets(&buf, &disp));
+    stats.local_order_s = comm.clock().now() - t2;
+    comm.free(bytes);
+    stats.recv_count = out.len();
+    Ok(SortOutput { data: out, stats })
+}

@@ -1,0 +1,50 @@
+//! Criterion: `SdssLocalSort` kernels — sequential vs parallel, fast vs
+//! stable, uniform vs skewed input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdssort::local_sort::local_sort;
+use workloads::{uniform_u64, zipf_keys};
+
+fn bench_local_sort(c: &mut Criterion) {
+    let n = 1 << 18;
+    let mut group = c.benchmark_group("local_sort");
+    group.throughput(Throughput::Elements(n as u64));
+
+    let uniform = uniform_u64(n, 1, 0);
+    let zipf = zipf_keys(n, 1.4, 1, 0);
+
+    for (workload, data) in [("uniform", &uniform), ("zipf_1.4", &zipf)] {
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fast/{workload}"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        let mut buf = data.clone();
+                        local_sort(&mut buf, t, false);
+                        buf
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("stable/{workload}"), 2),
+            &2usize,
+            |b, &t| {
+                b.iter(|| {
+                    let mut buf = data.clone();
+                    local_sort(&mut buf, t, true);
+                    buf
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local_sort
+}
+criterion_main!(benches);

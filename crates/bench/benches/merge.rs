@@ -1,0 +1,49 @@
+//! Criterion: merge kernels — two-way, cascade k-way vs heap k-way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdssort::merge::{kway_merge, kway_merge_heap, merge_two};
+use workloads::uniform_u64;
+
+fn sorted_runs(n_total: usize, k: usize, seed: u64) -> Vec<Vec<u64>> {
+    let per = n_total / k;
+    (0..k)
+        .map(|i| {
+            let mut v = uniform_u64(per, seed, i);
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_merge_two(c: &mut Criterion) {
+    let n = 1 << 18;
+    let runs = sorted_runs(n, 2, 7);
+    let mut group = c.benchmark_group("merge_two");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("branchless", |b| b.iter(|| merge_two(&runs[0], &runs[1])));
+    group.finish();
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let n = 1 << 18;
+    let mut group = c.benchmark_group("kway_merge");
+    group.throughput(Throughput::Elements(n as u64));
+    for k in [4usize, 16, 64, 256] {
+        let runs = sorted_runs(n, k, 11);
+        let refs: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
+        group.bench_with_input(BenchmarkId::new("cascade", k), &k, |b, _| {
+            b.iter(|| kway_merge(&refs))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, _| {
+            b.iter(|| kway_merge_heap(&refs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merge_two, bench_kway
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: partition kernels — full scan vs binary vs local-pivot
+//! two-level search, and fast vs stable skew-aware cuts.
+
+use baselines::{binary_cuts, full_scan_cuts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdssort::partition::{fast_cuts, local_dup_counts, replicated_runs, stable_cuts, DupShare};
+use sdssort::sampling::regular_sample;
+use sdssort::search::LocalPivotIndex;
+use workloads::{uniform_u64, zipf_keys};
+
+fn bench_cut_methods(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut data = uniform_u64(n, 3, 0);
+    data.sort_unstable();
+    let mut group = c.benchmark_group("partition_method");
+    for p in [16usize, 128, 512] {
+        let pivots = regular_sample(&data, p - 1);
+        let index = LocalPivotIndex::build(&data, p - 1);
+        group.bench_with_input(BenchmarkId::new("full_scan", p), &p, |b, _| {
+            b.iter(|| full_scan_cuts(&data, &pivots))
+        });
+        group.bench_with_input(BenchmarkId::new("binary", p), &p, |b, _| {
+            b.iter(|| binary_cuts(&data, &pivots))
+        });
+        group.bench_with_input(BenchmarkId::new("local_pivot", p), &p, |b, _| {
+            b.iter(|| fast_cuts(&data, &pivots, Some(&index)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skew_aware(c: &mut Criterion) {
+    let n = 1 << 20;
+    let p = 128usize;
+    let mut data = zipf_keys(n, 1.4, 5, 0);
+    data.sort_unstable();
+    let pivots = regular_sample(&data, p - 1);
+    let runs = replicated_runs(&pivots);
+    let counts = local_dup_counts(&data, &runs);
+    let shares: Vec<DupShare> =
+        counts.iter().map(|&c| DupShare { total: c * 4, before_me: c }).collect();
+    let mut group = c.benchmark_group("skew_aware_cuts");
+    group.bench_function("replicated_runs", |b| b.iter(|| replicated_runs(&pivots)));
+    group.bench_function("fast", |b| b.iter(|| fast_cuts(&data, &pivots, None)));
+    group.bench_function("stable", |b| b.iter(|| stable_cuts(&data, &pivots, None, &shares)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cut_methods, bench_skew_aware
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 5c — final local ordering by k-way *merging* vs adaptive
+//! *sorting*, sweeping the number of received chunks (= processes).
+//!
+//! Paper result: merging p sorted chunks costs O(n·log p) and rises
+//! sharply with p, while re-sorting the partially ordered concatenation
+//! stays nearly flat (adaptive sorts exploit the presorted runs); the two
+//! cross near p ≈ 4000 on Edison. This is a pure shared-memory kernel
+//! experiment — we time both options on identical inputs.
+
+use bench::{by_scale, fmt_time, header, verdict, Table};
+use sdssort::merge::kway_merge;
+use std::time::Instant;
+use workloads::interleaved_runs;
+
+fn time_best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sink = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(sink);
+    }
+    best
+}
+
+fn main() {
+    header(
+        "Fig 5c — final local ordering: merging vs sorting, by chunk count p",
+        "merging rises with p, sorting stays flat; crossover ~4000 (Edison)",
+    );
+    let n: usize = by_scale(1 << 19, 1 << 22);
+    let ps: Vec<usize> = by_scale(
+        vec![2, 4, 8, 32, 128, 512, 2048, 8192],
+        vec![2, 4, 8, 32, 128, 512, 2048, 8192, 32768],
+    );
+    let reps = 3;
+    let mut table = Table::new(["p (chunks)", "using merge", "using sort", "winner"]);
+    let mut merge_grows = Vec::new();
+    let mut sort_times = Vec::new();
+    let mut crossover = None;
+    for &p in &ps {
+        // The post-exchange buffer: p sorted runs concatenated.
+        let data = interleaved_runs(n, p, 0x5C, 0);
+        let bounds: Vec<usize> = {
+            // recover run boundaries (generator makes ceil(n/p)-sized runs)
+            let run = n.div_ceil(p);
+            let mut b: Vec<usize> = (0..=p).map(|i| (i * run).min(n)).collect();
+            b.dedup();
+            b
+        };
+        let runs: Vec<&[u64]> = bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+        let t_merge = time_best_of(reps, || kway_merge(&runs)[n / 2]);
+        let t_sort = time_best_of(reps, || {
+            let mut buf = data.clone();
+            buf.sort_unstable();
+            buf[n / 2]
+        });
+        merge_grows.push(t_merge);
+        sort_times.push(t_sort);
+        if crossover.is_none() && t_sort < t_merge {
+            crossover = Some(p);
+        }
+        let winner = if t_merge < t_sort { "merge" } else { "sort" };
+        table.row([p.to_string(), fmt_time(t_merge), fmt_time(t_sort), winner.to_string()]);
+    }
+    table.print();
+    if let Some(c) = crossover {
+        println!("crossover: sorting overtakes merging near p = {c} (paper: ~4000 on Edison)");
+    }
+    let merge_rose = merge_grows.last() > merge_grows.first();
+    let sort_flat = sort_times.last().unwrap() < &(sort_times.first().unwrap() * 3.0);
+    verdict(
+        merge_rose && sort_flat && crossover.is_some(),
+        "merge time rises with p, sort time stays flat, curves cross",
+    );
+}

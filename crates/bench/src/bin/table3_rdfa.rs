@@ -1,0 +1,58 @@
+//! Table 3 — RDFA (max partition / average partition) of every sorter in
+//! the weak-scaling sweeps, Uniform and Zipf.
+//!
+//! Paper result: on Uniform all sorters sit near 1.0 (HykSort marginally
+//! better at mid scales, SDS slightly rising with p but ≤ ~1.06); on Zipf
+//! HykSort is ∞ (OOM) everywhere while the SDS variants stay below ~2.7,
+//! and the fast and stable variants report (near-)identical RDFA.
+
+use bench::experiments::{weak_scaling_uniform, weak_scaling_zipf, ScalingCell};
+use bench::{by_scale, fmt_rdfa, header, model, verdict, Sorter, Table};
+
+fn print_block(name: &str, ps: &[usize], cells: &[ScalingCell]) -> (bool, Vec<f64>) {
+    println!("\n{name}:");
+    let mut table = Table::new(["p", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
+    let mut hyk_inf_everywhere = true;
+    let mut sds_rdfa = Vec::new();
+    for &p in ps {
+        let get = |s: Sorter| {
+            cells
+                .iter()
+                .find(|c| c.p == p && c.sorter == s)
+                .map(|c| c.outcome.rdfa())
+                .unwrap_or(f64::NAN)
+        };
+        let (h, s, st) = (get(Sorter::HykSort), get(Sorter::Sds), get(Sorter::SdsStable));
+        if h.is_finite() {
+            hyk_inf_everywhere = false;
+        }
+        sds_rdfa.push(s);
+        sds_rdfa.push(st);
+        table.row([p.to_string(), fmt_rdfa(h), fmt_rdfa(s), fmt_rdfa(st)]);
+    }
+    table.print();
+    (hyk_inf_everywhere, sds_rdfa)
+}
+
+fn main() {
+    header(
+        "Table 3 — RDFA of the scaling tests (Uniform and Zipf)",
+        "Uniform: all ≈1; Zipf: HykSort = inf (OOM), SDS ≤ ~2.7",
+    );
+    // p ≥ 16 so the Zipf budget regime matches Fig. 8 (see that harness).
+    let ps: Vec<usize> = by_scale(vec![16, 32, 64, 128], vec![16, 32, 64, 128, 256]);
+    let n_rank: usize = by_scale(20_000, 50_000);
+    let m = model();
+
+    let uni = weak_scaling_uniform(&ps, n_rank, m);
+    let (_, uni_rdfa) = print_block("Uniform", &ps, &uni);
+    let zipf = weak_scaling_zipf(&ps, n_rank, m);
+    let (hyk_inf, zipf_rdfa) = print_block("Zipf (α = 1.4)", &ps, &zipf);
+
+    let uni_near_one = uni_rdfa.iter().all(|&r| r.is_finite() && r < 1.3);
+    let zipf_bounded = zipf_rdfa.iter().all(|&r| r.is_finite() && r <= 4.0);
+    verdict(
+        uni_near_one && hyk_inf && zipf_bounded,
+        "Uniform RDFA ≈ 1 for SDS; Zipf RDFA: HykSort = inf, SDS bounded (Theorem 1)",
+    );
+}

@@ -1,0 +1,46 @@
+//! Table 4 — RDFA on the two science datasets.
+//!
+//! Paper values: PTF — HykSort 32.68, SDS-Sort 1.9908, SDS-Sort/stable
+//! 1.6908; Cosmology — HykSort ∞ (OOM), both SDS variants 1.3962.
+
+use bench::experiments::{cosmology_experiment, ptf_experiment};
+use bench::{by_scale, fmt_rdfa, header, model, verdict, Sorter, Table};
+
+fn main() {
+    header(
+        "Table 4 — RDFA on PTF and Cosmology data",
+        "PTF: HykSort 32.7 vs SDS ~2; Cosmology: HykSort inf vs SDS 1.40",
+    );
+    let m = model();
+    let ptf = ptf_experiment(192, by_scale(4000, 40_000), m);
+    let cosmo = cosmology_experiment(512, by_scale(2000, 10_000), m);
+
+    let mut table = Table::new(["dataset", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
+    let get = |rows: &[(Sorter, bench::RunOutcome)], s: Sorter| {
+        rows.iter().find(|(x, _)| *x == s).map(|(_, o)| o.rdfa()).expect("row")
+    };
+    table.row([
+        "PTF".to_string(),
+        fmt_rdfa(get(&ptf, Sorter::HykSort)),
+        fmt_rdfa(get(&ptf, Sorter::Sds)),
+        fmt_rdfa(get(&ptf, Sorter::SdsStable)),
+    ]);
+    table.row([
+        "Cosmology".to_string(),
+        fmt_rdfa(get(&cosmo, Sorter::HykSort)),
+        fmt_rdfa(get(&cosmo, Sorter::Sds)),
+        fmt_rdfa(get(&cosmo, Sorter::SdsStable)),
+    ]);
+    table.print();
+
+    let ptf_ok = get(&ptf, Sorter::HykSort) > 10.0
+        && get(&ptf, Sorter::Sds) < 3.0
+        && get(&ptf, Sorter::SdsStable) < 3.0;
+    let cosmo_ok = get(&cosmo, Sorter::HykSort).is_infinite()
+        && get(&cosmo, Sorter::Sds) < 2.0
+        && get(&cosmo, Sorter::SdsStable) < 2.0;
+    verdict(
+        ptf_ok && cosmo_ok,
+        "PTF: HykSort order-of-magnitude imbalance, SDS small; Cosmology: HykSort inf, SDS ~1.4",
+    );
+}

@@ -1,0 +1,220 @@
+//! # bench — experiment harness for the SDS-Sort reproduction
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion micro-benchmarks (`benches/`). This library holds the shared
+//! plumbing: scaled experiment sizes, table printing, world construction,
+//! and sorter dispatch.
+//!
+//! Every harness prints (a) the paper's rows/series at our reduced scale
+//! and (b) a `shape:` verdict line summarizing whether the qualitative
+//! result (who wins, where the crossover falls, who crashes) reproduced.
+//!
+//! Scale control: set `BENCH_SCALE=full` for larger sweeps (default
+//! `small` finishes in seconds per harness).
+
+use mpisim::{Comm, NetModel, World};
+use sdssort::{sds_sort, ComputeCharge, ComputeModel, SdsConfig, SortError, SortOutput, Sortable};
+use std::time::Instant;
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{fmt_bytes, fmt_time, Table};
+
+/// Experiment scale, from the `BENCH_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-harness sizes (default; used by `cargo test`).
+    Small,
+    /// Larger sweeps for report-quality numbers.
+    Full,
+}
+
+/// Read the scale from the environment.
+pub fn scale() -> Scale {
+    match std::env::var("BENCH_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// Pick `small` or `full` by scale.
+pub fn by_scale<T>(small: T, full: T) -> T {
+    match scale() {
+        Scale::Small => small,
+        Scale::Full => full,
+    }
+}
+
+/// Calibrate the compute model once per harness.
+pub fn model() -> ComputeModel {
+    ComputeModel::calibrate()
+}
+
+/// A modelled world: Edison network, 24-core nodes, zero wall-clock
+/// compute charging (compute enters through `ComputeCharge::Modeled`).
+pub fn modeled_world(p: usize) -> World {
+    World::new(p).cores_per_node(24).net(NetModel::edison()).compute_scale(0.0)
+}
+
+/// Which sorter a harness runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sorter {
+    /// SDS-Sort, fast (unstable) variant.
+    Sds,
+    /// SDS-Sort, stable variant.
+    SdsStable,
+    /// HykSort baseline.
+    HykSort,
+}
+
+impl Sorter {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Sorter::Sds => "SDS-Sort",
+            Sorter::SdsStable => "SDS-Sort/stable",
+            Sorter::HykSort => "HykSort",
+        }
+    }
+}
+
+/// Outcome of one distributed-sort run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Modelled makespan in seconds, `None` on OOM failure.
+    pub time_s: Option<f64>,
+    /// Per-rank post-exchange loads (empty on failure).
+    pub loads: Vec<usize>,
+    /// Phase maxima across ranks (zeroed on failure).
+    pub phases: sdssort::SortStats,
+    /// Host wall time of the simulation.
+    pub wall_s: f64,
+}
+
+impl RunOutcome {
+    /// RDFA, or ∞ on failure (the paper's Tables 3/4 convention).
+    pub fn rdfa(&self) -> f64 {
+        if self.time_s.is_none() {
+            sdssort::stats::rdfa_failed()
+        } else {
+            sdssort::rdfa(&self.loads)
+        }
+    }
+}
+
+/// Run `sorter` over `p` ranks where rank `r` sorts `gen(r)`; compute is
+/// charged via the calibrated model, communication via the Edison network
+/// model. `budget` optionally caps per-rank simulated memory.
+pub fn run_sorter<T, G>(
+    sorter: Sorter,
+    p: usize,
+    budget: Option<usize>,
+    model: ComputeModel,
+    gen: G,
+) -> RunOutcome
+where
+    T: Sortable,
+    G: Fn(usize) -> Vec<T> + Send + Sync,
+{
+    let mut world = modeled_world(p);
+    if let Some(b) = budget {
+        world = world.memory_budget(b);
+    }
+    let started = Instant::now();
+    let report = world.run(|comm| run_one(sorter, comm, gen(comm.rank()), model));
+    let wall_s = started.elapsed().as_secs_f64();
+    let ok = report.results.iter().all(Result::is_ok);
+    if !ok {
+        return RunOutcome {
+            time_s: None,
+            loads: Vec::new(),
+            phases: sdssort::SortStats::default(),
+            wall_s,
+        };
+    }
+    let stats: Vec<sdssort::SortStats> =
+        report.results.iter().map(|r| r.as_ref().expect("checked ok").stats).collect();
+    let loads = report
+        .results
+        .iter()
+        .map(|r| r.as_ref().expect("checked ok").data.len())
+        .collect();
+    RunOutcome {
+        time_s: Some(report.makespan),
+        loads,
+        phases: sdssort::stats::phase_maxima(&stats),
+        wall_s,
+    }
+}
+
+fn run_one<T: Sortable>(
+    sorter: Sorter,
+    comm: &mut Comm,
+    data: Vec<T>,
+    model: ComputeModel,
+) -> Result<SortOutput<T>, SortError> {
+    // Node merging is disabled (τm = 0) in the comparative harnesses: our
+    // memory budget is per rank, while node merging concentrates a node's
+    // data on its leader by design (the real machine's budget is per
+    // *node*). Fig. 5a studies node merging in isolation.
+    //
+    // τo and τs are machine-specific tuning knobs: the paper calibrates
+    // 4096/4000 for Edison (Figs. 5b/5c); our Fig. 5b/5c harnesses locate
+    // the crossovers near 16 and 8 on the simulated machine, so the
+    // comparative runs use those.
+    match sorter {
+        Sorter::Sds => {
+            let mut cfg = SdsConfig::modeled(model);
+            cfg.tau_m_bytes = 0;
+            cfg.tau_o = 16;
+            cfg.tau_s = 8;
+            sds_sort(comm, data, &cfg)
+        }
+        Sorter::SdsStable => {
+            let mut cfg = SdsConfig::modeled(model);
+            cfg.stable = true;
+            cfg.tau_m_bytes = 0;
+            cfg.tau_s = 8;
+            sds_sort(comm, data, &cfg)
+        }
+        Sorter::HykSort => {
+            let cfg = baselines::HykSortConfig {
+                charge: ComputeCharge::Modeled(model),
+                ..baselines::HykSortConfig::default()
+            };
+            baselines::hyksort(comm, data, &cfg)
+        }
+    }
+}
+
+/// Format an optional time, using the paper's "Out of Memory" marker.
+pub fn fmt_opt_time(t: Option<f64>) -> String {
+    match t {
+        Some(t) => fmt_time(t),
+        None => "OOM".to_string(),
+    }
+}
+
+/// Format an RDFA value, with ∞ for failures (Tables 3/4).
+pub fn fmt_rdfa(r: f64) -> String {
+    if r.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{r:.4}")
+    }
+}
+
+/// Print the standard harness header.
+pub fn header(id: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{id}");
+    println!("paper: {paper_claim}");
+    println!("scale: {:?} (set BENCH_SCALE=full for larger sweeps)", scale());
+    println!("==============================================================");
+}
+
+/// Print a shape verdict line.
+pub fn verdict(ok: bool, what: &str) {
+    println!("shape: [{}] {what}", if ok { "REPRODUCED" } else { "DIVERGED" });
+}

@@ -1,0 +1,303 @@
+//! Collective operations over a [`Comm`].
+//!
+//! Implemented on top of buffered point-to-point sends, with per-operation
+//! tag isolation so that interleaved collectives on the same communicator
+//! never cross-match. Reductions fold in rank order, so results are
+//! deterministic even for non-commutative closures.
+
+use crate::comm::Comm;
+
+impl Comm {
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
+    /// Also synchronizes virtual clocks: after the barrier every clock is at
+    /// least the maximum pre-barrier clock plus the modelled barrier cost.
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let base = self.next_coll_tag();
+        let r = self.rank();
+        let mut k = 0u32;
+        while (1usize << k) < p {
+            let d = 1usize << k;
+            let dst = (r + d) % p;
+            let src = (r + p - d) % p;
+            self.send_vec::<u8>(dst, base + k as u64, Vec::new());
+            let _ = self.recv_vec::<u8>(src, base + k as u64);
+            k += 1;
+        }
+    }
+
+    /// Broadcast from `root` (binomial tree). `data` must be `Some` on the
+    /// root and is ignored elsewhere; every rank returns the payload.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if p == 1 {
+            return data.expect("root must supply data");
+        }
+        let vr = (self.rank() + p - root) % p; // virtual rank, root = 0
+        let mut buf: Option<Vec<T>> = if vr == 0 {
+            Some(data.expect("root must supply data"))
+        } else {
+            None
+        };
+        // Receive once from the appropriate parent, then forward.
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize;
+        for k in 0..rounds {
+            let d = 1usize << k;
+            if buf.is_none() && vr >= d && vr < 2 * d {
+                let parent_vr = vr - d;
+                let parent = (parent_vr + root) % p;
+                buf = Some(self.recv_vec::<T>(parent, tag + k as u64));
+            } else if buf.is_some() && vr < d {
+                let child_vr = vr + d;
+                if child_vr < p {
+                    let child = (child_vr + root) % p;
+                    self.send_slice(child, tag + k as u64, buf.as_ref().expect("buffered"));
+                }
+            }
+        }
+        buf.expect("broadcast reached every rank")
+    }
+
+    /// Gather variable-length contributions to `root`. Root returns one
+    /// vector per rank (in rank order); other ranks return `None`.
+    pub fn gatherv<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+            for src in 0..p {
+                if src == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_vec::<T>(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_slice(root, tag, data);
+            None
+        }
+    }
+
+    /// Gather equal-length contributions to `root`, concatenated in rank
+    /// order. Other ranks return `None`.
+    pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
+        self.gatherv(root, data).map(|parts| parts.into_iter().flatten().collect())
+    }
+
+    /// All ranks obtain the concatenation (rank order) of every rank's
+    /// contribution. Contributions may differ in length; returns the flat
+    /// data and per-rank counts.
+    pub fn allgatherv<T: Clone + Send + 'static>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
+        let root = 0;
+        let parts = self.gatherv(root, data);
+        let (flat, counts) = if self.rank() == root {
+            let parts = parts.expect("root has parts");
+            let counts: Vec<usize> = parts.iter().map(Vec::len).collect();
+            (parts.into_iter().flatten().collect::<Vec<T>>(), counts)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let counts = self.bcast(root, if self.rank() == root { Some(counts) } else { None });
+        let flat = self.bcast(root, if self.rank() == root { Some(flat) } else { None });
+        (flat, counts)
+    }
+
+    /// All ranks obtain the concatenation of equal-length contributions.
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        self.allgatherv(data).0
+    }
+
+    /// Personalized all-to-all: `data` holds exactly one item per rank;
+    /// returns the item received from each rank, in rank order.
+    pub fn alltoall<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        let p = self.size();
+        assert_eq!(data.len(), p, "alltoall requires one item per rank");
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        for (dst, item) in data.iter().enumerate() {
+            if dst != me {
+                self.send_val(dst, tag, item.clone());
+            }
+        }
+        let mut out: Vec<T> = Vec::with_capacity(p);
+        for src in 0..p {
+            if src == me {
+                out.push(data[me].clone());
+            } else {
+                out.push(self.recv_val::<T>(src, tag));
+            }
+        }
+        out
+    }
+
+    /// Variable all-to-all (`MPI_Alltoallv`). `data` is partitioned by
+    /// `send_counts` (one contiguous run per destination rank, in rank
+    /// order). Returns the received data concatenated in source-rank order
+    /// plus the per-source counts.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        data: &[T],
+        send_counts: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "one send count per rank");
+        let total: usize = send_counts.iter().sum();
+        assert_eq!(total, data.len(), "send counts must cover the data");
+        let recv_counts = self.alltoall(send_counts);
+        let out = self.alltoallv_given_counts(data, send_counts, &recv_counts);
+        (out, recv_counts)
+    }
+
+    /// [`alltoallv`](Self::alltoallv) when the receive counts are already
+    /// known (e.g. from the partition phase's count exchange), avoiding a
+    /// redundant `alltoall` of counts.
+    pub fn alltoallv_given_counts<T: Clone + Send + 'static>(
+        &self,
+        data: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Vec<T> {
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "one send count per rank");
+        assert_eq!(recv_counts.len(), p, "one recv count per rank");
+        let total: usize = send_counts.iter().sum();
+        assert_eq!(total, data.len(), "send counts must cover the data");
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for &c in send_counts {
+            offsets.push(offsets.last().copied().expect("non-empty") + c);
+        }
+        // Staggered send order (start at me+1, wrap) as real MPI all-to-all
+        // implementations do: receiver r then sees its chunks injected at
+        // positions (r - sender) mod p of each sender's loop, spreading
+        // arrivals instead of synchronizing them into a hotspot.
+        for i in 1..p {
+            let dst = (me + i) % p;
+            if send_counts[dst] > 0 {
+                self.send_slice(dst, tag, &data[offsets[dst]..offsets[dst + 1]]);
+            }
+        }
+        let mut out: Vec<T> = Vec::with_capacity(recv_counts.iter().sum());
+        for (src, &rc) in recv_counts.iter().enumerate() {
+            if src == me {
+                out.extend_from_slice(&data[offsets[me]..offsets[me + 1]]);
+            } else if rc > 0 {
+                let chunk = self.recv_vec::<T>(src, tag);
+                debug_assert_eq!(chunk.len(), rc, "count mismatch from {src}");
+                out.extend(chunk);
+            }
+        }
+        out
+    }
+
+    /// Reduce to `root` with `op`, folding contributions in rank order.
+    pub fn reduce<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        op: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        self.gatherv(root, std::slice::from_ref(&value)).map(|parts| {
+            parts
+                .into_iter()
+                .flatten()
+                .reduce(op)
+                .expect("at least one contribution")
+        })
+    }
+
+    /// Allreduce with `op` (deterministic rank-order fold).
+    pub fn allreduce<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let root = 0;
+        let reduced = self.reduce(root, value, op);
+        let v = self.bcast(root, reduced.map(|r| vec![r]));
+        v.into_iter().next().expect("bcast payload")
+    }
+
+    /// Exclusive prefix scan: rank r returns `op` folded over ranks `0..r`,
+    /// or `None` on rank 0.
+    pub fn exscan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let all = self.allgather(std::slice::from_ref(&value));
+        let r = self.rank();
+        if r == 0 {
+            None
+        } else {
+            all[..r].iter().cloned().reduce(op)
+        }
+    }
+
+    /// Inclusive prefix scan: rank r returns `op` folded over ranks `0..=r`.
+    pub fn scan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let all = self.allgather(std::slice::from_ref(&value));
+        all[..=self.rank()]
+            .iter()
+            .cloned()
+            .reduce(op)
+            .expect("at least own contribution")
+    }
+
+    /// Scatter variable-length chunks from `root`: the root supplies one
+    /// vector per rank (in rank order) and every rank returns its chunk.
+    pub fn scatterv<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        chunks: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), p, "one chunk per rank");
+            let mut mine = Vec::new();
+            for (dst, chunk) in chunks.into_iter().enumerate() {
+                if dst == root {
+                    mine = chunk;
+                } else {
+                    self.send_vec(dst, tag, chunk);
+                }
+            }
+            mine
+        } else {
+            self.recv_vec(root, tag)
+        }
+    }
+
+    /// Scatter equal-length chunks of `data` from `root` (`MPI_Scatter`):
+    /// rank i receives `data[i·len .. (i+1)·len]` where `len = |data|/p`.
+    pub fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+        let p = self.size();
+        let chunks = if self.rank() == root {
+            let data = data.expect("root must supply data");
+            assert_eq!(data.len() % p, 0, "scatter requires p equal chunks");
+            let len = data.len() / p;
+            Some(data.chunks(len).map(<[T]>::to_vec).collect())
+        } else {
+            None
+        };
+        self.scatterv(root, chunks)
+    }
+
+    /// Reduce-scatter: element-wise reduce a per-rank vector of length `p`
+    /// with `op`, then rank r returns element r of the reduction
+    /// (`MPI_Reduce_scatter_block` with one element per rank).
+    pub fn reduce_scatter<T: Clone + Send + 'static>(
+        &self,
+        contributions: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        let p = self.size();
+        assert_eq!(contributions.len(), p, "one contribution per rank");
+        // Each rank sends element j to rank j (an all-to-all), then folds
+        // what it received in source-rank order.
+        let received = self.alltoall(contributions);
+        received.into_iter().reduce(op).expect("p >= 1")
+    }
+}

@@ -1,0 +1,277 @@
+//! The communicator handle: point-to-point messaging, clocks, memory.
+//!
+//! A [`Comm`] is a single rank's view of a communicator, analogous to an
+//! `MPI_Comm` plus the calling rank. It is deliberately `!Send`: a rank's
+//! communicator lives on that rank's thread. All sends are *buffered*
+//! (payload copied/moved into the envelope), so the common
+//! send-everything-then-receive-everything pattern cannot deadlock.
+//!
+//! Tags: user code may use any tag below [`Comm::MAX_USER_TAG`]. Collectives
+//! use a reserved high tag space keyed by a per-communicator operation
+//! sequence number, so user messages and collective traffic never match
+//! each other even when interleaved.
+
+use crate::clock::VirtualClock;
+use crate::error::OomError;
+use crate::mailbox::{Envelope, SrcSel};
+use crate::universe::Universe;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Panic payload used when a rank unwinds *because another rank panicked*
+/// (the world was aborted). The runtime filters these out so the original
+/// failure is the one re-raised to the caller.
+#[derive(Debug)]
+pub struct AbortedPanic {
+    /// Communicator rank that was interrupted.
+    pub rank: usize,
+}
+
+/// A rank-local handle to a communicator.
+pub struct Comm {
+    uni: Arc<Universe>,
+    /// Context id distinguishing this communicator's traffic.
+    ctx: u64,
+    /// World ranks of the members, ordered by communicator rank.
+    members: Arc<[usize]>,
+    /// Map from world rank to communicator rank for members.
+    world_to_comm: Arc<HashMap<usize, usize>>,
+    /// This rank's position within `members`.
+    my_index: usize,
+    /// This rank's virtual clock (shared with sibling communicators of the
+    /// same rank, e.g. after a split).
+    clock: Rc<VirtualClock>,
+    /// Number of splits performed on this communicator (for deterministic
+    /// child context ids).
+    split_seq: Cell<u64>,
+    /// Number of collective operations performed (for tag isolation).
+    coll_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// Largest tag value available to user point-to-point messages.
+    pub const MAX_USER_TAG: u64 = 1 << 48;
+
+    pub(crate) fn new(
+        uni: Arc<Universe>,
+        ctx: u64,
+        members: Arc<[usize]>,
+        my_index: usize,
+        clock: Rc<VirtualClock>,
+    ) -> Self {
+        let world_to_comm =
+            Arc::new(members.iter().enumerate().map(|(i, &w)| (w, i)).collect::<HashMap<_, _>>());
+        Self {
+            uni,
+            ctx,
+            members,
+            world_to_comm,
+            my_index,
+            clock,
+            split_seq: Cell::new(0),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// Communicator size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank within the communicator (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// This rank in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.members[self.my_index]
+    }
+
+    /// World rank of communicator rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Communicator rank of world rank `w`, if a member.
+    pub(crate) fn comm_rank_of_world(&self, w: usize) -> Option<usize> {
+        self.world_to_comm.get(&w).copied()
+    }
+
+    /// The shared world state.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.uni
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    pub(crate) fn clock_rc(&self) -> Rc<VirtualClock> {
+        Rc::clone(&self.clock)
+    }
+
+    /// Shorthand: run `f`, measure wall time, charge it to the clock.
+    pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.clock.measure(f)
+    }
+
+    /// Attribute subsequent traced traffic to the named phase (no-op when
+    /// tracing is disabled; see [`crate::trace`]).
+    pub fn trace_phase(&self, name: &str) {
+        self.uni.tracer.set_phase(name);
+    }
+
+    /// Reserve `bytes` of simulated memory on this rank.
+    pub fn try_alloc(&self, bytes: usize) -> Result<(), OomError> {
+        self.uni.memory().try_alloc(self.world_rank(), bytes)
+    }
+
+    /// Release a simulated-memory reservation.
+    pub fn free(&self, bytes: usize) {
+        self.uni.memory().free(self.world_rank(), bytes);
+    }
+
+    /// Cores per node of the simulated machine.
+    pub fn cores_per_node(&self) -> usize {
+        self.uni.topology().cores_per_node()
+    }
+
+    /// Node id (in the simulated machine) hosting this rank.
+    pub fn node(&self) -> usize {
+        self.uni.topology().node_of(self.world_rank())
+    }
+
+    fn check_alive(&self) {
+        if self.uni.is_aborted() {
+            std::panic::panic_any(AbortedPanic { rank: self.rank() });
+        }
+    }
+
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        // Reserved space above MAX_USER_TAG; round numbers within one
+        // collective are added by the caller (< 4096 rounds).
+        Self::MAX_USER_TAG + (seq << 12)
+    }
+
+    pub(crate) fn next_split_seq(&self) -> u64 {
+        let s = self.split_seq.get();
+        self.split_seq.set(s + 1);
+        s
+    }
+
+    // ---- point-to-point ---------------------------------------------------
+
+    /// Send an owned vector to communicator rank `dst` with `tag`.
+    /// Buffered: returns as soon as the envelope is enqueued. The sender's
+    /// clock is charged the injection cost from the network model.
+    pub fn send_vec<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.check_alive();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let src_w = self.world_rank();
+        let dst_w = self.members[dst];
+        let topo = self.uni.topology();
+        let net = self.uni.net();
+        self.clock.charge(net.inject_time(topo, src_w, dst_w, bytes));
+        let arrival = self.clock.now() + net.transit_time(topo, src_w, dst_w, bytes);
+        self.uni.stats().record(bytes);
+        self.uni.tracer.record(src_w, dst_w, bytes);
+        self.uni.mailboxes[dst_w].push(Envelope {
+            ctx: self.ctx,
+            src: src_w,
+            tag,
+            data: Box::new(data),
+            bytes,
+            arrival,
+        });
+    }
+
+    /// Send a copy of a slice to communicator rank `dst`.
+    pub fn send_slice<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: &[T]) {
+        self.send_vec(dst, tag, data.to_vec());
+    }
+
+    /// Send a single value.
+    pub fn send_val<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.send_vec(dst, tag, vec![value]);
+    }
+
+    fn take_envelope(&self, src: SrcSel, tag: u64) -> Envelope {
+        let mb = &self.uni.mailboxes[self.world_rank()];
+        match mb.take(self.ctx, src, tag, &self.uni.aborted) {
+            Some(env) => env,
+            None => std::panic::panic_any(AbortedPanic { rank: self.rank() }),
+        }
+    }
+
+    fn open_envelope<T: Send + 'static>(&self, env: Envelope) -> (usize, Vec<T>) {
+        self.clock.advance_to(env.arrival);
+        let src_comm = self
+            .comm_rank_of_world(env.src)
+            .expect("sender is a member of this communicator");
+        let data = env
+            .data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv (tag {})", env.tag));
+        debug_assert_eq!(env.bytes, std::mem::size_of::<T>() * data.len());
+        (src_comm, *data)
+    }
+
+    /// Blocking receive of a vector from communicator rank `src` with `tag`.
+    pub fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.check_alive();
+        let env = self.take_envelope(SrcSel::Exact(self.members[src]), tag);
+        self.open_envelope(env).1
+    }
+
+    /// Blocking receive from any source; returns `(src_comm_rank, data)`.
+    pub fn recv_any<T: Send + 'static>(&self, tag: u64) -> (usize, Vec<T>) {
+        self.check_alive();
+        // Any-source matching must only consider members of this
+        // communicator; ctx filtering in the mailbox guarantees that.
+        let env = self.take_envelope(SrcSel::Any, tag);
+        self.open_envelope(env)
+    }
+
+    /// Non-blocking receive attempt from any source.
+    pub fn try_recv_any<T: Send + 'static>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
+        self.check_alive();
+        let mb = &self.uni.mailboxes[self.world_rank()];
+        mb.try_take(self.ctx, SrcSel::Any, tag).map(|env| self.open_envelope(env))
+    }
+
+    /// Non-blocking receive attempt from a specific source rank.
+    pub fn try_recv_from<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<Vec<T>> {
+        self.check_alive();
+        let mb = &self.uni.mailboxes[self.world_rank()];
+        mb.try_take(self.ctx, SrcSel::Exact(self.members[src]), tag)
+            .map(|env| self.open_envelope(env).1)
+    }
+
+    /// Blocking receive of a single value.
+    pub fn recv_val<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let v = self.recv_vec::<T>(src, tag);
+        debug_assert_eq!(v.len(), 1, "recv_val expects single-element message");
+        v.into_iter().next().expect("non-empty message")
+    }
+
+    pub(crate) fn ctx(&self) -> u64 {
+        self.ctx
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("ctx", &self.ctx)
+            .field("rank", &self.my_index)
+            .field("size", &self.members.len())
+            .field("world_rank", &self.world_rank())
+            .finish()
+    }
+}

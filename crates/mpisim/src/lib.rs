@@ -1,0 +1,57 @@
+//! # mpisim — a thread-based message-passing runtime with an MPI-like API
+//!
+//! The SDS-Sort paper (HPDC'16) evaluates on Edison, a Cray XC30, over MPI.
+//! This crate is the substrate substitution for that environment: every
+//! *rank* is an OS thread, communicators provide the MPI operations the
+//! sorting algorithms use (point-to-point, `alltoallv`, splits,
+//! node-local communicators, an asynchronous all-to-all), and two
+//! simulation facilities reproduce the hardware-dependent aspects of the
+//! evaluation:
+//!
+//! * **virtual clocks + a LogGP-style network model** ([`NetModel`]):
+//!   computation advances only the local clock; messages carry timestamps
+//!   and advance the receiver, so the maximum clock at the end of a run is
+//!   the modelled makespan on the configured machine;
+//! * **per-rank memory budgets** ([`memory::MemoryTracker`]): reproduce
+//!   the out-of-memory failures the paper reports for HykSort on skewed
+//!   data, without exhausting host RAM.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpisim::World;
+//!
+//! let report = World::new(4).cores_per_node(2).run(|comm| {
+//!     // Every rank contributes its rank id; allreduce sums them.
+//!     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+//! });
+//! assert!(report.results.iter().all(|&s| s == 6));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod async_a2a;
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod error;
+pub mod mailbox;
+pub mod memory;
+pub mod netmodel;
+pub mod p2p;
+pub mod runtime;
+pub mod split;
+pub mod topology;
+pub mod trace;
+pub mod universe;
+
+pub use async_a2a::AsyncAlltoallv;
+pub use clock::VirtualClock;
+pub use comm::Comm;
+pub use error::{CommError, OomError};
+pub use netmodel::NetModel;
+pub use p2p::RecvRequest;
+pub use runtime::{World, WorldReport};
+pub use topology::Topology;
+pub use trace::{PhaseTraffic, Tracer};
+pub use universe::Universe;

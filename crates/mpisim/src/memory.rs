@@ -1,0 +1,152 @@
+//! Per-rank simulated memory budgets.
+//!
+//! Edison nodes hold 64 GB for 24 ranks (~2.7 GB/rank). The paper's key
+//! qualitative result on skewed data is that HykSort's histogram
+//! partitioning concentrates all duplicates of a popular key on one rank,
+//! which then exceeds its memory and crashes (RDFA reported as ∞ in
+//! Tables 3 and 4), while SDS-Sort's skew-aware partition keeps every rank
+//! within `O(4N/p)`. [`MemoryTracker`] reproduces that failure mode: sorters
+//! declare their receive-buffer allocations through
+//! [`MemoryTracker::try_alloc`], and a request exceeding the per-rank budget
+//! returns [`OomError`] instead of exhausting host RAM.
+
+use crate::error::OomError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tracks simulated allocations for every rank in a world.
+#[derive(Debug)]
+pub struct MemoryTracker {
+    /// Per-rank budget in bytes; `usize::MAX` means unlimited.
+    budget: usize,
+    used: Vec<AtomicUsize>,
+    high_water: Vec<AtomicUsize>,
+}
+
+impl MemoryTracker {
+    /// Create a tracker for `world_size` ranks. `budget` of `None` disables
+    /// enforcement (allocations are still counted for the high-water mark).
+    pub fn new(world_size: usize, budget: Option<usize>) -> Self {
+        Self {
+            budget: budget.unwrap_or(usize::MAX),
+            used: (0..world_size).map(|_| AtomicUsize::new(0)).collect(),
+            high_water: (0..world_size).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Per-rank budget in bytes (`usize::MAX` if unlimited).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Attempt to charge `bytes` to `rank`. On success the caller owns the
+    /// reservation and must release it with [`free`](Self::free).
+    pub fn try_alloc(&self, rank: usize, bytes: usize) -> Result<(), OomError> {
+        let used = &self.used[rank];
+        let mut cur = used.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(bytes);
+            if new > self.budget {
+                return Err(OomError {
+                    rank,
+                    requested: bytes,
+                    available: self.budget.saturating_sub(cur),
+                    budget: self.budget,
+                });
+            }
+            match used.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.high_water[rank].fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release a previous reservation.
+    pub fn free(&self, rank: usize, bytes: usize) {
+        let prev = self.used[rank].fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "free of {bytes} B exceeds {prev} B in use on rank {rank}");
+    }
+
+    /// Bytes currently charged to `rank`.
+    pub fn used(&self, rank: usize) -> usize {
+        self.used[rank].load(Ordering::Relaxed)
+    }
+
+    /// Highest simultaneous usage observed on `rank`.
+    pub fn high_water(&self, rank: usize) -> usize {
+        self.high_water[rank].load(Ordering::Relaxed)
+    }
+
+    /// Highest simultaneous usage observed on any rank.
+    pub fn max_high_water(&self) -> usize {
+        self.high_water.iter().map(|h| h.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let m = MemoryTracker::new(2, None);
+        assert!(m.try_alloc(0, usize::MAX / 2).is_ok());
+        assert!(m.try_alloc(0, usize::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn budget_enforced_per_rank() {
+        let m = MemoryTracker::new(2, Some(100));
+        assert!(m.try_alloc(0, 60).is_ok());
+        let err = m.try_alloc(0, 60).unwrap_err();
+        assert_eq!(err.rank, 0);
+        assert_eq!(err.available, 40);
+        // rank 1 unaffected
+        assert!(m.try_alloc(1, 100).is_ok());
+    }
+
+    #[test]
+    fn free_restores_capacity() {
+        let m = MemoryTracker::new(1, Some(100));
+        m.try_alloc(0, 100).unwrap();
+        assert!(m.try_alloc(0, 1).is_err());
+        m.free(0, 50);
+        assert!(m.try_alloc(0, 50).is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let m = MemoryTracker::new(1, Some(1000));
+        m.try_alloc(0, 400).unwrap();
+        m.try_alloc(0, 300).unwrap();
+        m.free(0, 700);
+        m.try_alloc(0, 100).unwrap();
+        assert_eq!(m.high_water(0), 700);
+        assert_eq!(m.used(0), 100);
+        assert_eq!(m.max_high_water(), 700);
+    }
+
+    #[test]
+    fn concurrent_allocs_respect_budget() {
+        use std::sync::Arc;
+        let m = Arc::new(MemoryTracker::new(1, Some(10_000)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for _ in 0..1000 {
+                    if m.try_alloc(0, 10).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000, "exactly budget/10 allocations must succeed");
+        assert_eq!(m.used(0), 10_000);
+    }
+}

@@ -1,0 +1,196 @@
+//! LogGP-style network cost model.
+//!
+//! The paper's evaluation ran on Edison's Cray Aries interconnect
+//! (0.25–3.7 µs MPI latency, ~8 GB/s per-rank MPI bandwidth, Dragonfly
+//! topology). We cannot reproduce that hardware, so figures whose *shape*
+//! depends on network characteristics — the node-merging crossover of
+//! Fig. 5a, the overlap crossover of Fig. 5b, the weak-scaling curves of
+//! Figs. 7/8 — are driven by a simple analytic cost model charged to
+//! per-rank virtual clocks:
+//!
+//! * each message costs the sender an *injection overhead* `o` plus
+//!   serialization `bytes / bw_inject` on its own clock (CPU + NIC time,
+//!   which is what makes many small messages expensive), and
+//! * arrives at the receiver at `send_completion + latency + bytes / bw_link`.
+//!
+//! Intra-node messages use a separate (much cheaper) latency/bandwidth
+//! pair, modelling shared-memory transport.
+//!
+//! The default constants are calibrated to the published Edison numbers;
+//! they are deliberately exposed so experiments can sweep them (e.g. the
+//! "slow network" configuration that motivates node-level merging).
+
+use crate::topology::Topology;
+
+/// Analytic cost model for point-to-point messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetModel {
+    /// One-way latency for inter-node messages (seconds).
+    pub latency: f64,
+    /// Per-message injection overhead paid by the sender (seconds). This is
+    /// the term that node-level merging amortizes: merging c ranks' data
+    /// turns `c * c` messages per node pair into one.
+    pub injection_overhead: f64,
+    /// Sender-side injection bandwidth (bytes/second).
+    pub bw_inject: f64,
+    /// Link bandwidth for the in-flight portion (bytes/second).
+    pub bw_link: f64,
+    /// One-way latency for intra-node (shared-memory) messages (seconds).
+    pub latency_local: f64,
+    /// Per-message overhead for intra-node messages (seconds).
+    pub injection_overhead_local: f64,
+    /// Intra-node copy bandwidth (bytes/second).
+    pub bw_local: f64,
+    /// Per-outstanding-request progress cost of asynchronous receives
+    /// (seconds). Each completion retrieved from an async all-to-all
+    /// charges `async_test_overhead × remaining_requests`, modelling the
+    /// `MPI_Test` sweeps and "competition for system resources" the paper
+    /// gives as the reason overlapping stops paying off at large process
+    /// counts (§2.6, Fig. 5b).
+    pub async_test_overhead: f64,
+}
+
+impl NetModel {
+    /// Model calibrated to published Edison / Cray Aries figures:
+    /// ~1.5 µs MPI latency midpoint, 8 GB/s per-rank bandwidth, and
+    /// shared-memory transport an order of magnitude cheaper.
+    pub fn edison() -> Self {
+        Self {
+            latency: 1.5e-6,
+            injection_overhead: 1.0e-6,
+            bw_inject: 8.0e9,
+            bw_link: 8.0e9,
+            latency_local: 2.0e-7,
+            injection_overhead_local: 1.0e-7,
+            bw_local: 4.0e10,
+            async_test_overhead: 5.0e-8,
+        }
+    }
+
+    /// A deliberately slow commodity-cluster network (high latency, modest
+    /// bandwidth). Used to demonstrate the regime where node-level merging
+    /// is most profitable (Section 2.3 of the paper).
+    pub fn slow_ethernet() -> Self {
+        Self {
+            latency: 5.0e-5,
+            injection_overhead: 2.0e-5,
+            bw_inject: 1.0e9,
+            bw_link: 1.0e9,
+            latency_local: 2.0e-7,
+            injection_overhead_local: 1.0e-7,
+            bw_local: 4.0e10,
+            async_test_overhead: 1.0e-6,
+        }
+    }
+
+    /// A model in which communication is free. Useful for isolating
+    /// computation in unit tests.
+    pub fn zero() -> Self {
+        Self {
+            latency: 0.0,
+            injection_overhead: 0.0,
+            bw_inject: f64::INFINITY,
+            bw_link: f64::INFINITY,
+            latency_local: 0.0,
+            injection_overhead_local: 0.0,
+            bw_local: f64::INFINITY,
+            async_test_overhead: 0.0,
+        }
+    }
+
+    /// Time the *sender's* clock advances while injecting one message of
+    /// `bytes` from `src` to `dst`.
+    pub fn inject_time(&self, topo: &Topology, src: usize, dst: usize, bytes: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        if topo.same_node(src, dst) {
+            self.injection_overhead_local + bytes as f64 / self.bw_local
+        } else {
+            self.injection_overhead + bytes as f64 / self.bw_inject
+        }
+    }
+
+    /// Additional in-flight time after injection completes before the
+    /// message is available at the receiver.
+    pub fn transit_time(&self, topo: &Topology, src: usize, dst: usize, bytes: usize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        if topo.same_node(src, dst) {
+            self.latency_local
+        } else {
+            self.latency + bytes as f64 / self.bw_link
+        }
+    }
+
+    /// Convenience: total one-way cost (inject + transit).
+    pub fn message_time(&self, topo: &Topology, src: usize, dst: usize, bytes: usize) -> f64 {
+        self.inject_time(topo, src, dst, bytes) + self.transit_time(topo, src, dst, bytes)
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        Self::edison()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(8, 4)
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let m = NetModel::edison();
+        assert_eq!(m.message_time(&topo(), 2, 2, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node() {
+        let m = NetModel::edison();
+        let t = topo();
+        let local = m.message_time(&t, 0, 1, 1 << 20);
+        let remote = m.message_time(&t, 0, 4, 1 << 20);
+        assert!(local < remote, "local {local} >= remote {remote}");
+    }
+
+    #[test]
+    fn cost_monotone_in_bytes() {
+        let m = NetModel::edison();
+        let t = topo();
+        assert!(m.message_time(&t, 0, 5, 1000) < m.message_time(&t, 0, 5, 10_000));
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = NetModel::zero();
+        let t = topo();
+        assert_eq!(m.message_time(&t, 0, 5, usize::MAX / 2), 0.0);
+    }
+
+    #[test]
+    fn small_messages_dominated_by_overhead() {
+        let m = NetModel::edison();
+        let t = topo();
+        // For an 8-byte message the overhead terms should dwarf the
+        // bandwidth term by orders of magnitude.
+        let total = m.message_time(&t, 0, 5, 8);
+        let bw_part = 8.0 / m.bw_inject + 8.0 / m.bw_link;
+        assert!(bw_part < total * 0.01);
+    }
+
+    #[test]
+    fn slow_network_slower_than_edison() {
+        let t = topo();
+        let bytes = 1 << 16;
+        assert!(
+            NetModel::slow_ethernet().message_time(&t, 0, 5, bytes)
+                > NetModel::edison().message_time(&t, 0, 5, bytes)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! World construction and SPMD execution.
+//!
+//! [`World`] configures a simulated machine (rank count, cores per node,
+//! network model, per-rank memory budget, compute-time scaling) and
+//! [`World::run`] executes an SPMD closure on every rank, each on its own
+//! OS thread, returning a [`WorldReport`] with per-rank results, the
+//! virtual-time makespan, and traffic statistics.
+
+use crate::clock::VirtualClock;
+use crate::comm::Comm;
+use crate::netmodel::NetModel;
+use crate::topology::Topology;
+use crate::universe::Universe;
+use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builder for a simulated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    size: usize,
+    cores_per_node: usize,
+    net: NetModel,
+    memory_budget: Option<usize>,
+    compute_scale: f64,
+    stack_size: usize,
+    trace: bool,
+}
+
+impl World {
+    /// A world of `size` ranks with default settings: 24-core nodes (Edison
+    /// compute nodes have two 12-core sockets), the Edison network model, no
+    /// memory budget, and unscaled wall-clock compute charging.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        Self {
+            size,
+            cores_per_node: 24,
+            net: NetModel::edison(),
+            memory_budget: None,
+            compute_scale: 1.0,
+            stack_size: 1 << 21, // 2 MiB: worlds may have thousands of ranks
+            trace: false,
+        }
+    }
+
+    /// Enable communication tracing (per-pair traffic matrices, see
+    /// [`crate::trace`]); results land in
+    /// [`WorldReport::trace_phases`].
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Set simulated cores (= ranks) per node.
+    pub fn cores_per_node(mut self, c: usize) -> Self {
+        assert!(c > 0);
+        self.cores_per_node = c;
+        self
+    }
+
+    /// Replace the network cost model.
+    pub fn net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Enforce a per-rank simulated memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Scale factor applied to measured compute durations (see
+    /// [`VirtualClock`]). Use 0.0 to charge no measured compute at all
+    /// (pure communication models).
+    pub fn compute_scale(mut self, s: f64) -> Self {
+        self.compute_scale = s;
+        self
+    }
+
+    /// Per-rank thread stack size in bytes.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute `f` on every rank. Panics in any rank abort the world and
+    /// re-raise the first panic on the caller's thread.
+    pub fn run<R, F>(&self, f: F) -> WorldReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let topo = Topology::new(self.size, self.cores_per_node);
+        let uni = Arc::new(Universe::new(topo, self.net.clone(), self.memory_budget, self.trace));
+        let members: Arc<[usize]> = (0..self.size).collect();
+        let started = Instant::now();
+
+        let mut slots: Vec<Option<(R, f64)>> = Vec::with_capacity(self.size);
+        slots.resize_with(self.size, || None);
+
+        let panics: Vec<Option<Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (rank, slot) in slots.iter_mut().enumerate() {
+                let uni = Arc::clone(&uni);
+                let members = Arc::clone(&members);
+                let f = &f;
+                let compute_scale = self.compute_scale;
+                let builder = std::thread::Builder::new()
+                    .name(format!("mpisim-rank-{rank}"))
+                    .stack_size(self.stack_size);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let clock = Rc::new(VirtualClock::new(compute_scale));
+                        let mut comm =
+                            Comm::new(Arc::clone(&uni), 0, members, rank, Rc::clone(&clock));
+                        let out =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                        match out {
+                            Ok(r) => {
+                                *slot = Some((r, clock.now()));
+                                None
+                            }
+                            Err(payload) => {
+                                uni.abort();
+                                Some(payload)
+                            }
+                        }
+                    })
+                    .expect("spawn rank thread");
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread must not die outside catch_unwind"))
+                .collect()
+        });
+
+        let mut panics: Vec<_> = panics.into_iter().flatten().collect();
+        if !panics.is_empty() {
+            // Prefer the original failure over secondary AbortedPanic
+            // unwinds raised on ranks that were merely interrupted.
+            let original = panics
+                .iter()
+                .position(|p| !p.is::<crate::comm::AbortedPanic>())
+                .unwrap_or(0);
+            std::panic::resume_unwind(panics.swap_remove(original));
+        }
+
+        let mut results = Vec::with_capacity(self.size);
+        let mut per_rank_time = Vec::with_capacity(self.size);
+        for slot in slots {
+            let (r, t) = slot.expect("rank completed without panic");
+            results.push(r);
+            per_rank_time.push(t);
+        }
+        let makespan = per_rank_time.iter().copied().fold(0.0f64, f64::max);
+        let trace_phases = if self.trace {
+            uni.tracer()
+                .phase_names()
+                .into_iter()
+                .filter_map(|n| uni.tracer().phase(&n).map(|t| (n, t)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        WorldReport {
+            results,
+            per_rank_time,
+            makespan,
+            wall: started.elapsed(),
+            messages: uni.stats().messages(),
+            bytes: uni.stats().bytes(),
+            max_memory_high_water: uni.memory().max_high_water(),
+            trace_phases,
+        }
+    }
+}
+
+/// Outcome of a world run.
+#[derive(Debug)]
+pub struct WorldReport<R> {
+    /// Per-rank results, in rank order.
+    pub results: Vec<R>,
+    /// Per-rank final virtual-clock values (seconds).
+    pub per_rank_time: Vec<f64>,
+    /// Maximum virtual clock over ranks — the modelled parallel makespan.
+    pub makespan: f64,
+    /// Actual wall time of the whole simulation.
+    pub wall: Duration,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Peak simulated memory usage on any rank.
+    pub max_memory_high_water: usize,
+    /// Per-phase traffic matrices (empty unless tracing was enabled).
+    pub trace_phases: Vec<(String, crate::trace::PhaseTraffic)>,
+}
+
+impl<R> WorldReport<R> {
+    /// Consume the report, returning only the per-rank results.
+    pub fn into_results(self) -> Vec<R> {
+        self.results
+    }
+}

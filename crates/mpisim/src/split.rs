@@ -1,0 +1,88 @@
+//! Communicator splitting (`MPI_Comm_split` and
+//! `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)`).
+//!
+//! SDS-Sort's `SdssRefineComm` (paper §2.3) needs two derived
+//! communicators: `cl`, connecting the ranks sharing a node (for node-level
+//! merging), and `cg`, connecting the node leaders (for the subsequent
+//! all-to-all among merged per-node buffers). [`Comm::split`] provides the
+//! general color/key split; [`Comm::split_shared_node`] and
+//! [`Comm::split_node_leaders`] provide the two derived communicators.
+
+use crate::comm::Comm;
+use std::sync::Arc;
+
+impl Comm {
+    /// Split this communicator by `color`. Ranks passing `None` participate
+    /// in the collective but receive no communicator (MPI_UNDEFINED).
+    /// Within each color group, new ranks are ordered by `(key, old rank)`.
+    ///
+    /// The returned communicator shares this rank's virtual clock.
+    pub fn split(&self, color: Option<i64>, key: i64) -> Option<Comm> {
+        // (color, key) for every member, in this-comm rank order. Encode
+        // `None` as i64::MIN sentinel paired with a validity flag.
+        let mine = [(color.unwrap_or(i64::MIN), color.is_some() as i64, key)];
+        let all = self.allgather(&mine[..]);
+        let split_seq = self.next_split_seq();
+        let my_color = color?;
+
+        // Collect members with my color, sorted by (key, old comm rank).
+        let mut group: Vec<(i64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, valid, _))| valid == 1 && c == my_color)
+            .map(|(old_rank, &(_, _, k))| (k, old_rank))
+            .collect();
+        group.sort_unstable();
+        let members: Arc<[usize]> =
+            group.iter().map(|&(_, old)| self.world_rank_of(old)).collect();
+        let my_index = group
+            .iter()
+            .position(|&(_, old)| old == self.rank())
+            .expect("calling rank is in its own color group");
+
+        let ctx = self
+            .universe()
+            .context_for_split(self.ctx(), split_seq, my_color);
+        Some(Comm::new(
+            Arc::clone(self.universe()),
+            ctx,
+            members,
+            my_index,
+            self.clock_rc(),
+        ))
+    }
+
+    /// Split into per-node communicators: the returned communicator connects
+    /// exactly the ranks of this communicator hosted on the caller's node,
+    /// ordered by their rank in this communicator. Equivalent to
+    /// `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)`.
+    pub fn split_shared_node(&self) -> Comm {
+        let node = self.node() as i64;
+        self.split(Some(node), self.rank() as i64)
+            .expect("every rank has a node")
+    }
+
+    /// Communicator connecting the first rank of this communicator on each
+    /// node ("node leaders"). Non-leader ranks return `None`.
+    ///
+    /// Together with [`split_shared_node`](Self::split_shared_node) this is
+    /// the paper's `SdssRefineComm`: `(cg, cl)`.
+    pub fn split_node_leaders(&self) -> Option<Comm> {
+        // The leader of a node is the member with the smallest rank in this
+        // communicator among the co-hosted ranks. Compute locally from the
+        // shared-node split to avoid assumptions about topology alignment.
+        let local = self.split_shared_node();
+        let am_leader = local.rank() == 0;
+        // Order leaders by their rank in the parent communicator.
+        self.split(if am_leader { Some(0) } else { None }, self.rank() as i64)
+    }
+
+    /// The paper's `SdssRefineComm`: returns `(cg, cl)` where `cl` connects
+    /// the ranks on this node and `cg` (leaders only) connects node leaders.
+    pub fn refine_comm(&self) -> (Option<Comm>, Comm) {
+        let cl = self.split_shared_node();
+        let am_leader = cl.rank() == 0;
+        let cg = self.split(if am_leader { Some(0) } else { None }, self.rank() as i64);
+        (cg, cl)
+    }
+}

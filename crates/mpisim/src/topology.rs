@@ -1,0 +1,123 @@
+//! Rank-to-node mapping.
+//!
+//! The SDS-Sort paper runs on Edison, a Cray XC30 whose compute nodes each
+//! hold 24 cores (two 12-core Ivy Bridge sockets). Several of the paper's
+//! optimizations — node-level merging before the all-to-all exchange, and
+//! `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)` — depend on knowing which
+//! ranks share a node. [`Topology`] captures that mapping for the simulated
+//! machine: ranks are packed onto nodes in contiguous blocks of
+//! `cores_per_node`.
+
+/// Immutable description of how world ranks map onto simulated nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    world_size: usize,
+    cores_per_node: usize,
+}
+
+impl Topology {
+    /// Create a topology for `world_size` ranks packed onto nodes of
+    /// `cores_per_node` cores each. The last node may be partially filled.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(world_size: usize, cores_per_node: usize) -> Self {
+        assert!(world_size > 0, "world_size must be positive");
+        assert!(cores_per_node > 0, "cores_per_node must be positive");
+        Self { world_size, cores_per_node }
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Cores (= ranks) per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.world_size);
+        rank / self.cores_per_node
+    }
+
+    /// Total number of (possibly partially filled) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.world_size.div_ceil(self.cores_per_node)
+    }
+
+    /// Rank's index within its node (0 = node leader).
+    pub fn local_index(&self, rank: usize) -> usize {
+        rank % self.cores_per_node
+    }
+
+    /// Whether `a` and `b` live on the same node (intra-node messages are
+    /// cheaper in the network model).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// World ranks co-located on `rank`'s node, in ascending order.
+    pub fn node_members(&self, rank: usize) -> Vec<usize> {
+        let node = self.node_of(rank);
+        let lo = node * self.cores_per_node;
+        let hi = ((node + 1) * self.cores_per_node).min(self.world_size);
+        (lo..hi).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_ranks_contiguously() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(9), 2);
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn local_index_and_leader() {
+        let t = Topology::new(8, 4);
+        assert_eq!(t.local_index(0), 0);
+        assert_eq!(t.local_index(5), 1);
+        assert_eq!(t.local_index(7), 3);
+    }
+
+    #[test]
+    fn node_members_last_node_partial() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.node_members(9), vec![8, 9]);
+        assert_eq!(t.node_members(1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_node_symmetry() {
+        let t = Topology::new(12, 3);
+        assert!(t.same_node(0, 2));
+        assert!(!t.same_node(2, 3));
+        assert!(t.same_node(4, 5));
+    }
+
+    #[test]
+    fn single_core_nodes() {
+        let t = Topology::new(5, 1);
+        assert_eq!(t.num_nodes(), 5);
+        for r in 0..5 {
+            assert_eq!(t.node_of(r), r);
+            assert_eq!(t.node_members(r), vec![r]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cores_per_node")]
+    fn zero_cores_rejected() {
+        Topology::new(4, 0);
+    }
+}

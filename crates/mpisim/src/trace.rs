@@ -1,0 +1,186 @@
+//! Communication tracing: per-pair traffic matrices and phase counters.
+//!
+//! Understanding *who talks to whom, how much, in which phase* is how the
+//! paper motivates node-level merging (c² small messages per node pair vs
+//! one big one) and HykSort's k-way staging. The tracer records every send
+//! into a `p × p` message/byte matrix, optionally segmented by a
+//! user-named phase, without entering the virtual-time model — it is a
+//! pure observer.
+//!
+//! Tracing is off by default (zero cost beyond an atomic load per send);
+//! enable it per world with [`crate::runtime::World::trace`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One phase's traffic matrices.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTraffic {
+    /// `messages[src][dst]`
+    pub messages: Vec<Vec<u64>>,
+    /// `bytes[src][dst]`
+    pub bytes: Vec<Vec<u64>>,
+}
+
+impl PhaseTraffic {
+    fn new(p: usize) -> Self {
+        Self { messages: vec![vec![0; p]; p], bytes: vec![vec![0; p]; p] }
+    }
+
+    /// Total messages in this phase.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().flatten().sum()
+    }
+
+    /// Total bytes in this phase.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+
+    /// Messages crossing node boundaries, given `cores_per_node`.
+    pub fn internode_messages(&self, cores_per_node: usize) -> u64 {
+        let mut n = 0;
+        for (src, row) in self.messages.iter().enumerate() {
+            for (dst, &m) in row.iter().enumerate() {
+                if src / cores_per_node != dst / cores_per_node {
+                    n += m;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// World-wide communication tracer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    size: usize,
+    inner: Mutex<TracerInner>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    current_phase: String,
+    phases: HashMap<String, PhaseTraffic>,
+    phase_order: Vec<String>,
+}
+
+impl Tracer {
+    pub(crate) fn new(size: usize, enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            size,
+            inner: Mutex::new(TracerInner {
+                current_phase: "default".to_string(),
+                phases: HashMap::new(),
+                phase_order: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record(&self, src: usize, dst: usize, bytes: usize) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let p = self.size;
+        let phase = inner.current_phase.clone();
+        if !inner.phases.contains_key(&phase) {
+            inner.phase_order.push(phase.clone());
+            inner.phases.insert(phase.clone(), PhaseTraffic::new(p));
+        }
+        let t = inner.phases.get_mut(&phase).expect("just inserted");
+        t.messages[src][dst] += 1;
+        t.bytes[src][dst] += bytes as u64;
+    }
+
+    /// Start a named phase: subsequent traffic is attributed to it.
+    /// Affects the whole world (phases are global, like the algorithm's
+    /// own phases); call from one rank or redundantly from all.
+    pub fn set_phase(&self, name: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.current_phase != name {
+            inner.current_phase = name.to_string();
+        }
+    }
+
+    /// Snapshot of a phase's traffic, if any was recorded.
+    pub fn phase(&self, name: &str) -> Option<PhaseTraffic> {
+        self.inner.lock().phases.get(name).cloned()
+    }
+
+    /// Phase names in first-traffic order.
+    pub fn phase_names(&self) -> Vec<String> {
+        self.inner.lock().phase_order.clone()
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> PhaseTraffic {
+        let inner = self.inner.lock();
+        let mut out = PhaseTraffic::new(self.size);
+        for t in inner.phases.values() {
+            for (src, row) in t.messages.iter().enumerate() {
+                for (dst, &m) in row.iter().enumerate() {
+                    out.messages[src][dst] += m;
+                    out.bytes[src][dst] += t.bytes[src][dst];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(4, false);
+        t.record(0, 1, 100);
+        assert!(t.phase("default").is_none());
+        assert_eq!(t.total().total_messages(), 0);
+    }
+
+    #[test]
+    fn records_per_pair_and_phase() {
+        let t = Tracer::new(3, true);
+        t.record(0, 1, 10);
+        t.record(0, 1, 10);
+        t.record(2, 0, 5);
+        t.set_phase("exchange");
+        t.record(1, 2, 100);
+
+        let d = t.phase("default").expect("default phase");
+        assert_eq!(d.messages[0][1], 2);
+        assert_eq!(d.bytes[0][1], 20);
+        assert_eq!(d.messages[2][0], 1);
+        assert_eq!(d.total_messages(), 3);
+
+        let e = t.phase("exchange").expect("exchange phase");
+        assert_eq!(e.total_bytes(), 100);
+        assert_eq!(t.phase_names(), vec!["default", "exchange"]);
+        assert_eq!(t.total().total_messages(), 4);
+    }
+
+    #[test]
+    fn internode_classification() {
+        let t = Tracer::new(4, true);
+        t.record(0, 1, 1); // same node with 2 cores/node
+        t.record(0, 2, 1); // cross node
+        t.record(3, 0, 1); // cross node
+        let total = t.total();
+        assert_eq!(total.internode_messages(2), 2);
+        assert_eq!(total.internode_messages(4), 0);
+    }
+}

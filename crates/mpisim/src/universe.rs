@@ -1,0 +1,163 @@
+//! Shared state of one simulated world: mailboxes, topology, network model,
+//! memory tracker, context-id registry, and abort flag.
+
+use crate::mailbox::Mailbox;
+use crate::memory::MemoryTracker;
+use crate::netmodel::NetModel;
+use crate::topology::Topology;
+use crate::trace::Tracer;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Statistics accumulated over a run (whole world, all communicators).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Total point-to-point messages sent (self-sends included).
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared immutable/concurrent state for all ranks of a world.
+pub struct Universe {
+    pub(crate) topology: Topology,
+    pub(crate) net: NetModel,
+    pub(crate) memory: MemoryTracker,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) aborted: AtomicBool,
+    pub(crate) stats: NetStats,
+    pub(crate) tracer: Tracer,
+    /// Deterministic context-id registry for communicator splits: all ranks
+    /// performing the same (parent ctx, split sequence number, color) split
+    /// must agree on the child context id, regardless of arrival order.
+    contexts: Mutex<HashMap<(u64, u64, i64), u64>>,
+    next_ctx: AtomicU64,
+}
+
+impl Universe {
+    pub(crate) fn new(
+        topology: Topology,
+        net: NetModel,
+        memory_budget: Option<usize>,
+        trace: bool,
+    ) -> Self {
+        let size = topology.world_size();
+        Self {
+            memory: MemoryTracker::new(size, memory_budget),
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            topology,
+            net,
+            aborted: AtomicBool::new(false),
+            stats: NetStats::default(),
+            tracer: Tracer::new(size, trace),
+            contexts: Mutex::new(HashMap::new()),
+            // ctx 0 is the world communicator.
+            next_ctx: AtomicU64::new(1),
+        }
+    }
+
+    /// Look up (or allocate) the context id for a split of `parent_ctx`
+    /// identified by `(split_seq, color)`. Deterministic across ranks: the
+    /// first rank to arrive allocates, later ranks read the same id.
+    pub(crate) fn context_for_split(&self, parent_ctx: u64, split_seq: u64, color: i64) -> u64 {
+        let mut map = self.contexts.lock();
+        *map.entry((parent_ctx, split_seq, color))
+            .or_insert_with(|| self.next_ctx.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Mark the world as aborted and wake every blocked receiver.
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.interrupt();
+        }
+    }
+
+    /// Whether a rank has panicked.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// The world topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The network cost model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// The per-rank memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The communication tracer (no-op unless enabled at world build).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uni(p: usize) -> Universe {
+        Universe::new(Topology::new(p, 4), NetModel::zero(), None, false)
+    }
+
+    #[test]
+    fn context_registry_is_deterministic() {
+        let u = uni(4);
+        let a = u.context_for_split(0, 0, 7);
+        let b = u.context_for_split(0, 0, 7);
+        assert_eq!(a, b);
+        let c = u.context_for_split(0, 0, 8);
+        assert_ne!(a, c);
+        let d = u.context_for_split(0, 1, 7);
+        assert_ne!(a, d);
+        // world ctx 0 is never handed out
+        assert_ne!(a, 0);
+        assert_ne!(c, 0);
+        assert_ne!(d, 0);
+    }
+
+    #[test]
+    fn abort_sets_flag() {
+        let u = uni(2);
+        assert!(!u.is_aborted());
+        u.abort();
+        assert!(u.is_aborted());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let u = uni(2);
+        u.stats.record(100);
+        u.stats.record(50);
+        assert_eq!(u.stats().messages(), 2);
+        assert_eq!(u.stats().bytes(), 150);
+    }
+}

@@ -1,0 +1,320 @@
+//! Out-of-core local sorting: run generation + streaming k-way merge.
+//!
+//! The paper's related work separates in-memory sorters (SDS-Sort,
+//! HykSort) from disk-based ones (TritonSort, NTOSort) and assumes "enough
+//! memory to hold data in core". This module removes that assumption for
+//! the *local* phases: a rank whose share exceeds memory can sort it as
+//! bounded-memory runs spilled to disk and then stream-merge them — the
+//! classical external merge sort, reusing this crate's merge kernels. The
+//! distributed pipeline is unchanged; `external` slots in wherever
+//! `SdssLocalSort` would otherwise need the whole share resident.
+//!
+//! Records are written in their in-memory representation via the
+//! [`PlainData`] marker (all-bytes-initialized `Copy` types), keeping the
+//! i/o path allocation-free per record.
+
+use crate::merge::is_sorted_by_key;
+use crate::record::{OrderedF32, OrderedF64, Record, Sortable};
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Marker for types whose in-memory bytes are fully initialized (no
+/// padding) and which accept any bit pattern — safe to write to and read
+/// from disk byte-wise.
+///
+/// # Safety
+/// Implementors must guarantee `Self` contains no padding bytes and every
+/// bit pattern of `size_of::<Self>()` bytes is a valid `Self`.
+pub unsafe trait PlainData: Copy {}
+
+// SAFETY: primitive integers satisfy both properties.
+unsafe impl PlainData for u8 {}
+unsafe impl PlainData for u16 {}
+unsafe impl PlainData for u32 {}
+unsafe impl PlainData for u64 {}
+unsafe impl PlainData for u128 {}
+unsafe impl PlainData for usize {}
+unsafe impl PlainData for i8 {}
+unsafe impl PlainData for i16 {}
+unsafe impl PlainData for i32 {}
+unsafe impl PlainData for i64 {}
+unsafe impl PlainData for i128 {}
+unsafe impl PlainData for isize {}
+// SAFETY: newtypes over u32/u64.
+unsafe impl PlainData for OrderedF32 {}
+unsafe impl PlainData for OrderedF64 {}
+// SAFETY: equal-size key/payload pairs have no padding; both halves accept
+// any bits. (Records mixing sizes, e.g. Record<u32, u64>, have padding and
+// intentionally do NOT get an impl.)
+unsafe impl PlainData for Record<u64, u64> {}
+unsafe impl PlainData for Record<u32, u32> {}
+unsafe impl PlainData for Record<OrderedF32, u32> {}
+unsafe impl PlainData for Record<OrderedF64, u64> {}
+
+fn write_records<T: PlainData>(w: &mut impl Write, records: &[T]) -> io::Result<()> {
+    // SAFETY: PlainData guarantees no padding, so every byte is
+    // initialized.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), std::mem::size_of_val(records))
+    };
+    w.write_all(bytes)
+}
+
+fn read_record<T: PlainData>(r: &mut impl Read) -> io::Result<Option<T>> {
+    let mut buf = vec![0u8; std::mem::size_of::<T>()];
+    match r.read_exact(&mut buf) {
+        Ok(()) => {
+            // SAFETY: PlainData accepts any bit pattern; buf has exactly
+            // size_of::<T>() bytes.
+            let v = unsafe { std::ptr::read_unaligned(buf.as_ptr().cast::<T>()) };
+            Ok(Some(v))
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// A sorted run spilled to disk.
+#[derive(Debug)]
+pub struct RunFile {
+    path: PathBuf,
+    records: usize,
+}
+
+impl RunFile {
+    /// Number of records in the run.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Sort `input` into bounded-memory runs of at most `run_records` records
+/// each, spilled as sorted files under `dir`.
+pub fn write_sorted_runs<T: Sortable + PlainData>(
+    input: impl IntoIterator<Item = T>,
+    run_records: usize,
+    dir: &Path,
+) -> io::Result<Vec<RunFile>> {
+    assert!(run_records > 0, "runs must hold at least one record");
+    std::fs::create_dir_all(dir)?;
+    let mut runs = Vec::new();
+    let mut buf: Vec<T> = Vec::with_capacity(run_records);
+    let spill = |buf: &mut Vec<T>, idx: usize| -> io::Result<Option<RunFile>> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        buf.sort_unstable_by_key(Sortable::key);
+        let path = dir.join(format!("run-{idx:06}.bin"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        write_records(&mut w, buf)?;
+        w.flush()?;
+        let rf = RunFile { path, records: buf.len() };
+        buf.clear();
+        Ok(Some(rf))
+    };
+    for record in input {
+        buf.push(record);
+        if buf.len() == run_records {
+            if let Some(rf) = spill(&mut buf, runs.len())? {
+                runs.push(rf);
+            }
+        }
+    }
+    if let Some(rf) = spill(&mut buf, runs.len())? {
+        runs.push(rf);
+    }
+    Ok(runs)
+}
+
+struct HeapItem<T: Sortable> {
+    record: T,
+    run: usize,
+}
+
+impl<T: Sortable> PartialEq for HeapItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.record.key() == other.record.key() && self.run == other.run
+    }
+}
+impl<T: Sortable> Eq for HeapItem<T> {}
+impl<T: Sortable> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Sortable> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // min-heap with run-index tie-break (stability across runs)
+        (other.record.key(), other.run).cmp(&(self.record.key(), self.run))
+    }
+}
+
+/// Streaming k-way merge over sorted runs. Memory: one buffered reader
+/// plus one record per run.
+pub struct RunMerger<T: Sortable + PlainData> {
+    readers: Vec<BufReader<File>>,
+    heap: BinaryHeap<HeapItem<T>>,
+    remaining: usize,
+}
+
+impl<T: Sortable + PlainData> RunMerger<T> {
+    /// Open every run and prime the merge heap.
+    pub fn new(runs: &[RunFile]) -> io::Result<Self> {
+        let mut readers = Vec::with_capacity(runs.len());
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        let mut remaining = 0usize;
+        for (i, run) in runs.iter().enumerate() {
+            let mut reader = BufReader::new(File::open(&run.path)?);
+            remaining += run.records;
+            if let Some(first) = read_record::<T>(&mut reader)? {
+                heap.push(HeapItem { record: first, run: i });
+            }
+            readers.push(reader);
+        }
+        Ok(Self { readers, heap, remaining })
+    }
+
+    /// Records left to emit.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<T: Sortable + PlainData> Iterator for RunMerger<T> {
+    type Item = io::Result<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let HeapItem { record, run } = self.heap.pop()?;
+        self.remaining -= 1;
+        match read_record::<T>(&mut self.readers[run]) {
+            Ok(Some(next)) => self.heap.push(HeapItem { record: next, run }),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(record))
+    }
+}
+
+/// End-to-end external sort: spill sorted runs under `dir`, then stream
+/// the merge back as a vector (callers needing true streaming use
+/// [`RunMerger`] directly). Run files are removed afterwards.
+pub fn external_sort<T: Sortable + PlainData>(
+    input: impl IntoIterator<Item = T>,
+    run_records: usize,
+    dir: &Path,
+) -> io::Result<Vec<T>> {
+    let runs = write_sorted_runs(input, run_records, dir)?;
+    let merger = RunMerger::new(&runs)?;
+    let out: io::Result<Vec<T>> = merger.collect();
+    for run in &runs {
+        let _ = std::fs::remove_file(&run.path);
+    }
+    let out = out?;
+    debug_assert!(is_sorted_by_key(&out));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sdssort-external-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory() {
+        let dir = tmpdir("basic");
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..5000)).collect();
+        let sorted = external_sort(data.iter().copied(), 777, &dir).expect("io");
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_generation_respects_bound() {
+        let dir = tmpdir("runs");
+        let data: Vec<u64> = (0..2500).rev().collect();
+        let runs = write_sorted_runs(data.iter().copied(), 1000, &dir).expect("io");
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len(), 1000);
+        assert_eq!(runs[2].len(), 500);
+        assert!(!runs[0].is_empty());
+        // each run individually sorted on disk
+        for run in &runs {
+            let mut r = BufReader::new(File::open(&run.path).expect("open"));
+            let mut prev = None;
+            while let Some(v) = read_record::<u64>(&mut r).expect("read") {
+                if let Some(p) = prev {
+                    assert!(p <= v, "run not sorted");
+                }
+                prev = Some(v);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merger_is_streaming_and_counts_down() {
+        let dir = tmpdir("stream");
+        let data: Vec<u64> = (0..100).rev().collect();
+        let runs = write_sorted_runs(data.iter().copied(), 30, &dir).expect("io");
+        let mut m = RunMerger::<u64>::new(&runs).expect("open");
+        assert_eq!(m.remaining(), 100);
+        let first = m.next().expect("some").expect("io");
+        assert_eq!(first, 0);
+        assert_eq!(m.remaining(), 99);
+        let rest: io::Result<Vec<u64>> = m.collect();
+        assert_eq!(rest.expect("io").len(), 99);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_payloads_roundtrip() {
+        let dir = tmpdir("records");
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<Record<u64, u64>> =
+            (0..3000).map(|i| Record::new(rng.gen_range(0..100), i)).collect();
+        let sorted = external_sort(data.iter().copied(), 500, &dir).expect("io");
+        assert!(is_sorted_by_key(&sorted));
+        let mut in_payloads: Vec<u64> = data.iter().map(|r| r.payload).collect();
+        let mut out_payloads: Vec<u64> = sorted.iter().map(|r| r.payload).collect();
+        in_payloads.sort_unstable();
+        out_payloads.sort_unstable();
+        assert_eq!(in_payloads, out_payloads, "payloads must survive the disk roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_input() {
+        let dir = tmpdir("empty");
+        let sorted = external_sort(std::iter::empty::<u64>(), 100, &dir).expect("io");
+        assert!(sorted.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_keys_on_disk() {
+        let dir = tmpdir("float");
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<OrderedF32> =
+            (0..4000).map(|_| OrderedF32::new(rng.gen::<f32>() * 2.0 - 1.0)).collect();
+        let sorted = external_sort(data.iter().copied(), 512, &dir).expect("io");
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), 4000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

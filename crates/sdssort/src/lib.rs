@@ -1,0 +1,58 @@
+//! # sdssort — SDS-Sort: Scalable Dynamic Skew-aware Parallel Sorting
+//!
+//! A from-scratch Rust reproduction of *SDS-Sort* (Dong, Byna, Wu —
+//! HPDC'16): a sample-sort for distributed memory that stays load-balanced
+//! on heavily skewed (duplicate-ridden) data **without secondary sort
+//! keys**, guarantees an `O(4N/p)` per-rank workload bound (Theorem 1),
+//! offers the first sampling-based *stable* distributed sort, and adapts
+//! at runtime to the machine: node-level merging (`τm`), exchange/compute
+//! overlap (`τo`), and merge-vs-sort final ordering (`τs`).
+//!
+//! It runs on [`mpisim`], a thread-based message-passing runtime standing
+//! in for MPI on a Cray XC30 (see that crate's docs for the substitution
+//! rationale).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpisim::{NetModel, World};
+//! use sdssort::{sds_sort, SdsConfig};
+//!
+//! let report = World::new(4).net(NetModel::zero()).run(|comm| {
+//!     // Each rank contributes a scrambled run; keys collide heavily.
+//!     let data: Vec<u64> = (0..100).map(|i| (i * 7 + comm.rank() as u64) % 13).collect();
+//!     sds_sort(comm, data, &SdsConfig::default()).expect("no memory budget set")
+//! });
+//! // Concatenated rank outputs are globally sorted.
+//! let all: Vec<u64> = report.results.iter().flat_map(|o| o.data.clone()).collect();
+//! assert!(all.windows(2).all(|w| w[0] <= w[1]));
+//! assert_eq!(all.len(), 400);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod config;
+pub mod external;
+pub mod histogram;
+pub mod local_sort;
+pub mod merge;
+pub mod node_merge;
+pub mod partition;
+pub mod pivots;
+pub mod record;
+pub mod sampling;
+pub mod search;
+pub mod selection;
+pub mod sort;
+pub mod stats;
+pub mod validate;
+
+pub use autotune::{autotune, AutotuneReport};
+pub use config::{ComputeCharge, ComputeModel, PartitionStrategy, PivotSource, SdsConfig};
+pub use local_sort::{local_sort, parallel_merge, MergeStrategy};
+pub use record::{OrderedF32, OrderedF64, Record, Sortable, Tagged};
+pub use selection::{kth_smallest_key, top_k};
+pub use sort::{sds_sort, SortError, SortOutput};
+pub use stats::{rdfa, SortStats};
+pub use validate::{is_globally_sorted, is_permutation_of, load_stats};

@@ -1,0 +1,320 @@
+//! Shared-memory skew-aware parallel sorting (`SdssLocalSort`, paper §2.2).
+//!
+//! Strategy: split the array into `c` chunks, sort each chunk on its own
+//! thread (`std::sort` → [`slice::sort_unstable_by`]; `std::stable_sort` →
+//! [`slice::sort_by`]), then merge the sorted chunks *in parallel*. The
+//! parallel merge partitions the value space into `c` parts and merges each
+//! part on its own thread; the paper's contribution is to compute those
+//! part boundaries with the same skew-aware rule as the distributed
+//! partition, so heavily duplicated values are split evenly across parts
+//! instead of landing in one part (the load imbalance exhibited by
+//! sampling-based merges such as HykSort's — compared in Fig. 6a).
+//!
+//! This module is deliberately thread-pool-free (plain scoped threads): it
+//! is also reused *inside* simulated ranks with `threads = 1`, where it
+//! reduces to a sequential adaptive sort.
+
+use crate::merge::kway_merge;
+use crate::partition::{
+    classic_cuts, cuts_to_counts, fast_cuts, local_dup_counts, replicated_runs, shares_for_source,
+    stable_cuts,
+};
+use crate::record::Sortable;
+use crate::sampling::regular_sample;
+
+/// How the parallel merge partitions work across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Sampling-based equal-range partition (`upper_bound` per pivot) —
+    /// the HykSort-style merge; load-imbalanced on skewed data.
+    Classic,
+    /// Skew-aware partition, fast (unstable) duplicate splitting.
+    SkewAware,
+    /// Skew-aware partition, stable grouping of duplicates.
+    SkewAwareStable,
+}
+
+/// Sort `data` by key using up to `threads` threads. Stable iff `stable`.
+///
+/// This is `SdssLocalSort`: with `threads <= 1` it is a sequential
+/// adaptive sort; otherwise chunks are sorted in parallel and merged with
+/// the skew-aware parallel merge.
+pub fn local_sort<T: Sortable>(data: &mut Vec<T>, threads: usize, stable: bool) {
+    let n = data.len();
+    if threads <= 1 || n < threads * 4 || n < 1024 {
+        sequential_sort(data, stable);
+        return;
+    }
+    let chunk_len = n.div_ceil(threads);
+    {
+        let mut rest: &mut [T] = data;
+        std::thread::scope(|scope| {
+            while !rest.is_empty() {
+                let take = chunk_len.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                scope.spawn(move || sequential_sort_slice(head, stable));
+            }
+        });
+    }
+    let chunks: Vec<&[T]> = data.chunks(chunk_len).collect();
+    let strategy = if stable { MergeStrategy::SkewAwareStable } else { MergeStrategy::SkewAware };
+    let merged = parallel_merge(&chunks, threads, strategy);
+    *data = merged;
+}
+
+/// Sequential sort of a `Vec` (key comparisons only).
+pub fn sequential_sort<T: Sortable>(data: &mut [T], stable: bool) {
+    sequential_sort_slice(data, stable);
+}
+
+fn sequential_sort_slice<T: Sortable>(data: &mut [T], stable: bool) {
+    if stable {
+        data.sort_by_key(|r| r.key());
+    } else {
+        data.sort_unstable_by_key(|r| r.key());
+    }
+}
+
+/// Compute per-chunk cut positions for a `parts`-way parallel merge of
+/// sorted `chunks`, under the given strategy. Returns `cuts[chunk][part]`
+/// boundaries of length `parts + 1` per chunk.
+pub fn merge_cuts<T: Sortable>(
+    chunks: &[&[T]],
+    parts: usize,
+    strategy: MergeStrategy,
+) -> Vec<Vec<usize>> {
+    assert!(parts >= 1);
+    // Regular samples from each sorted chunk, then regular pivots from the
+    // pooled samples — the shared-memory analog of local/global pivot
+    // selection.
+    let mut samples: Vec<T::Key> = Vec::new();
+    for chunk in chunks {
+        samples.extend(regular_sample(chunk, parts.saturating_sub(1)));
+    }
+    samples.sort_unstable();
+    let pivots: Vec<T::Key> = crate::sampling::regular_sample_positions(samples.len(), parts - 1)
+        .into_iter()
+        .map(|p| samples[p])
+        .collect();
+
+    match strategy {
+        MergeStrategy::Classic => chunks.iter().map(|c| classic_cuts(c, &pivots)).collect(),
+        MergeStrategy::SkewAware => {
+            chunks.iter().map(|c| fast_cuts(c, &pivots, None)).collect()
+        }
+        MergeStrategy::SkewAwareStable => {
+            let runs = replicated_runs(&pivots);
+            let counts: Vec<Vec<usize>> =
+                chunks.iter().map(|c| local_dup_counts(c, &runs)).collect();
+            chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| stable_cuts(c, &pivots, None, &shares_for_source(&counts, i)))
+                .collect()
+        }
+    }
+}
+
+/// Merge sorted `chunks` into one sorted vector using up to `threads`
+/// threads. Stability: with [`MergeStrategy::SkewAwareStable`] (or
+/// `Classic`), equal keys come out ordered by chunk index then position;
+/// [`MergeStrategy::SkewAware`] does not preserve duplicate order.
+pub fn parallel_merge<T: Sortable>(
+    chunks: &[&[T]],
+    threads: usize,
+    strategy: MergeStrategy,
+) -> Vec<T> {
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    if threads <= 1 || chunks.len() == 1 || total < 1024 {
+        return kway_merge(chunks);
+    }
+    let parts = threads;
+    let cuts = merge_cuts(chunks, parts, strategy);
+
+    let mut part_outputs: Vec<Vec<T>> = Vec::with_capacity(parts);
+    part_outputs.resize_with(parts, Vec::new);
+    std::thread::scope(|scope| {
+        for (part, out) in part_outputs.iter_mut().enumerate() {
+            let cuts = &cuts;
+            scope.spawn(move || {
+                let runs: Vec<&[T]> = chunks
+                    .iter()
+                    .zip(cuts.iter())
+                    .map(|(chunk, c)| &chunk[c[part]..c[part + 1]])
+                    .collect();
+                *out = kway_merge(&runs);
+            });
+        }
+    });
+    let mut merged = Vec::with_capacity(total);
+    for part in part_outputs {
+        merged.extend(part);
+    }
+    merged
+}
+
+/// Sizes of the `parts` merge partitions under a strategy — the quantity
+/// whose imbalance Fig. 6a's timings reflect. Exposed for tests and the
+/// RDFA-style diagnostics.
+pub fn merge_part_sizes<T: Sortable>(
+    chunks: &[&[T]],
+    parts: usize,
+    strategy: MergeStrategy,
+) -> Vec<usize> {
+    let cuts = merge_cuts(chunks, parts, strategy);
+    let mut sizes = vec![0usize; parts];
+    for c in &cuts {
+        for (part, count) in cuts_to_counts(c).into_iter().enumerate() {
+            sizes[part] += count;
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::is_sorted_by_key;
+    use crate::record::Record;
+    use rand::prelude::*;
+
+    fn random_data(n: usize, max: u32, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..max)).collect()
+    }
+
+    #[test]
+    fn sequential_matches_std() {
+        let mut a = random_data(5000, 100, 1);
+        let mut b = a.clone();
+        local_sort(&mut a, 1, false);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_std_various_threads() {
+        for threads in [2usize, 3, 4, 8] {
+            let mut a = random_data(20_000, 500, threads as u64);
+            let mut b = a.clone();
+            local_sort(&mut a, threads, false);
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_heavy_duplicates() {
+        // 90% of values are a single key: the skew-aware merge must still
+        // produce a correct sort.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a: Vec<u32> = (0..30_000)
+            .map(|_| if rng.gen_bool(0.9) { 7 } else { rng.gen_range(0..1000) })
+            .collect();
+        let mut b = a.clone();
+        local_sort(&mut a, 4, false);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_sort_preserves_duplicate_order() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut recs: Vec<Record<u32, u64>> = (0..20_000)
+            .map(|i| Record::new(rng.gen_range(0..50), i as u64))
+            .collect();
+        let reference = {
+            let mut r = recs.clone();
+            r.sort_by_key(|x| x.key);
+            r
+        };
+        local_sort(&mut recs, 4, true);
+        assert_eq!(recs, reference, "stable parallel sort must equal std stable sort");
+    }
+
+    #[test]
+    fn unstable_parallel_sort_keys_correct_with_payload() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut recs: Vec<Record<u32, u64>> =
+            (0..10_000).map(|i| Record::new(rng.gen_range(0..10), i)).collect();
+        local_sort(&mut recs, 4, false);
+        assert!(is_sorted_by_key(&recs));
+        // must be a permutation: payloads are unique
+        let mut payloads: Vec<u64> = recs.iter().map(|r| r.payload).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..10_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skew_aware_parts_balanced_on_duplicates() {
+        // All chunks are 100% one value. Classic partition puts everything
+        // in one part; skew-aware must spread within 2x of ideal.
+        let chunk: Vec<u32> = vec![42; 10_000];
+        let chunks: Vec<&[u32]> = vec![&chunk, &chunk, &chunk, &chunk];
+        let parts = 4;
+        let classic = merge_part_sizes(&chunks, parts, MergeStrategy::Classic);
+        let skew = merge_part_sizes(&chunks, parts, MergeStrategy::SkewAware);
+        let total = 40_000usize;
+        assert_eq!(classic.iter().sum::<usize>(), total);
+        assert_eq!(skew.iter().sum::<usize>(), total);
+        assert_eq!(classic.iter().max(), Some(&total), "classic dumps all on one part");
+        let ideal = total / parts;
+        assert!(
+            *skew.iter().max().unwrap() <= ideal * 2,
+            "skew-aware must balance: {skew:?}"
+        );
+    }
+
+    #[test]
+    fn stable_strategy_parts_balanced_too() {
+        let chunk: Vec<u32> = vec![42; 8_000];
+        let chunks: Vec<&[u32]> = vec![&chunk, &chunk];
+        let sizes = merge_part_sizes(&chunks, 4, MergeStrategy::SkewAwareStable);
+        assert_eq!(sizes.iter().sum::<usize>(), 16_000);
+        // duplicates split across the owning parts
+        assert!(*sizes.iter().max().unwrap() < 16_000);
+    }
+
+    #[test]
+    fn parallel_merge_matches_kway() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let runs: Vec<Vec<u32>> = (0..5)
+            .map(|_| {
+                let mut v = random_data(rng.gen_range(0..3000), 40, rng.gen());
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+        for strategy in
+            [MergeStrategy::Classic, MergeStrategy::SkewAware, MergeStrategy::SkewAwareStable]
+        {
+            let merged = parallel_merge(&refs, 4, strategy);
+            let mut expect: Vec<u32> = runs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            assert_eq!(merged, expect, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut v: Vec<u32> = Vec::new();
+        local_sort(&mut v, 4, false);
+        assert!(v.is_empty());
+        let mut v = vec![3u32, 1];
+        local_sort(&mut v, 8, true);
+        assert_eq!(v, vec![1, 3]);
+        assert!(parallel_merge::<u32>(&[], 4, MergeStrategy::SkewAware).is_empty());
+    }
+
+    #[test]
+    fn presorted_input_stays_sorted() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        local_sort(&mut v, 4, false);
+        assert_eq!(v, (0..50_000).collect::<Vec<u64>>());
+    }
+}

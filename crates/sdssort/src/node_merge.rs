@@ -1,0 +1,88 @@
+//! Node-level merging before the exchange (`SdssNodeMerge`, paper §2.3).
+//!
+//! When the average all-to-all message (`n/p`) is small, SDS-Sort merges
+//! the sorted data of all ranks on a node onto the node leader first: the
+//! subsequent exchange then runs between node leaders only, with `c²`-fold
+//! fewer, `c`-fold larger messages per node pair — amortizing per-message
+//! overhead on low-throughput networks. When messages are large, merging is
+//! skipped so every core feeds the network (saturating high-throughput
+//! interconnects). The decision threshold is `τm`
+//! ([`crate::config::SdsConfig::tau_m_bytes`]); Fig. 5a locates the
+//! crossover.
+
+use crate::merge::kway_merge;
+use crate::record::Sortable;
+use mpisim::Comm;
+
+/// Merge each node's sorted per-rank data onto the node's leader using the
+/// node-local communicator `cl` (from [`Comm::refine_comm`]).
+///
+/// Returns `Some(merged)` on the leader (rank 0 of `cl`), `None` elsewhere.
+/// Gathering in `cl` rank order and merging with run-order-stable k-way
+/// merge preserves global stability.
+pub fn node_merge<T: Sortable>(cl: &Comm, data: &[T]) -> Option<Vec<T>> {
+    debug_assert!(crate::merge::is_sorted_by_key(data), "node_merge expects sorted input");
+    match cl.gatherv(0, data) {
+        Some(parts) => {
+            let runs: Vec<&[T]> = parts.iter().map(Vec::as_slice).collect();
+            Some(kway_merge(&runs))
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use mpisim::{NetModel, World};
+
+    #[test]
+    fn leaders_receive_merged_node_data() {
+        let report = World::new(8).cores_per_node(4).net(NetModel::zero()).run(|comm| {
+            // rank r holds [r*10, r*10 + 5) sorted
+            let data: Vec<u64> = (0..5).map(|i| (comm.rank() * 10 + i) as u64).collect();
+            let (_cg, cl) = comm.refine_comm();
+            node_merge(&cl, &data)
+        });
+        // node 0 leader = rank 0 gets ranks 0..4's data merged
+        let node0: Vec<u64> = report.results[0].clone().expect("leader");
+        let mut expect: Vec<u64> = (0..4).flat_map(|r| (0..5).map(move |i| r * 10 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(node0, expect);
+        // non-leaders get nothing
+        for r in [1, 2, 3, 5, 6, 7] {
+            assert!(report.results[r].is_none());
+        }
+        let node1 = report.results[4].clone().expect("leader");
+        assert_eq!(node1.len(), 20);
+        assert!(node1.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn node_merge_is_stable_in_rank_order() {
+        let report = World::new(4).cores_per_node(4).net(NetModel::zero()).run(|comm| {
+            // every rank holds two records with the same key 9
+            let data = vec![
+                Record::new(9u32, (comm.rank() * 2) as u64),
+                Record::new(9u32, (comm.rank() * 2 + 1) as u64),
+            ];
+            let (_cg, cl) = comm.refine_comm();
+            node_merge(&cl, &data)
+        });
+        let merged = report.results[0].clone().expect("leader");
+        let tags: Vec<u64> = merged.iter().map(|r| r.payload).collect();
+        assert_eq!(tags, (0..8).collect::<Vec<u64>>(), "duplicates must stay in rank order");
+    }
+
+    #[test]
+    fn single_rank_node() {
+        let report = World::new(2).cores_per_node(1).net(NetModel::zero()).run(|comm| {
+            let data = vec![comm.rank() as u32];
+            let (_cg, cl) = comm.refine_comm();
+            node_merge(&cl, &data)
+        });
+        assert_eq!(report.results[0], Some(vec![0]));
+        assert_eq!(report.results[1], Some(vec![1]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Global pivot selection (`SdssSelectPivots`, paper §2.4).
+//!
+//! Each rank contributes its `p-1` regularly sampled local pivots; the
+//! `p·(p-1)` pooled samples are sorted *in parallel* — the paper uses a
+//! distributed bitonic sort to avoid gathering all samples on one rank —
+//! and the `p-1` global pivots are read off at regular stride. We provide:
+//!
+//! * a **block bitonic sort** over power-of-two rank counts (hypercube
+//!   merge-split, the paper's choice),
+//! * a **block odd-even transposition sort** for arbitrary rank counts,
+//! * a **gather-based** fallback (sort all samples on rank 0, broadcast) —
+//!   both a baseline and the degenerate-path handler when ranks hold
+//!   unequal sample counts (tiny inputs).
+//!
+//! All three produce identical pivot vectors.
+
+use mpisim::Comm;
+
+/// Which parallel sorter orders the pooled samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotMethod {
+    /// Distributed sort: bitonic when `p` is a power of two, odd-even
+    /// transposition otherwise.
+    #[default]
+    Distributed,
+    /// Gather everything on rank 0, sort sequentially, broadcast.
+    Gather,
+}
+
+/// Select `p-1` global pivots from each rank's local pivots.
+///
+/// `local_pivots` must be sorted (they are regular samples of sorted local
+/// data). Returns the same pivot vector on every rank.
+pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static>(
+    comm: &Comm,
+    local_pivots: &[K],
+    method: PivotMethod,
+) -> Vec<K> {
+    let p = comm.size();
+    if p == 1 {
+        return Vec::new();
+    }
+    debug_assert!(local_pivots.windows(2).all(|w| w[0] <= w[1]), "local pivots must be sorted");
+
+    // The distributed sorters need equal block sizes; tiny inputs can make
+    // sample counts differ per rank. Detect and fall back to gathering.
+    // The block size is `s·(p-1)` under oversampling factor s (s = 1 is
+    // the paper's regular sampling).
+    let want = p - 1;
+    let b = local_pivots.len();
+    let (min_b, max_b) = comm.allreduce((b, b), |a, c| (a.0.min(c.0), a.1.max(c.1)));
+    if min_b != max_b || min_b == 0 || matches!(method, PivotMethod::Gather) {
+        return gather_select(comm, local_pivots);
+    }
+
+    let sorted_block = if p.is_power_of_two() {
+        bitonic_block_sort(comm, local_pivots.to_vec())
+    } else {
+        odd_even_block_sort(comm, local_pivots.to_vec())
+    };
+
+    // Global pivot i (i = 0..p-2) sits at pooled position (i+1)·total/p
+    // over the p·b pooled samples (regular stride; for b = p-1 this is the
+    // classical (i+1)(p-1)). Rank r owns pooled positions
+    // [r·b, (r+1)·b); extract locally, then share.
+    let total = p * b;
+    let lo = comm.rank() * b;
+    let mut mine: Vec<(u64, K)> = Vec::new();
+    for i in 0..want {
+        let pos = ((i + 1) * total / p).min(total - 1);
+        if pos >= lo && pos < lo + b {
+            mine.push((i as u64, sorted_block[pos - lo]));
+        }
+    }
+    let (flat, _) = comm.allgatherv(&mine);
+    let mut flat = flat;
+    flat.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(flat.len(), want);
+    flat.into_iter().map(|(_, k)| k).collect()
+}
+
+fn gather_select<K: Ord + Copy + Send + Sync + 'static>(comm: &Comm, local: &[K]) -> Vec<K> {
+    let p = comm.size();
+    let (mut all, _) = comm.allgatherv(local);
+    all.sort_unstable();
+    crate::sampling::regular_sample_positions(all.len(), p - 1)
+        .into_iter()
+        .map(|pos| all[pos])
+        .collect()
+}
+
+/// One merge-split step: exchange blocks with `partner`, merge, keep the
+/// low or high half. Blocks must be sorted and equal-length; the kept half
+/// has the caller's original block length.
+fn merge_split<K: Ord + Copy + Send + Sync + 'static>(
+    comm: &Comm,
+    block: &mut Vec<K>,
+    partner: usize,
+    keep_low: bool,
+    tag: u64,
+) {
+    comm.send_slice(partner, tag, block);
+    let theirs: Vec<K> = comm.recv_vec(partner, tag);
+    let merged = merge_two_keys(block, &theirs);
+    let keep = block.len();
+    if keep_low {
+        block.clear();
+        block.extend_from_slice(&merged[..keep]);
+    } else {
+        block.clear();
+        block.extend_from_slice(&merged[merged.len() - keep..]);
+    }
+}
+
+fn merge_two_keys<K: Ord + Copy>(a: &[K], b: &[K]) -> Vec<K> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Block bitonic sort across a power-of-two number of ranks. On return,
+/// every rank's block is sorted and blocks ascend with rank.
+pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static>(
+    comm: &Comm,
+    mut block: Vec<K>,
+) -> Vec<K> {
+    let p = comm.size();
+    assert!(p.is_power_of_two(), "bitonic needs a power-of-two rank count");
+    if p == 1 {
+        block.sort_unstable();
+        return block;
+    }
+    block.sort_unstable();
+    let r = comm.rank();
+    let stages = p.trailing_zeros();
+    let mut round: u64 = 0;
+    let tag_base = 1000;
+    for k in 1..=stages {
+        for j in (0..k).rev() {
+            let partner = r ^ (1usize << j);
+            // Ascending region if bit k of rank is 0 (for the final stage
+            // k = log p, every rank is ascending: bit log p of r < p is 0).
+            let ascending = (r >> k) & 1 == 0;
+            let keep_low = (r < partner) == ascending;
+            merge_split(comm, &mut block, partner, keep_low, tag_base + round);
+            round += 1;
+        }
+    }
+    block
+}
+
+/// Block odd-even transposition sort across any number of ranks. `p`
+/// rounds of pairwise merge-splits.
+pub fn odd_even_block_sort<K: Ord + Copy + Send + Sync + 'static>(
+    comm: &Comm,
+    mut block: Vec<K>,
+) -> Vec<K> {
+    let p = comm.size();
+    block.sort_unstable();
+    if p == 1 {
+        return block;
+    }
+    let r = comm.rank();
+    let tag_base = 2000;
+    for round in 0..p {
+        let even_round = round % 2 == 0;
+        let partner = if r.is_multiple_of(2) == even_round {
+            // left end of a pair
+            if r + 1 < p {
+                Some(r + 1)
+            } else {
+                None
+            }
+        } else if r > 0 {
+            Some(r - 1)
+        } else {
+            None
+        };
+        if let Some(partner) = partner {
+            let keep_low = r < partner;
+            merge_split(comm, &mut block, partner, keep_low, tag_base + round as u64);
+        }
+        // Everyone must stay in lockstep round-wise; merge_split uses
+        // distinct tags per round so no barrier is required.
+    }
+    block
+}
+
+/// Reference implementation used by tests: pool all samples, sort, take
+/// regular positions.
+pub fn reference_pivots<K: Ord + Copy>(all_samples: &mut [K], p: usize) -> Vec<K> {
+    all_samples.sort_unstable();
+    crate::sampling::regular_sample_positions(all_samples.len(), p.saturating_sub(1))
+        .into_iter()
+        .map(|pos| all_samples[pos])
+        .collect()
+}

@@ -1,0 +1,295 @@
+//! Record and key abstractions.
+//!
+//! SDS-Sort's central selling point is that it sorts records *by any key
+//! the user picks* — without requiring a secondary key to disambiguate
+//! duplicates (paper §1, §2.5). We model that with the [`Sortable`] trait:
+//! a record is any `Copy` type exposing a totally ordered key. Payload
+//! travels with the record through the exchange (and is what makes skewed
+//! exchanges expensive), but never participates in comparisons.
+//!
+//! Floating-point keys (the PTF real-bogus scores are `f32`) are handled
+//! with [`OrderedF32`]/[`OrderedF64`], monotone total-order bit encodings.
+
+/// A record that can be sorted by SDS-Sort and the baseline sorters.
+///
+/// `Key` must be totally ordered ([`Ord`]); comparisons look only at the
+/// key, so equal-key records are genuinely indistinguishable to the sorter
+/// — exactly the regime where skew-aware partitioning matters.
+pub trait Sortable: Copy + Send + Sync + 'static {
+    /// The sort key type.
+    type Key: Ord + Copy + Send + Sync + 'static;
+
+    /// Extract this record's sort key.
+    fn key(&self) -> Self::Key;
+}
+
+macro_rules! impl_sortable_prim {
+    ($($t:ty),*) => {$(
+        impl Sortable for $t {
+            type Key = $t;
+            #[inline]
+            fn key(&self) -> $t {
+                *self
+            }
+        }
+    )*};
+}
+
+impl_sortable_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Map an `f32` to a `u32` preserving total order (IEEE-754 trick: flip the
+/// sign bit for positives, flip all bits for negatives). NaNs order above
+/// +∞ (positive NaN) or below -∞ (negative NaN) deterministically.
+#[inline]
+pub fn f32_to_ordered_bits(v: f32) -> u32 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000 == 0 {
+        bits ^ 0x8000_0000
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f32_to_ordered_bits`].
+#[inline]
+pub fn f32_from_ordered_bits(bits: u32) -> f32 {
+    if bits & 0x8000_0000 != 0 {
+        f32::from_bits(bits ^ 0x8000_0000)
+    } else {
+        f32::from_bits(!bits)
+    }
+}
+
+/// Map an `f64` to a `u64` preserving total order.
+#[inline]
+pub fn f64_to_ordered_bits(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000_0000_0000 == 0 {
+        bits ^ 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f64_to_ordered_bits`].
+#[inline]
+pub fn f64_from_ordered_bits(bits: u64) -> f64 {
+    if bits & 0x8000_0000_0000_0000 != 0 {
+        f64::from_bits(bits ^ 0x8000_0000_0000_0000)
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+/// An `f32` with a total order, usable as a sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OrderedF32(u32);
+
+impl OrderedF32 {
+    /// Wrap a float.
+    #[inline]
+    pub fn new(v: f32) -> Self {
+        Self(f32_to_ordered_bits(v))
+    }
+
+    /// Recover the float value.
+    #[inline]
+    pub fn value(self) -> f32 {
+        f32_from_ordered_bits(self.0)
+    }
+
+    /// The monotone total-order bit pattern (useful for radix sorting).
+    #[inline]
+    pub fn ordered_bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<f32> for OrderedF32 {
+    fn from(v: f32) -> Self {
+        Self::new(v)
+    }
+}
+
+impl Sortable for OrderedF32 {
+    type Key = OrderedF32;
+    #[inline]
+    fn key(&self) -> Self::Key {
+        *self
+    }
+}
+
+/// An `f64` with a total order, usable as a sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OrderedF64(u64);
+
+impl OrderedF64 {
+    /// Wrap a float.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Self(f64_to_ordered_bits(v))
+    }
+
+    /// Recover the float value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        f64_from_ordered_bits(self.0)
+    }
+
+    /// The monotone total-order bit pattern (useful for radix sorting).
+    #[inline]
+    pub fn ordered_bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+impl Sortable for OrderedF64 {
+    type Key = OrderedF64;
+    #[inline]
+    fn key(&self) -> Self::Key {
+        *self
+    }
+}
+
+/// A key/payload record. The payload is carried through the exchange but
+/// never compared — the paper's "non-key values".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Record<K, P> {
+    /// The sort key.
+    pub key: K,
+    /// Arbitrary non-key values travelling with the record.
+    pub payload: P,
+}
+
+impl<K, P> Record<K, P> {
+    /// Construct a record.
+    #[inline]
+    pub fn new(key: K, payload: P) -> Self {
+        Self { key, payload }
+    }
+}
+
+impl<K, P> Sortable for Record<K, P>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+    P: Copy + Send + Sync + 'static,
+{
+    type Key = K;
+    #[inline]
+    fn key(&self) -> K {
+        self.key
+    }
+}
+
+/// A record tagged with its original global position. Used by tests and by
+/// the stability property checks: a stable sort must output equal keys in
+/// ascending tag order.
+pub type Tagged<K> = Record<K, u64>;
+
+/// Fixed-size opaque payload of `N` bytes; models the paper's cosmology
+/// records (6 × f32 of position/velocity payload per particle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pad<const N: usize>(pub [u8; N]);
+
+impl<const N: usize> Default for Pad<N> {
+    fn default() -> Self {
+        Self([0u8; N])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f32_sorts_like_f32() {
+        let mut vals = [3.5f32, -1.0, 0.0, -0.0, 2.25, -7.5, f32::INFINITY, f32::NEG_INFINITY];
+        let mut wrapped: Vec<OrderedF32> = vals.iter().map(|&v| OrderedF32::new(v)).collect();
+        wrapped.sort_unstable();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let unwrapped: Vec<f32> = wrapped.iter().map(|w| w.value()).collect();
+        // -0.0 and 0.0 compare equal as floats; compare bit-for-bit on the
+        // rest and positionally tolerate the zero pair.
+        for (a, b) in unwrapped.iter().zip(vals.iter()) {
+            assert!(a == b || (*a == 0.0 && *b == 0.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ordered_f64_roundtrip() {
+        for v in [-1e300, -2.5, -0.0, 0.0, 1.5, 1e300] {
+            let w = OrderedF64::new(v);
+            assert_eq!(w.value(), v);
+        }
+    }
+
+    #[test]
+    fn ordered_bits_monotone_exhaustive_f32_sample() {
+        let mut prev = None;
+        for i in -1000i32..1000 {
+            let v = i as f32 * 0.37;
+            let _ = v;
+        }
+        // structured monotonicity check across magnitudes and signs
+        let seq = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -2.0,
+            -1.0,
+            -0.5,
+            -f32::MIN_POSITIVE,
+            0.0,
+            f32::MIN_POSITIVE,
+            0.5,
+            1.0,
+            2.0,
+            1e30,
+            f32::INFINITY,
+        ];
+        for w in seq.windows(2) {
+            let (a, b) = (f32_to_ordered_bits(w[0]), f32_to_ordered_bits(w[1]));
+            assert!(a < b, "{} !< {}", w[0], w[1]);
+            prev = Some(b);
+        }
+        let _ = prev;
+    }
+
+    #[test]
+    fn record_key_ignores_payload() {
+        let a = Record::new(5u32, 100u64);
+        let b = Record::new(5u32, 999u64);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn record_sorting_by_key() {
+        let mut recs = [Record::new(3u64, 'c'),
+            Record::new(1u64, 'a'),
+            Record::new(2u64, 'b')];
+        recs.sort_by_key(|r| r.key());
+        let keys: Vec<u64> = recs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pad_default_is_zeroed() {
+        let p: Pad<16> = Pad::default();
+        assert_eq!(p.0, [0u8; 16]);
+        assert_eq!(std::mem::size_of::<Pad<24>>(), 24);
+    }
+
+    #[test]
+    fn nan_has_consistent_total_order() {
+        let nan = OrderedF32::new(f32::NAN);
+        let inf = OrderedF32::new(f32::INFINITY);
+        // positive NaN bit pattern sorts above +inf; the point is it is
+        // *some* consistent position, so Ord never panics.
+        assert!(nan > inf);
+    }
+}

@@ -1,0 +1,86 @@
+//! Regular (equal-striped) sampling.
+//!
+//! Paper §2.4: SDS-Sort samples `p-1` local pivots from each rank's
+//! *sorted* local array at regular stride. Because the array is sorted,
+//! consecutive samples bracket at most `2·N/p²` records, which is the
+//! lemma powering the `O(4N/p)` workload bound of Theorem 1.
+
+use crate::record::Sortable;
+
+/// Positions of `count` regular samples in a sorted array of length `n`:
+/// sample `i` sits at `⌊(i+1)·n/(count+1)⌋ - 1`-style interior positions,
+/// computed so samples are strictly interior, evenly spaced, and
+/// monotonically non-decreasing. Returns fewer than `count` positions only
+/// when `n < count` (every element is then a sample).
+pub fn regular_sample_positions(n: usize, count: usize) -> Vec<usize> {
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    if n <= count {
+        return (0..n).collect();
+    }
+    (1..=count)
+        .map(|i| (i * n) / (count + 1))
+        .map(|p| p.min(n - 1))
+        .collect()
+}
+
+/// Sample `count` local pivots from sorted `data` at regular stride.
+pub fn regular_sample<T: Sortable>(data: &[T], count: usize) -> Vec<T::Key> {
+    regular_sample_positions(data.len(), count)
+        .into_iter()
+        .map(|p| data[p].key())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_interior_and_sorted() {
+        let pos = regular_sample_positions(100, 9);
+        assert_eq!(pos.len(), 9);
+        assert_eq!(pos, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert!(pos.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*pos.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn small_arrays_degrade_gracefully() {
+        assert_eq!(regular_sample_positions(0, 5), Vec::<usize>::new());
+        assert_eq!(regular_sample_positions(3, 0), Vec::<usize>::new());
+        assert_eq!(regular_sample_positions(2, 5), vec![0, 1]);
+        assert_eq!(regular_sample_positions(5, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn samples_come_from_data_in_order() {
+        let data: Vec<u32> = (0..50).map(|i| i * 2).collect();
+        let s = regular_sample(&data, 4);
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        for k in &s {
+            assert!(data.contains(k));
+        }
+    }
+
+    #[test]
+    fn gap_between_samples_bounded() {
+        // With count samples from n sorted records, the gap between
+        // consecutive sample positions is at most ceil(n/(count+1)) + 1 —
+        // the 2N/p² bracketing property (up to rounding).
+        for n in [97usize, 128, 1000, 4096] {
+            for count in [1usize, 3, 7, 31] {
+                let pos = regular_sample_positions(n, count);
+                let bound = n / (count + 1) + 2;
+                let mut prev = 0usize;
+                for &p in &pos {
+                    assert!(p - prev <= bound, "n={n} count={count}: gap {} > {bound}", p - prev);
+                    prev = p;
+                }
+                assert!(n - prev <= bound + 1);
+            }
+        }
+    }
+}

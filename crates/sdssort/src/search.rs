@@ -1,0 +1,160 @@
+//! Binary-search kernels over sorted record slices, including the paper's
+//! local-pivot two-level search.
+//!
+//! §2.5.1: partitioning must locate each global pivot inside the sorted
+//! local array. A full scan is `O(n)` per rank; a direct binary search is
+//! `O(log n)` per pivot; SDS-Sort first ranks the global pivot among the
+//! `p-1` *local pivots* (whose array positions are known), then searches
+//! only the narrowed `⌊n/p⌋`-wide segment. All three variants are
+//! implemented here — the figure-6b harness compares them — and all return
+//! identical results.
+
+use crate::record::Sortable;
+
+/// First index whose key is `>= key` (like C++ `std::lower_bound`).
+pub fn lower_bound<T: Sortable>(data: &[T], key: T::Key) -> usize {
+    data.partition_point(|r| r.key() < key)
+}
+
+/// First index whose key is `> key` (like C++ `std::upper_bound`).
+pub fn upper_bound<T: Sortable>(data: &[T], key: T::Key) -> usize {
+    data.partition_point(|r| r.key() <= key)
+}
+
+/// Linear-scan `upper_bound` — the naive full-scan partitioning baseline
+/// from Fig. 6b ("Sequential Scan").
+pub fn upper_bound_scan<T: Sortable>(data: &[T], key: T::Key) -> usize {
+    for (i, r) in data.iter().enumerate() {
+        if r.key() > key {
+            return i;
+        }
+    }
+    data.len()
+}
+
+/// Positions and values of the local pivots sampled from a sorted array,
+/// used to accelerate repeated searches (paper's "local pivots based
+/// partition").
+#[derive(Debug, Clone)]
+pub struct LocalPivotIndex<K> {
+    /// Array positions of the sampled pivots (ascending).
+    positions: Vec<usize>,
+    /// Keys at those positions.
+    keys: Vec<K>,
+    /// Length of the indexed array.
+    len: usize,
+}
+
+impl<K: Ord + Copy> LocalPivotIndex<K> {
+    /// Build an index from a sorted array using `count` regular samples
+    /// (stride `⌊n/(count+1)⌋`-style; see [`crate::sampling`]).
+    pub fn build<T: Sortable<Key = K>>(data: &[T], count: usize) -> Self {
+        let positions = crate::sampling::regular_sample_positions(data.len(), count);
+        let keys = positions.iter().map(|&p| data[p].key()).collect();
+        Self { positions, keys, len: data.len() }
+    }
+
+    /// Number of samples in the index.
+    pub fn count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Sampled keys (the rank's local pivots).
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Two-level `upper_bound`: rank `key` among the sampled local pivots,
+    /// then binary-search only the bracketed segment. Returns the same
+    /// index as [`upper_bound`] on the full array.
+    pub fn upper_bound<T: Sortable<Key = K>>(&self, data: &[T], key: K) -> usize {
+        debug_assert_eq!(data.len(), self.len);
+        // Find which segment of the array can contain the boundary.
+        // keys[i] is data[positions[i]]; boundary is after every position
+        // whose key <= `key`.
+        let seg = self.keys.partition_point(|&k| k <= key);
+        let lo = if seg == 0 { 0 } else { self.positions[seg - 1] + 1 };
+        let hi = if seg == self.positions.len() { self.len } else { self.positions[seg] + 1 };
+        lo + upper_bound(&data[lo..hi], key)
+    }
+
+    /// Two-level `lower_bound`, same contract as
+    /// [`upper_bound`](Self::upper_bound).
+    pub fn lower_bound<T: Sortable<Key = K>>(&self, data: &[T], key: K) -> usize {
+        debug_assert_eq!(data.len(), self.len);
+        let seg = self.keys.partition_point(|&k| k < key);
+        let lo = if seg == 0 { 0 } else { self.positions[seg - 1] };
+        let hi = if seg == self.positions.len() { self.len } else { self.positions[seg] + 1 };
+        lo + lower_bound(&data[lo..hi], key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn bounds_basic() {
+        let data = [1u32, 2, 2, 2, 5, 7];
+        assert_eq!(lower_bound(&data, 2), 1);
+        assert_eq!(upper_bound(&data, 2), 4);
+        assert_eq!(lower_bound(&data, 0), 0);
+        assert_eq!(upper_bound(&data, 9), 6);
+        assert_eq!(lower_bound(&data, 3), 4);
+        assert_eq!(upper_bound(&data, 3), 4);
+    }
+
+    #[test]
+    fn scan_matches_binary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<u32> = (0..300).map(|_| rng.gen_range(0..40)).collect();
+        data.sort_unstable();
+        for key in 0..45u32 {
+            assert_eq!(upper_bound_scan(&data, key), upper_bound(&data, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn two_level_matches_direct_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [0usize, 1, 5, 64, 1000] {
+            for count in [0usize, 1, 3, 7, 15] {
+                let mut data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+                data.sort_unstable();
+                let idx = LocalPivotIndex::build(&data, count);
+                for key in 0..66u64 {
+                    assert_eq!(
+                        idx.upper_bound(&data, key),
+                        upper_bound(&data, key),
+                        "ub n={n} count={count} key={key}"
+                    );
+                    assert_eq!(
+                        idx.lower_bound(&data, key),
+                        lower_bound(&data, key),
+                        "lb n={n} count={count} key={key}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_on_all_duplicates() {
+        let data = vec![5u32; 100];
+        let idx = LocalPivotIndex::build(&data, 9);
+        assert_eq!(idx.upper_bound(&data, 5), 100);
+        assert_eq!(idx.lower_bound(&data, 5), 0);
+        assert_eq!(idx.upper_bound(&data, 4), 0);
+        assert_eq!(idx.lower_bound(&data, 6), 100);
+    }
+
+    #[test]
+    fn empty_data() {
+        let data: Vec<u32> = Vec::new();
+        assert_eq!(lower_bound(&data, 1), 0);
+        assert_eq!(upper_bound(&data, 1), 0);
+        let idx = LocalPivotIndex::build(&data, 3);
+        assert_eq!(idx.upper_bound(&data, 1), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Distributed order statistics: k-th smallest key and global top-k.
+//!
+//! The PTF pipeline that motivates the paper's Fig. 9 only *ranks* objects
+//! by classifier score to short-list candidates — which needs a selection,
+//! not a full sort. This module provides both primitives on the same
+//! substrate, using iterative candidate refinement (the selection analog
+//! of histogram splitter refinement): each round, ranks nominate candidate
+//! keys from their active windows, one reduction computes every
+//! candidate's global rank, and windows shrink geometrically. Duplicates
+//! are handled exactly — the k-th statistic is well defined even when the
+//! key space is 99 % one value.
+
+use crate::record::Sortable;
+use crate::search::{lower_bound, upper_bound};
+use mpisim::Comm;
+
+/// Find the key of the `k`-th smallest record globally (`k` is 0-based;
+/// `k = 0` is the minimum). `data` must be sorted locally. Collective:
+/// every rank returns the same key.
+///
+/// # Panics
+/// Panics if `k >=` total record count (checked collectively).
+pub fn kth_smallest_key<T: Sortable>(comm: &Comm, data: &[T], k: u64) -> T::Key {
+    debug_assert!(crate::merge::is_sorted_by_key(data));
+    let total = comm.allreduce(data.len() as u64, |a, b| a + b);
+    assert!(k < total, "k = {k} out of range (N = {total})");
+
+    // Active window per rank.
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    loop {
+        // Nominate up to 3 candidates per rank from the window.
+        let mut mine: Vec<T::Key> = Vec::with_capacity(3);
+        if lo < hi {
+            mine.push(data[lo].key());
+            mine.push(data[(lo + hi) / 2].key());
+            mine.push(data[hi - 1].key());
+        }
+        let (mut candidates, _) = comm.allgatherv(&mine);
+        candidates.sort_unstable();
+        candidates.dedup();
+        debug_assert!(!candidates.is_empty(), "windows globally non-empty until found");
+
+        // Global rank of each candidate: how many records are < c, and how
+        // many are <= c.
+        let below: Vec<u64> = candidates.iter().map(|&c| lower_bound(data, c) as u64).collect();
+        let upto: Vec<u64> = candidates.iter().map(|&c| upper_bound(data, c) as u64).collect();
+        let g_below = comm.allreduce(below, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+        let g_upto = comm.allreduce(upto, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+
+        // If some candidate's [below, upto) straddles k, it IS the answer.
+        for (i, &c) in candidates.iter().enumerate() {
+            if g_below[i] <= k && k < g_upto[i] {
+                return c;
+            }
+        }
+        // Otherwise narrow the window: keep keys strictly between the
+        // tightest candidates bracketing k.
+        let mut lower: Option<T::Key> = None; // largest candidate with upto <= k
+        let mut upper: Option<T::Key> = None; // smallest candidate with below > k
+        for (i, &c) in candidates.iter().enumerate() {
+            if g_upto[i] <= k {
+                lower = Some(c);
+            }
+            if upper.is_none() && g_below[i] > k {
+                upper = Some(c);
+            }
+        }
+        if let Some(l) = lower {
+            lo = lo.max(upper_bound(data, l));
+        }
+        if let Some(u) = upper {
+            hi = hi.min(lower_bound(data, u));
+        }
+        if lo > hi {
+            hi = lo;
+        }
+    }
+}
+
+/// The `k` globally largest records, gathered on every rank in descending
+/// key order. Equal-key records needed to fill exactly `k` slots are taken
+/// from lower ranks first (deterministic). `data` must be sorted locally.
+pub fn top_k<T: Sortable>(comm: &Comm, data: &[T], k: usize) -> Vec<T> {
+    let total = comm.allreduce(data.len() as u64, |a, b| a + b);
+    let k = (k as u64).min(total) as usize;
+    if k == 0 {
+        return Vec::new();
+    }
+    // Threshold key: the k-th largest = (N-k)-th smallest (0-based).
+    let threshold = kth_smallest_key(comm, data, total - k as u64);
+
+    // Records strictly above the threshold all belong to the top-k.
+    let above_start = upper_bound(data, threshold);
+    let above: Vec<T> = data[above_start..].to_vec();
+    let n_above = comm.allreduce(above.len() as u64, |a, b| a + b) as usize;
+    debug_assert!(n_above <= k);
+    // Fill the remainder with records equal to the threshold, taken from
+    // lower ranks first.
+    let need_ties = k - n_above;
+    let tie_lo = lower_bound(data, threshold);
+    let my_ties = above_start - tie_lo;
+    let before_me: u64 = comm
+        .exscan(my_ties as u64, |a, b| a + b)
+        .unwrap_or(0);
+    let take = need_ties
+        .saturating_sub(before_me as usize)
+        .min(my_ties);
+    let mut mine: Vec<T> = data[tie_lo..tie_lo + take].to_vec();
+    mine.extend_from_slice(&above);
+
+    // Gather everyone's contributions and order descending by key.
+    let (mut all, _) = comm.allgatherv(&mine);
+    all.sort_by_key(|r| std::cmp::Reverse(r.key()));
+    debug_assert_eq!(all.len(), k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{NetModel, World};
+    use rand::prelude::*;
+
+    fn world(p: usize) -> World {
+        World::new(p).cores_per_node(4).net(NetModel::zero())
+    }
+
+    fn sorted_data(n: usize, max: u64, seed: u64, rank: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64) << 20);
+        let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..max)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn kth_matches_sequential_reference() {
+        let p = 5;
+        for k in [0u64, 1, 100, 2499, 2500, 4999] {
+            let report = world(p).run(move |comm| {
+                let data = sorted_data(1000, 500, 7, comm.rank());
+                (data.clone(), kth_smallest_key(comm, &data, k))
+            });
+            let mut all: Vec<u64> =
+                report.results.iter().flat_map(|(d, _)| d.clone()).collect();
+            all.sort_unstable();
+            for (_, got) in &report.results {
+                assert_eq!(*got, all[k as usize], "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_on_heavy_duplicates() {
+        let p = 4;
+        let report = world(p).run(|comm| {
+            // 90% value 7, the rest 3 and 11
+            let mut data = vec![7u64; 900];
+            data.extend(vec![3u64; 50]);
+            data.extend(vec![11u64; 50]);
+            data.sort_unstable();
+            (
+                kth_smallest_key(comm, &data, 0),
+                kth_smallest_key(comm, &data, 500),
+                kth_smallest_key(comm, &data, 3999),
+            )
+        });
+        for (min, mid, max) in report.results {
+            assert_eq!(min, 3);
+            assert_eq!(mid, 7);
+            assert_eq!(max, 11);
+        }
+    }
+
+    #[test]
+    fn kth_with_empty_ranks() {
+        let p = 4;
+        let report = world(p).run(|comm| {
+            let data: Vec<u64> =
+                if comm.rank() == 2 { (0..100).collect() } else { Vec::new() };
+            kth_smallest_key(comm, &data, 42)
+        });
+        for k in report.results {
+            assert_eq!(k, 42);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_reference() {
+        let p = 6;
+        for k in [1usize, 10, 250, 1200] {
+            let report = world(p).run(move |comm| {
+                let data = sorted_data(400, 10_000, 13, comm.rank());
+                (data.clone(), top_k(comm, &data, k))
+            });
+            let mut all: Vec<u64> =
+                report.results.iter().flat_map(|(d, _)| d.clone()).collect();
+            all.sort_unstable_by(|a, b| b.cmp(a));
+            let expect = &all[..k];
+            for (_, got) in &report.results {
+                assert_eq!(got.len(), k);
+                assert_eq!(&got[..], expect, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_exactly_fills_from_ties() {
+        let p = 4;
+        let report = world(p).run(|comm| {
+            // every rank: 10 records of key 5, one record of key 9
+            let mut data = vec![5u64; 10];
+            data.push(9);
+            data.sort_unstable();
+            top_k(comm, &data, 7)
+        });
+        for got in report.results {
+            // 4 nines + exactly 3 fives
+            assert_eq!(got, vec![9, 9, 9, 9, 5, 5, 5]);
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_data_returns_everything() {
+        let p = 3;
+        let report = world(p).run(|comm| {
+            let data: Vec<u64> = vec![comm.rank() as u64];
+            top_k(comm, &data, 100)
+        });
+        for got in report.results {
+            assert_eq!(got, vec![2, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn top_zero_is_empty() {
+        let report = world(2).run(|comm| {
+            let data: Vec<u64> = vec![1, 2, 3];
+            top_k(comm, &data, 0)
+        });
+        assert!(report.results.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,334 @@
+//! The SDS-Sort driver (paper Fig. 1).
+//!
+//! Orchestrates the full pipeline on a communicator:
+//!
+//! 1. initial local sort (`SdssLocalSort`);
+//! 2. adaptive node-level merging when the average message is below `τm`
+//!    (`SdssRefineComm` + `SdssNodeMerge`), after which the sort continues
+//!    among node leaders only;
+//! 3. regular sampling of local pivots and distributed global pivot
+//!    selection (`SdssSelectPivots`);
+//! 4. skew-aware partitioning (`SdssPartition`), fast or stable;
+//! 5. collective memory check for the receive buffer (the step where an
+//!    imbalanced sorter dies with OOM);
+//! 6. all-to-all exchange — synchronous, or asynchronous overlapped with
+//!    incremental merging when `p < τo` and the sort is unstable;
+//! 7. adaptive final local ordering: k-way merge below `τs`, adaptive
+//!    re-sort above.
+//!
+//! Every rank returns its slice of the globally sorted sequence (ascending
+//! with rank) plus a [`SortStats`] phase breakdown.
+
+use crate::config::{ComputeCharge, ComputeModel, SdsConfig};
+use crate::local_sort::local_sort;
+use crate::merge::{kway_merge_offsets, merge_two};
+use crate::node_merge::node_merge;
+use crate::partition::{
+    cuts_to_counts, fast_cuts, local_dup_counts, replicated_runs, shares_for_source, stable_cuts,
+};
+use crate::pivots::{select_global_pivots, PivotMethod};
+use crate::record::Sortable;
+use crate::search::LocalPivotIndex;
+use crate::stats::SortStats;
+use mpisim::{Comm, OomError};
+
+/// Errors from a distributed sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// This rank's simulated memory budget was exceeded while allocating
+    /// the receive buffer.
+    Oom(OomError),
+    /// Another rank hit its memory budget; the collective sort was
+    /// abandoned everywhere (the paper's whole-job crash).
+    PeerOom,
+}
+
+impl std::fmt::Display for SortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortError::Oom(e) => write!(f, "{e}"),
+            SortError::PeerOom => write!(f, "sort aborted: a peer rank ran out of memory"),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+/// Result of one rank's participation in a distributed sort.
+#[derive(Debug, Clone)]
+pub struct SortOutput<T> {
+    /// This rank's slice of the global sorted order (may be empty, e.g. on
+    /// non-leader ranks after node merging).
+    pub data: Vec<T>,
+    /// Phase breakdown and load metrics.
+    pub stats: SortStats,
+}
+
+fn model_of(cfg: &SdsConfig) -> Option<ComputeModel> {
+    match cfg.charge {
+        ComputeCharge::Measured => None,
+        ComputeCharge::Modeled(m) => Some(m),
+    }
+}
+
+/// Run `f`, charging compute either by measurement or by the model cost
+/// returned from `cost`.
+fn charged<R>(
+    comm: &Comm,
+    cfg: &SdsConfig,
+    cost: impl FnOnce(&ComputeModel) -> f64,
+    f: impl FnOnce() -> R,
+) -> R {
+    match model_of(cfg) {
+        None => comm.compute(f),
+        Some(m) => {
+            let r = f();
+            comm.clock().charge(cost(&m));
+            r
+        }
+    }
+}
+
+/// Sort `data` (one rank's share) across all ranks of `comm` by key.
+///
+/// On success every rank holds a sorted slice, slices ascend with rank,
+/// and the multiset union equals the input union. With `cfg.stable`, equal
+/// keys appear in their global input order (rank, then local position).
+pub fn sds_sort<T: Sortable>(
+    comm: &Comm,
+    mut data: Vec<T>,
+    cfg: &SdsConfig,
+) -> Result<SortOutput<T>, SortError> {
+    let p = comm.size();
+    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let t0 = comm.clock().now();
+
+    // Step 1: initial local sort (pivot-selection phase per the paper's
+    // "initial ordering" footnote).
+    comm.trace_phase("pivot");
+    let n0 = data.len();
+    charged(comm, cfg, |m| m.sort_cost_with(n0, cfg.stable), || {
+        local_sort(&mut data, cfg.local_threads, cfg.stable)
+    });
+
+    if p == 1 {
+        stats.pivot_s = comm.clock().now() - t0;
+        stats.recv_count = data.len();
+        return Ok(SortOutput { data, stats });
+    }
+
+    // Step 2: adaptive node-level merging. The decision must be uniform
+    // across ranks, so it uses the global average local size.
+    let n_sum = comm.allreduce(data.len() as u64, |a, b| a + b);
+    let n_avg = (n_sum / p as u64) as usize;
+    let c = comm.cores_per_node();
+    if c > 1 && cfg.should_node_merge::<T>(n_avg, p) {
+        stats.node_merged = true;
+        let (cg, cl) = comm.refine_comm();
+        let node_n = cl.allreduce(data.len(), |a, b| a + b);
+        let k = cl.size();
+        let merged = charged(comm, cfg, |m| m.kway_merge_cost(node_n, k), || {
+            node_merge(&cl, &data)
+        });
+        drop(data);
+        return match (cg, merged) {
+            (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0),
+            (None, None) => {
+                // Non-leader: its data now lives on the node leader.
+                stats.pivot_s = comm.clock().now() - t0;
+                Ok(SortOutput { data: Vec::new(), stats })
+            }
+            _ => unreachable!("leader status must agree between cg and node_merge"),
+        };
+    }
+
+    inner_sort(comm, data, cfg, stats, t0)
+}
+
+/// Steps 3–7 on the (possibly refined) communicator. `data` is sorted.
+fn inner_sort<T: Sortable>(
+    comm: &Comm,
+    data: Vec<T>,
+    cfg: &SdsConfig,
+    mut stats: SortStats,
+    t0: f64,
+) -> Result<SortOutput<T>, SortError> {
+    let p = comm.size();
+    if p == 1 {
+        stats.pivot_s = comm.clock().now() - t0;
+        stats.recv_count = data.len();
+        return Ok(SortOutput { data, stats });
+    }
+
+    // Step 3: sampling + global pivot selection.
+    let index = LocalPivotIndex::build(&data, cfg.oversample.max(1) * (p - 1));
+    let mut pivots = match cfg.pivot_source {
+        crate::config::PivotSource::Sampling => {
+            let local_pivots = index.keys().to_vec();
+            select_global_pivots(comm, &local_pivots, PivotMethod::default())
+        }
+        crate::config::PivotSource::Histogram => crate::histogram::histogram_splitters(
+            comm,
+            &data,
+            p,
+            &crate::histogram::HistogramConfig::default(),
+            0x5D55_0000 ^ p as u64,
+        ),
+    };
+    // Degenerate tiny inputs can yield fewer than p-1 pivots; pad by
+    // repeating the last pivot — the replicated-run machinery then spreads
+    // the padded range evenly.
+    if pivots.len() < p - 1 {
+        if let Some(&last) = pivots.last() {
+            pivots.resize(p - 1, last);
+        }
+    }
+
+    // Step 4: skew-aware partition.
+    let n = data.len();
+    let cuts = if pivots.is_empty() {
+        // No data anywhere beyond possibly ours: everything to rank 0.
+        let mut cuts = vec![n; p + 1];
+        cuts[0] = 0;
+        cuts
+    } else if cfg.stable {
+        let runs = replicated_runs(&pivots);
+        let my_counts = local_dup_counts(&data, &runs);
+        let all_counts = comm.allgather(&my_counts);
+        let by_source: Vec<Vec<usize>> =
+            all_counts.chunks(runs.len().max(1)).map(<[usize]>::to_vec).collect();
+        let shares = if runs.is_empty() {
+            Vec::new()
+        } else {
+            shares_for_source(&by_source, comm.rank())
+        };
+        charged(comm, cfg, |m| m.scan_cost(p * 32), || {
+            stable_cuts(&data, &pivots, Some(&index), &shares)
+        })
+    } else {
+        match cfg.partition {
+            crate::config::PartitionStrategy::SkewAware => {
+                charged(comm, cfg, |m| m.scan_cost(p * 32), || {
+                    fast_cuts(&data, &pivots, Some(&index))
+                })
+            }
+            // Ablation: duplicate-blind upper_bound partitioning.
+            crate::config::PartitionStrategy::Classic => {
+                charged(comm, cfg, |m| m.scan_cost(p * 32), || {
+                    crate::partition::classic_cuts(&data, &pivots)
+                })
+            }
+        }
+    };
+    let scounts = cuts_to_counts(&cuts);
+    debug_assert_eq!(scounts.len(), p);
+    stats.pivot_s = comm.clock().now() - t0;
+
+    // Step 5: exchange counts and collectively check the receive buffer
+    // against the simulated memory budget.
+    comm.trace_phase("exchange");
+    let t1 = comm.clock().now();
+    let rcounts = comm.alltoall(&scounts);
+    let m: usize = rcounts.iter().sum();
+    let bytes = m * std::mem::size_of::<T>();
+    let my_alloc = comm.try_alloc(bytes);
+    let any_oom = comm.allreduce(my_alloc.is_err() as u8, |a, b| a.max(b)) > 0;
+    if any_oom {
+        if my_alloc.is_ok() {
+            comm.free(bytes);
+        }
+        // stats are discarded on the error path: the paper treats this as a
+        // whole-job crash.
+        return Err(match my_alloc {
+            Err(e) => SortError::Oom(e),
+            Ok(()) => SortError::PeerOom,
+        });
+    }
+    stats.recv_count = m;
+
+    // Steps 6–7: exchange + final local ordering.
+    let out = if !cfg.should_overlap(p) {
+        // Synchronous exchange...
+        let buf = comm.alltoallv_given_counts(&data, &scounts, &rcounts);
+        drop(data);
+        stats.exchange_s = comm.clock().now() - t1;
+        // ...then ordering: merge below τs, adaptive re-sort above.
+        comm.trace_phase("local-order");
+        let t2 = comm.clock().now();
+        let mut disp = Vec::with_capacity(p + 1);
+        disp.push(0usize);
+        for &rc in &rcounts {
+            disp.push(disp.last().copied().expect("non-empty") + rc);
+        }
+        let sorted = if cfg.should_merge_local(p) {
+            charged(comm, cfg, |mo| mo.kway_merge_cost(m, p), || kway_merge_offsets(&buf, &disp))
+        } else {
+            let mut buf = buf;
+            charged(
+                comm,
+                cfg,
+                |mo| {
+                    let base = mo.adaptive_sort_cost(m, p);
+                    if cfg.stable {
+                        base * mo.stable_factor
+                    } else {
+                        base
+                    }
+                },
+                || local_sort(&mut buf, cfg.local_threads, cfg.stable),
+            );
+            buf
+        };
+        stats.local_order_s = comm.clock().now() - t2;
+        sorted
+    } else {
+        // Asynchronous exchange overlapped with incremental merging
+        // (SdssAlltoallvAsync + SdssFinished + SdssMergeTwo).
+        stats.overlapped = true;
+        let mut pending = comm.alltoallv_async_given_counts(&data, &scounts, rcounts.clone());
+        drop(data);
+        let mut merge_s = 0.0;
+        // Binomial-counter progressive merging: every incoming chunk is a
+        // level-0 run; two runs merge only when they are at the same
+        // level. Total merged volume is then exactly the balanced
+        // cascade's (m·⌈log2 p⌉), independent of chunk-size variance and
+        // arrival order — overlapping adds no merge work over the
+        // synchronous path, it only moves it earlier.
+        let mut runs: Vec<(u32, Vec<T>)> = Vec::new();
+        while let Some((_src, chunk)) = pending.wait_any(comm) {
+            runs.push((0, chunk));
+            while runs.len() >= 2 && runs[runs.len() - 1].0 == runs[runs.len() - 2].0 {
+                let (lvl, hi) = runs.pop().expect("len>=2");
+                let (_, lo) = runs.pop().expect("len>=2");
+                let tm = comm.clock().now();
+                let merged = charged(comm, cfg, |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2), || {
+                    merge_two(&lo, &hi)
+                });
+                merge_s += comm.clock().now() - tm;
+                runs.push((lvl + 1, merged));
+            }
+        }
+        // Balanced cascade over whatever the stack still holds (free when
+        // the counter already collapsed everything into one run).
+        let acc = if runs.len() == 1 {
+            runs.pop().expect("len==1").1
+        } else {
+            let tm = comm.clock().now();
+            let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
+            let left: usize = refs.iter().map(|r| r.len()).sum();
+            let k_left = refs.len();
+            let acc = charged(comm, cfg, |mo| mo.kway_merge_cost(left, k_left), || {
+                crate::merge::kway_merge(&refs)
+            });
+            merge_s += comm.clock().now() - tm;
+            acc
+        };
+        let elapsed = comm.clock().now() - t1;
+        stats.local_order_s = merge_s;
+        stats.exchange_s = (elapsed - merge_s).max(0.0);
+        acc
+    };
+    comm.free(bytes);
+    debug_assert_eq!(out.len(), m);
+    Ok(SortOutput { data: out, stats })
+}

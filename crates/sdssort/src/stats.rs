@@ -1,0 +1,110 @@
+//! Sort statistics: phase breakdown and the RDFA load-balance metric.
+//!
+//! The paper reports two observables per run: a per-phase time breakdown
+//! (pivot selection / exchange / local ordering / other — Figs. 9 and 10)
+//! and **RDFA**, the Relative Deviation of the largest partition From the
+//! Average (`max(mᵢ)/avg(mᵢ)`, Tables 3 and 4). A sorter that crashes with
+//! OOM is reported as RDFA = ∞.
+
+/// Per-rank timing breakdown of one sort (virtual seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SortStats {
+    /// Initial local sort + sampling + pivot selection + partition.
+    pub pivot_s: f64,
+    /// All-to-all exchange (including count exchange and waiting).
+    pub exchange_s: f64,
+    /// Final local ordering (merge or sort).
+    pub local_order_s: f64,
+    /// Everything else (allocation, bookkeeping, node merge decision).
+    pub other_s: f64,
+    /// Records held by this rank after the exchange (`mᵢ` in the paper).
+    pub recv_count: usize,
+    /// Records this rank started with.
+    pub input_count: usize,
+    /// Whether node-level merging ran before the exchange.
+    pub node_merged: bool,
+    /// Whether exchange and local ordering were overlapped.
+    pub overlapped: bool,
+}
+
+impl SortStats {
+    /// Total time across phases.
+    pub fn total_s(&self) -> f64 {
+        self.pivot_s + self.exchange_s + self.local_order_s + self.other_s
+    }
+}
+
+/// RDFA over per-rank loads: `max(m) / avg(m)`. Returns ∞ when any load is
+/// unknown (modelled OOM) — the paper's convention — and 1.0 for an empty
+/// or all-zero distribution (perfectly balanced trivially).
+pub fn rdfa(loads: &[usize]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: usize = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let avg = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    max / avg
+}
+
+/// RDFA for a run where some ranks failed (OOM): ∞, per Tables 3/4.
+pub fn rdfa_failed() -> f64 {
+    f64::INFINITY
+}
+
+/// Combine per-rank [`SortStats`] into the per-phase *maxima* (the
+/// critical-path view the paper's stacked bars approximate).
+pub fn phase_maxima(all: &[SortStats]) -> SortStats {
+    let mut out = SortStats::default();
+    for s in all {
+        out.pivot_s = out.pivot_s.max(s.pivot_s);
+        out.exchange_s = out.exchange_s.max(s.exchange_s);
+        out.local_order_s = out.local_order_s.max(s.local_order_s);
+        out.other_s = out.other_s.max(s.other_s);
+        out.recv_count = out.recv_count.max(s.recv_count);
+        out.input_count = out.input_count.max(s.input_count);
+        out.node_merged |= s.node_merged;
+        out.overlapped |= s.overlapped;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdfa_uniform_is_one() {
+        assert_eq!(rdfa(&[10, 10, 10, 10]), 1.0);
+    }
+
+    #[test]
+    fn rdfa_skewed() {
+        // one rank holds everything: max/avg = 4
+        assert_eq!(rdfa(&[40, 0, 0, 0]), 4.0);
+        let r = rdfa(&[30, 10, 10, 10]);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rdfa_degenerate_cases() {
+        assert_eq!(rdfa(&[]), 1.0);
+        assert_eq!(rdfa(&[0, 0]), 1.0);
+        assert!(rdfa_failed().is_infinite());
+    }
+
+    #[test]
+    fn totals_and_maxima() {
+        let a = SortStats { pivot_s: 1.0, exchange_s: 2.0, local_order_s: 3.0, ..Default::default() };
+        let b = SortStats { pivot_s: 4.0, exchange_s: 1.0, other_s: 0.5, ..Default::default() };
+        assert!((a.total_s() - 6.0).abs() < 1e-12);
+        let m = phase_maxima(&[a, b]);
+        assert_eq!(m.pivot_s, 4.0);
+        assert_eq!(m.exchange_s, 2.0);
+        assert_eq!(m.local_order_s, 3.0);
+        assert_eq!(m.other_s, 0.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Adversarial duplication patterns.
+//!
+//! The Zipf generator produces *statistically* skewed data; these
+//! generators produce the structurally worst cases for sample-sort
+//! partitioning — the inputs a reviewer would try first when attacking
+//! Theorem 1's `O(4N/p)` claim:
+//!
+//! * every record identical ([`all_equal`]),
+//! * a handful of heavy values at chosen quantiles ([`heavy_hitters`]),
+//! * duplicates placed exactly at the expected pivot positions
+//!   ([`pivot_aligned`]),
+//! * one rank owning all duplicates while others are uniform
+//!   ([`one_rank_duplicates`]).
+
+use rand::prelude::*;
+
+fn rng_for(seed: u64, rank: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Every record on every rank carries the same key.
+pub fn all_equal(n: usize, key: u64) -> Vec<u64> {
+    vec![key; n]
+}
+
+/// `hitters` heavy values, evenly spaced across the key domain, together
+/// covering `heavy_pct` percent of records; the rest uniform.
+pub fn heavy_hitters(n: usize, hitters: usize, heavy_pct: f64, seed: u64, rank: usize) -> Vec<u64> {
+    assert!(hitters >= 1);
+    let mut rng = rng_for(seed, rank);
+    let domain = u64::MAX;
+    let values: Vec<u64> =
+        (0..hitters).map(|i| (i as u64 + 1) * (domain / (hitters as u64 + 1))).collect();
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool((heavy_pct / 100.0).clamp(0.0, 1.0)) {
+                values[rng.gen_range(0..hitters)]
+            } else {
+                rng.gen()
+            }
+        })
+        .collect()
+}
+
+/// Duplicates concentrated exactly at the `p-1` regular-sample quantiles —
+/// the positions global pivots are expected to land on, maximizing
+/// replicated-pivot runs.
+pub fn pivot_aligned(n: usize, p: usize, dup_pct: f64, seed: u64, rank: usize) -> Vec<u64> {
+    assert!(p >= 2);
+    let mut rng = rng_for(seed, rank);
+    let pivot_values: Vec<u64> =
+        (1..p as u64).map(|i| i * (u64::MAX / p as u64)).collect();
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool((dup_pct / 100.0).clamp(0.0, 1.0)) {
+                pivot_values[rng.gen_range(0..pivot_values.len())]
+            } else {
+                rng.gen()
+            }
+        })
+        .collect()
+}
+
+/// Rank 0 holds only duplicates of one value; every other rank holds
+/// uniform data — stresses the stable partition's cross-rank grouping.
+pub fn one_rank_duplicates(n: usize, seed: u64, rank: usize) -> Vec<u64> {
+    if rank == 0 {
+        vec![u64::MAX / 2; n]
+    } else {
+        let mut rng = rng_for(seed, rank);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication_ratio_pct;
+
+    #[test]
+    fn all_equal_is_total_duplication() {
+        let d = all_equal(100, 7);
+        assert_eq!(replication_ratio_pct(d), 100.0);
+    }
+
+    #[test]
+    fn heavy_hitters_hits_target_mass() {
+        let d = heavy_hitters(100_000, 4, 40.0, 1, 0);
+        let top = replication_ratio_pct(d);
+        // 40% over 4 hitters → ~10% each
+        assert!((top - 10.0).abs() < 1.5, "top hitter {top}%");
+    }
+
+    #[test]
+    fn pivot_aligned_duplicates_sit_on_quantiles() {
+        let p = 8;
+        let d = pivot_aligned(50_000, p, 50.0, 2, 1);
+        let quantiles: Vec<u64> = (1..p as u64).map(|i| i * (u64::MAX / p as u64)).collect();
+        let on_quantile = d.iter().filter(|k| quantiles.contains(k)).count();
+        let frac = on_quantile as f64 / d.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "quantile mass {frac}");
+    }
+
+    #[test]
+    fn one_rank_duplicates_shape() {
+        let r0 = one_rank_duplicates(1000, 3, 0);
+        assert!(r0.iter().all(|&k| k == u64::MAX / 2));
+        let r1 = one_rank_duplicates(1000, 3, 1);
+        assert!(replication_ratio_pct(r1) < 1.0);
+    }
+}

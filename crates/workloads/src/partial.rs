@@ -1,0 +1,93 @@
+//! Partially ordered data.
+//!
+//! Paper §2.7: input or post-exchange data often consists of sorted runs
+//! (the exchange concatenates `p` sorted chunks), and adaptive sorting of
+//! such data approaches `O(n)`. These generators produce the two partially
+//! ordered shapes the paper discusses: a concatenation of sorted runs, and
+//! a sorted array with a fraction of random perturbations.
+
+use rand::prelude::*;
+
+/// Concatenation of `runs` sorted runs covering `n` total keys — the shape
+/// of a rank's buffer after the all-to-all exchange.
+pub fn interleaved_runs(n: usize, runs: usize, seed: u64, rank: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((rank as u64) << 32) ^ 0xABCD);
+    let runs = runs.max(1);
+    let mut out = Vec::with_capacity(n);
+    let run_len = n.div_ceil(runs);
+    for _ in 0..runs {
+        let take = run_len.min(n - out.len());
+        let mut run: Vec<u64> = (0..take).map(|_| rng.gen_range(0..1_000_000)).collect();
+        run.sort_unstable();
+        out.extend(run);
+        if out.len() == n {
+            break;
+        }
+    }
+    out
+}
+
+/// A sorted array of `n` keys with `disorder_pct` percent of positions
+/// swapped with random partners (0 → fully sorted, 100 → random-ish).
+pub fn nearly_sorted(n: usize, disorder_pct: f64, seed: u64, rank: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((rank as u64) << 32) ^ 0x1234);
+    let mut out: Vec<u64> = (0..n as u64).collect();
+    let swaps = ((n as f64) * disorder_pct / 100.0 / 2.0) as usize;
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Count maximal non-decreasing runs in `data` — a simple disorder metric
+/// (1 = fully sorted).
+pub fn count_runs<T: Ord>(data: &[T]) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    1 + data.windows(2).filter(|w| w[0] > w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_runs_have_requested_run_count() {
+        let data = interleaved_runs(1000, 4, 1, 0);
+        assert_eq!(data.len(), 1000);
+        assert!(count_runs(&data) <= 4);
+        assert!(count_runs(&data) >= 2, "should not be accidentally sorted");
+    }
+
+    #[test]
+    fn zero_disorder_is_sorted() {
+        let data = nearly_sorted(500, 0.0, 1, 0);
+        assert_eq!(count_runs(&data), 1);
+    }
+
+    #[test]
+    fn disorder_increases_runs() {
+        let lo = count_runs(&nearly_sorted(10_000, 1.0, 2, 0));
+        let hi = count_runs(&nearly_sorted(10_000, 50.0, 2, 0));
+        assert!(lo > 1);
+        assert!(hi > lo * 2, "more disorder must create more runs ({lo} vs {hi})");
+    }
+
+    #[test]
+    fn count_runs_edges() {
+        assert_eq!(count_runs::<u32>(&[]), 0);
+        assert_eq!(count_runs(&[5u32]), 1);
+        assert_eq!(count_runs(&[1u32, 1, 2]), 1);
+        assert_eq!(count_runs(&[3u32, 2, 1]), 3);
+    }
+
+    #[test]
+    fn nearly_sorted_is_permutation() {
+        let mut data = nearly_sorted(1000, 20.0, 3, 1);
+        data.sort_unstable();
+        assert_eq!(data, (0..1000u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,90 @@
+//! Staggered distributions — classic parallel-sorting benchmark inputs
+//! where the *placement* of ranges across ranks, not the value
+//! distribution, is the variable.
+//!
+//! `staggered(…, 0)` puts rank r's data entirely inside the r-th slice of
+//! the key space (the exchange is a no-op: best case); `reversed` puts it
+//! in the (p-1-r)-th slice (every record crosses the machine: worst-case
+//! volume); `shifted` rotates ownership by an arbitrary offset. These
+//! stress the exchange independent of skew.
+
+/// `n` keys for `rank` drawn from slice `(rank + shift) mod p` of the key
+/// space, shuffled within the slice deterministically.
+pub fn staggered(n: usize, p: usize, shift: usize, rank: usize) -> Vec<u64> {
+    assert!(p > 0 && rank < p);
+    let slice = ((rank + shift) % p) as u64;
+    let width = u64::MAX / p as u64;
+    let base = slice * width;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ ((rank as u64) << 32) ^ shift as u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            base + x % width
+        })
+        .collect()
+}
+
+/// Every rank's data already in its own output slice (exchange ≈ no-op).
+pub fn presplit(n: usize, p: usize, rank: usize) -> Vec<u64> {
+    staggered(n, p, 0, rank)
+}
+
+/// Rank r's data belongs on rank p-1-r: maximal exchange volume.
+pub fn reversed(n: usize, p: usize, rank: usize) -> Vec<u64> {
+    assert!(rank < p);
+    let slice = (p - 1 - rank) as u64;
+    let width = u64::MAX / p as u64;
+    let base = slice * width;
+    let mut x = 0xD134_2543_DE82_EF95u64 ^ ((rank as u64) << 24);
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            base + x % width
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presplit_keys_live_in_own_slice() {
+        let p = 8;
+        let width = u64::MAX / p as u64;
+        for rank in 0..p {
+            let data = presplit(500, p, rank);
+            let base = rank as u64 * width;
+            assert!(data.iter().all(|&k| k >= base && k < base + width), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn reversed_keys_live_in_opposite_slice() {
+        let p = 6;
+        let width = u64::MAX / p as u64;
+        for rank in 0..p {
+            let data = reversed(300, p, rank);
+            let base = (p - 1 - rank) as u64 * width;
+            assert!(data.iter().all(|&k| k >= base && k < base + width), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn shift_rotates_ownership() {
+        let p = 4;
+        let width = u64::MAX / p as u64;
+        let data = staggered(200, p, 3, 2); // slice (2+3)%4 = 1
+        assert!(data.iter().all(|&k| k >= width && k < 2 * width));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(staggered(50, 4, 1, 2), staggered(50, 4, 1, 2));
+        assert_ne!(staggered(50, 4, 1, 2), staggered(50, 4, 1, 3));
+    }
+}

@@ -1,0 +1,65 @@
+//! Uniformly distributed keys — the baseline workload of every parallel
+//! sorting evaluation, and the paper's non-skewed reference (δ → 0 for
+//! wide key domains).
+
+use rand::prelude::*;
+
+fn rng_for(seed: u64, rank: usize) -> StdRng {
+    // Mix rank into the seed so ranks draw disjoint, reproducible streams.
+    StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// `n` uniform `u64` keys for `rank`.
+pub fn uniform_u64(n: usize, seed: u64, rank: usize) -> Vec<u64> {
+    let mut rng = rng_for(seed, rank);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` uniform `u32` keys in `[0, max)` for `rank`.
+pub fn uniform_u32(n: usize, max: u32, seed: u64, rank: usize) -> Vec<u32> {
+    let mut rng = rng_for(seed, rank);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+/// `n` uniform `f32` values in `[0, 1)` for `rank` (Table 1's uniform
+/// float workload).
+pub fn uniform_f32(n: usize, seed: u64, rank: usize) -> Vec<f32> {
+    let mut rng = rng_for(seed, rank);
+    (0..n).map(|_| rng.gen::<f32>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication_ratio_pct;
+
+    #[test]
+    fn deterministic_per_rank() {
+        assert_eq!(uniform_u64(100, 7, 3), uniform_u64(100, 7, 3));
+        assert_ne!(uniform_u64(100, 7, 3), uniform_u64(100, 7, 4));
+        assert_ne!(uniform_u64(100, 7, 3), uniform_u64(100, 8, 3));
+    }
+
+    #[test]
+    fn u64_replication_negligible() {
+        let keys = uniform_u64(100_000, 1, 0);
+        assert!(replication_ratio_pct(keys) < 0.01);
+    }
+
+    #[test]
+    fn u32_respects_bound() {
+        let keys = uniform_u32(10_000, 50, 2, 1);
+        assert!(keys.iter().all(|&k| k < 50));
+        // with a small domain, duplicates are expected
+        assert!(replication_ratio_pct(keys) > 1.0);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let v = uniform_f32(10_000, 3, 0);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        // roughly centered
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,67 @@
+//! PTF transient-detection pipeline (the paper's first science use case).
+//!
+//! The Palomar Transient Factory's automated pipeline scores every
+//! detected object with a real-bogus classifier; ranking objects by that
+//! score — a heavily duplicated `f32` — is how candidate transients are
+//! short-listed. This example sorts a synthetic PTF catalog (δ ≈ 28 %) by
+//! score with the *stable* variant, so equally scored objects keep their
+//! detection order, then reports the top candidates.
+//!
+//! Run with: `cargo run --release --example ptf_pipeline`
+
+use mpisim::World;
+use sdssort::{sds_sort, SdsConfig};
+use workloads::{ptf_scores, PtfObject};
+
+fn main() {
+    let ranks = 12;
+    let per_rank = 50_000;
+    println!("PTF pipeline: {ranks} ranks x {per_rank} detections, stable sort by real-bogus score\n");
+
+    let world = World::new(ranks).cores_per_node(6);
+    let report = world.run(|comm| {
+        let catalog: Vec<PtfObject> = ptf_scores(per_rank, 7, comm.rank());
+        // Stable sorting keeps equal-score objects in detection order —
+        // no secondary key needed, which is SDS-Sort's selling point.
+        let out = sds_sort(comm, catalog, &SdsConfig::stable()).expect("sort failed");
+        out.data
+    });
+
+    // Highest scores live on the last non-empty ranks.
+    let all: Vec<PtfObject> = report.results.into_iter().flatten().collect();
+    assert_eq!(all.len(), ranks * per_rank);
+    assert!(all.windows(2).all(|w| w[0].key <= w[1].key), "catalog must be score-ordered");
+
+    let dup = workloads::replication_ratio_pct(all.iter().map(|o| o.key));
+    println!("replication ratio δ: {dup:.2}% (paper reports 28.02%)");
+
+    println!("\ntop 10 transient candidates (highest real-bogus score):");
+    for obj in all.iter().rev().take(10) {
+        println!("  object {:>14} score {:.4}", obj.payload, obj.key.value());
+    }
+
+    // The bogus spike: count objects with the saturated zero score.
+    let zeros = all.iter().filter(|o| o.key.value() == 0.0).count();
+    println!(
+        "\nsaturated-bogus objects: {zeros} ({:.1}% of catalog) — the duplicate mass \
+         that breaks duplicate-blind sorters",
+        zeros as f64 / all.len() as f64 * 100.0
+    );
+    println!("modelled sort time: {:.2} ms", report.makespan * 1e3);
+
+    // When only a short-list is needed, distributed selection skips the
+    // full sort entirely (sdssort::top_k on the same infrastructure).
+    let world = World::new(ranks).cores_per_node(6);
+    let sel = world.run(|comm| {
+        let mut catalog: Vec<PtfObject> = ptf_scores(per_rank, 7, comm.rank());
+        catalog.sort_unstable_by_key(|o| o.key);
+        sdssort::top_k(comm, &catalog, 10)
+    });
+    let short_list = &sel.results[0];
+    println!(
+        "\ndistributed top-10 via selection (no full sort): best score {:.4}, modelled {:.2} ms",
+        short_list[0].key.value(),
+        sel.makespan * 1e3
+    );
+    assert_eq!(short_list.len(), 10);
+}

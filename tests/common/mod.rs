@@ -1,0 +1,49 @@
+//! Shared verification helpers for the integration tests.
+
+use sdssort::Sortable;
+
+/// Assert the per-rank outputs form a globally sorted permutation of the
+/// per-rank inputs:
+///
+/// 1. each rank's output is locally sorted by key;
+/// 2. rank boundaries are ordered (rank i's max key ≤ rank i+1's min key);
+/// 3. the concatenated output is a permutation of the concatenated input
+///    (checked on the full records via a sort-and-compare on key plus a
+///    caller-provided total projection).
+#[allow(dead_code)] // not every test binary that includes `common` uses it
+pub fn assert_global_sort<T, F, P>(inputs: &[Vec<T>], outputs: &[Vec<T>], project: F)
+where
+    T: Sortable,
+    F: Fn(&T) -> P,
+    P: Ord + std::fmt::Debug,
+{
+    assert_eq!(inputs.len(), outputs.len(), "one output per rank");
+    for (r, out) in outputs.iter().enumerate() {
+        assert!(
+            out.windows(2).all(|w| w[0].key() <= w[1].key()),
+            "rank {r} output not locally sorted"
+        );
+    }
+    for w in outputs.windows(2) {
+        if let (Some(hi), Some(lo)) = (w[0].last(), w[1].first()) {
+            assert!(hi.key() <= lo.key(), "rank boundary out of order");
+        }
+    }
+    // Rank boundaries with empty ranks in between: compare across gaps too.
+    let mut last_max: Option<T::Key> = None;
+    for out in outputs {
+        if let Some(first) = out.first() {
+            if let Some(lm) = last_max {
+                assert!(lm <= first.key(), "cross-gap rank boundary out of order");
+            }
+        }
+        if let Some(last) = out.last() {
+            last_max = Some(last.key());
+        }
+    }
+    let mut in_all: Vec<P> = inputs.iter().flatten().map(&project).collect();
+    let mut out_all: Vec<P> = outputs.iter().flatten().map(&project).collect();
+    in_all.sort_unstable();
+    out_all.sort_unstable();
+    assert_eq!(in_all, out_all, "output must be a permutation of input");
+}

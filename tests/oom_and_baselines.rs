@@ -1,0 +1,174 @@
+//! The headline qualitative reproduction: under a per-rank memory budget,
+//! HykSort (and classical sample sort) fail with OOM on highly skewed
+//! data because their duplicate-blind partitions concentrate load, while
+//! SDS-Sort completes — plus baseline correctness on benign inputs.
+
+mod common;
+
+use baselines::{bitonic_sort, hyksort, sample_sort, HykSortConfig, SampleSortConfig};
+use common::assert_global_sort;
+use mpisim::{NetModel, World};
+use sdssort::{sds_sort, SdsConfig, SortError};
+use workloads::{uniform_u64, zipf_keys};
+
+#[test]
+fn hyksort_sorts_uniform_data() {
+    for p in [2usize, 4, 8, 12] {
+        let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+        let report = world.run(|comm| {
+            let data = uniform_u64(2000, 3, comm.rank());
+            let out = hyksort(comm, data.clone(), &HykSortConfig::default()).expect("no budget");
+            (data, out.data)
+        });
+        let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_global_sort(&inputs, &outputs, |&k| k);
+    }
+}
+
+#[test]
+fn hyksort_multistage_with_small_k() {
+    // k=2 over p=8 forces three stages of recursion.
+    let mut cfg = HykSortConfig::default();
+    cfg.k = 2;
+    let world = World::new(8).cores_per_node(4).net(NetModel::zero());
+    let report = world.run(|comm| {
+        let data = uniform_u64(1500, 5, comm.rank());
+        let out = hyksort(comm, data.clone(), &cfg).expect("no budget");
+        (data, out.data)
+    });
+    let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+    assert_global_sort(&inputs, &outputs, |&k| k);
+}
+
+#[test]
+fn sample_sort_sorts_uniform_data() {
+    for p in [2usize, 5, 8] {
+        let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+        let report = world.run(|comm| {
+            let data = uniform_u64(1800, 7, comm.rank());
+            let out =
+                sample_sort(comm, data.clone(), &SampleSortConfig::default()).expect("no budget");
+            (data, out.data)
+        });
+        let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_global_sort(&inputs, &outputs, |&k| k);
+    }
+}
+
+#[test]
+fn bitonic_sorts_power_of_two_and_odd_worlds() {
+    for p in [2usize, 4, 8, 3, 6] {
+        let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+        let report = world.run(|comm| {
+            let data = uniform_u64(512, 11, comm.rank());
+            let out = bitonic_sort(comm, data.clone());
+            (data, out)
+        });
+        let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_global_sort(&inputs, &outputs, |&k| k);
+    }
+}
+
+#[test]
+fn bitonic_sorts_skewed_data_too() {
+    // Bitonic is skew-immune (fixed communication pattern) — it is slow,
+    // not imbalanced.
+    let world = World::new(8).cores_per_node(4).net(NetModel::zero());
+    let report = world.run(|comm| {
+        let data = zipf_keys(512, 0.9, 13, comm.rank());
+        let out = bitonic_sort(comm, data.clone());
+        (data, out)
+    });
+    let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+    assert_global_sort(&inputs, &outputs, |&k| k);
+    // every rank keeps exactly its block size
+    assert!(outputs.iter().all(|o| o.len() == 512));
+}
+
+/// The core Fig. 8 / Table 3 reproduction: a budget that comfortably fits
+/// balanced loads (≥ 4N/p per rank) but not a concentrated one.
+#[test]
+fn hyksort_ooms_on_skew_sds_survives() {
+    let p = 8;
+    let n = 4000usize; // per rank
+    // Budget: 6×(N/p)×8B — fits SDS-Sort's 4N/p bound, not an all-on-one
+    // concentration of a 99%-duplicate dataset.
+    let budget = 6 * n * 8;
+    let gen = |rank: usize| -> Vec<u64> {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(rank as u64 ^ 0xBEEF);
+        (0..n as u64).map(|_| if rng.gen_bool(0.99) { 123 } else { rng.gen_range(0..1000) }).collect()
+    };
+
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let hyk = world.run(|comm| {
+        let data = gen(comm.rank());
+        hyksort(comm, data, &HykSortConfig::default()).map(|o| o.data.len())
+    });
+    assert!(
+        hyk.results.iter().any(|r| matches!(r, Err(SortError::Oom(_)))),
+        "HykSort must OOM on 99% duplicates under budget"
+    );
+    assert!(
+        hyk.results.iter().all(|r| r.is_err()),
+        "OOM must abort the collective everywhere"
+    );
+
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let mut cfg = SdsConfig::default();
+    cfg.tau_m_bytes = 0;
+    let sds = world.run(|comm| {
+        let data = gen(comm.rank());
+        sds_sort(comm, data, &cfg).map(|o| o.data.len())
+    });
+    assert!(sds.results.iter().all(Result::is_ok), "SDS-Sort must fit the same budget");
+    let total: usize = sds.results.iter().map(|r| *r.as_ref().unwrap()).sum();
+    assert_eq!(total, p * n);
+}
+
+#[test]
+fn sample_sort_also_ooms_on_skew() {
+    let p = 8;
+    let n = 4000usize;
+    let budget = 6 * n * 8;
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let res = world.run(|comm| {
+        let data = vec![77u64; n];
+        sample_sort(comm, data, &SampleSortConfig::default()).map(|o| o.data.len())
+    });
+    assert!(res.results.iter().all(Result::is_err), "classic PSRS must OOM on identical keys");
+}
+
+#[test]
+fn sds_stable_survives_same_budget() {
+    let p = 8;
+    let n = 4000usize;
+    let budget = 6 * n * 8;
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let mut cfg = SdsConfig::stable();
+    cfg.tau_m_bytes = 0;
+    let res = world.run(|comm| {
+        let data = vec![77u64; n];
+        sds_sort(comm, data, &cfg).map(|o| o.data.len())
+    });
+    assert!(res.results.iter().all(Result::is_ok));
+}
+
+#[test]
+fn generous_budget_lets_hyksort_finish_skew() {
+    // Mirrors the PTF experiment (Fig. 9): the whole dataset fits on one
+    // node, so HykSort finishes despite terrible RDFA.
+    let p = 4;
+    let n = 2000usize;
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(p * n * 8 * 2);
+    let report = world.run(|comm| {
+        let data = vec![5u64; n];
+        let out = hyksort(comm, data, &HykSortConfig::default()).expect("generous budget");
+        out.data.len()
+    });
+    let loads: Vec<usize> = report.results;
+    assert_eq!(loads.iter().sum::<usize>(), p * n);
+    // all duplicates on one rank: RDFA = p
+    let r = sdssort::rdfa(&loads);
+    assert!(r > (p as f64) * 0.9, "HykSort RDFA should approach p, got {r} ({loads:?})");
+}
