@@ -15,7 +15,13 @@ use mpisim::Comm;
 use sdssort::merge::merge_two;
 use sdssort::record::Sortable;
 
-fn merge_split<T: Sortable>(comm: &Comm, block: &mut Vec<T>, partner: usize, keep_low: bool, tag: u64) {
+fn merge_split<T: Sortable>(
+    comm: &Comm,
+    block: &mut Vec<T>,
+    partner: usize,
+    keep_low: bool,
+    tag: u64,
+) {
     comm.send_slice(partner, tag, block);
     let theirs: Vec<T> = comm.recv_vec(partner, tag);
     let merged = merge_two(block, &theirs);
@@ -35,8 +41,9 @@ fn merge_split<T: Sortable>(comm: &Comm, block: &mut Vec<T>, partner: usize, kee
 /// collectively); pad externally if necessary.
 pub fn bitonic_sort<T: Sortable>(comm: &Comm, mut data: Vec<T>) -> Vec<T> {
     let p = comm.size();
-    let (min_n, max_n) =
-        comm.allreduce((data.len(), data.len()), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+    let (min_n, max_n) = comm.allreduce((data.len(), data.len()), |a, b| {
+        (a.0.min(b.0), a.1.max(b.1))
+    });
     assert_eq!(min_n, max_n, "bitonic baseline requires equal block sizes");
     comm.compute(|| data.sort_unstable_by_key(|r| r.key()));
     if p == 1 {

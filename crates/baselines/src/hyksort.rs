@@ -42,7 +42,12 @@ pub struct HykSortConfig {
 
 impl Default for HykSortConfig {
     fn default() -> Self {
-        Self { k: 128, hist: HistogramConfig::default(), charge: ComputeCharge::Measured, seed: 0xCAFE }
+        Self {
+            k: 128,
+            hist: HistogramConfig::default(),
+            charge: ComputeCharge::Measured,
+            seed: 0xCAFE,
+        }
     }
 }
 
@@ -105,11 +110,19 @@ pub fn hyksort<T: Sortable>(
     mut data: Vec<T>,
     cfg: &HykSortConfig,
 ) -> Result<SortOutput<T>, SortError> {
-    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
     let n0 = data.len();
-    charged(comm, cfg, |m| m.sort_cost(n0), || {
-        data.sort_unstable_by_key(|r| r.key());
-    });
+    charged(
+        comm,
+        cfg,
+        |m| m.sort_cost(n0),
+        || {
+            data.sort_unstable_by_key(|r| r.key());
+        },
+    );
     let data = stage(comm, data, cfg, &mut stats, 0)?;
     stats.recv_count = data.len();
     Ok(SortOutput { data, stats })
@@ -185,9 +198,12 @@ fn stage<T: Sortable>(
         while runs.len() >= 2 && runs[runs.len() - 1].0 == runs[runs.len() - 2].0 {
             let (lvl, hi) = runs.pop().expect("len>=2");
             let (_, lo) = runs.pop().expect("len>=2");
-            let merged = charged(comm, cfg, |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2), || {
-                merge_two(&lo, &hi)
-            });
+            let merged = charged(
+                comm,
+                cfg,
+                |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2),
+                || merge_two(&lo, &hi),
+            );
             runs.push((lvl + 1, merged));
         }
     }
@@ -199,9 +215,12 @@ fn stage<T: Sortable>(
         let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
         let left: usize = refs.iter().map(|r| r.len()).sum();
         let k_left = refs.len();
-        charged(comm, cfg, |mo| mo.kway_merge_cost(left, k_left), || {
-            sdssort::merge::kway_merge(&refs)
-        })
+        charged(
+            comm,
+            cfg,
+            |mo| mo.kway_merge_cost(left, k_left),
+            || sdssort::merge::kway_merge(&refs),
+        )
     };
     comm.free(bytes);
     stats.exchange_s += comm.clock().now() - t1;
@@ -210,7 +229,9 @@ fn stage<T: Sortable>(
         return Ok(acc);
     }
     let group = (me / g) as i64;
-    let sub = comm.split(Some(group), (me % g) as i64).expect("every rank is in a group");
+    let sub = comm
+        .split(Some(group), (me % g) as i64)
+        .expect("every rank is in a group");
     stage(&sub, acc, cfg, stats, depth + 1)
 }
 

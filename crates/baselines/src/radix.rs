@@ -69,7 +69,10 @@ where
     T::Key: RadixKey,
 {
     let p = comm.size();
-    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
     let t0 = comm.clock().now();
 
     // Local sort once: boundaries then become binary searches, and the

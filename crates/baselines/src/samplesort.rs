@@ -26,7 +26,9 @@ pub struct SampleSortConfig {
 
 impl Default for SampleSortConfig {
     fn default() -> Self {
-        Self { charge: ComputeCharge::Measured }
+        Self {
+            charge: ComputeCharge::Measured,
+        }
     }
 }
 
@@ -53,11 +55,19 @@ pub fn sample_sort<T: Sortable>(
     cfg: &SampleSortConfig,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
-    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
     let t0 = comm.clock().now();
 
     let n0 = data.len();
-    charged(comm, cfg, |m| m.sort_cost(n0), || data.sort_unstable_by_key(|r| r.key()));
+    charged(
+        comm,
+        cfg,
+        |m| m.sort_cost(n0),
+        || data.sort_unstable_by_key(|r| r.key()),
+    );
     if p == 1 {
         stats.pivot_s = comm.clock().now() - t0;
         stats.recv_count = data.len();
@@ -110,7 +120,12 @@ pub fn sample_sort<T: Sortable>(
     for &rc in &rcounts {
         disp.push(disp.last().copied().expect("non-empty") + rc);
     }
-    let out = charged(comm, cfg, |mo| mo.kway_merge_cost(m, p), || kway_merge_offsets(&buf, &disp));
+    let out = charged(
+        comm,
+        cfg,
+        |mo| mo.kway_merge_cost(m, p),
+        || kway_merge_offsets(&buf, &disp),
+    );
     stats.local_order_s = comm.clock().now() - t2;
     comm.free(bytes);
     stats.recv_count = out.len();

@@ -41,7 +41,9 @@ fn splitters_balance_uniform_data() {
         }
         cuts.push(data.len());
         let buckets: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
-        comm.allreduce(buckets, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+        comm.allreduce(buckets, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        })
     });
     let global_buckets = &report.results[0];
     let total: usize = global_buckets.iter().sum();
@@ -66,7 +68,13 @@ fn duplicates_defeat_histogram_splitting() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
         let mut data: Vec<u64> = (0..n_rank)
-            .map(|_| if rng.gen_bool(0.9) { 500 } else { rng.gen_range(0..1000) })
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    500
+                } else {
+                    rng.gen_range(0..1000)
+                }
+            })
             .collect();
         data.sort_unstable();
         let splitters = histogram_splitters(comm, &data, p, &HistogramConfig::default(), 11);
@@ -76,7 +84,9 @@ fn duplicates_defeat_histogram_splitting() {
         }
         cuts.push(data.len());
         let buckets: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
-        comm.allreduce(buckets, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+        comm.allreduce(buckets, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        })
     });
     let buckets = &report.results[0];
     let total: usize = buckets.iter().sum();

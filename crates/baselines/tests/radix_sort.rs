@@ -36,8 +36,10 @@ fn radix_sorts_uniform_various_p() {
 fn radix_sorts_small_key_domain() {
     // Narrow keys exercise the adaptive shift (top bits of the used range).
     let report = world(6).run(|comm| {
-        let data: Vec<u64> =
-            uniform_u64(1500, 9, comm.rank()).into_iter().map(|k| k % 256).collect();
+        let data: Vec<u64> = uniform_u64(1500, 9, comm.rank())
+            .into_iter()
+            .map(|k| k % 256)
+            .collect();
         let out = radix_sort(comm, data.clone()).expect("no budget");
         (data, out.data)
     });
@@ -56,8 +58,12 @@ fn radix_sorts_float_keys() {
         let out = radix_sort(comm, data).expect("no budget");
         out.data
     });
-    let flat: Vec<f32> =
-        report.results.iter().flatten().map(|r| r.key.value()).collect();
+    let flat: Vec<f32> = report
+        .results
+        .iter()
+        .flatten()
+        .map(|r| r.key.value())
+        .collect();
     assert!(flat.windows(2).all(|w| w[0] <= w[1]));
     assert_eq!(flat.len(), 4000);
 }
@@ -82,12 +88,21 @@ fn radix_ooms_on_heavy_duplicates_under_budget() {
     let p = 8;
     let n = 4000usize;
     let budget = 6 * n * 8; // same budget that SDS-Sort survives
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(budget);
     let res = world.run(|comm| {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(comm.rank() as u64 ^ 0xDEAD);
         let data: Vec<u64> = (0..n as u64)
-            .map(|_| if rng.gen_bool(0.99) { 123 } else { rng.gen_range(0..1000) })
+            .map(|_| {
+                if rng.gen_bool(0.99) {
+                    123
+                } else {
+                    rng.gen_range(0..1000)
+                }
+            })
             .collect();
         radix_sort(comm, data).map(|o| o.data.len())
     });

@@ -30,7 +30,10 @@ fn bench_sorters(c: &mut Criterion) {
             cfg.tau_m_bytes = 0;
             b.iter(|| {
                 world().run(|comm| {
-                    sds_sort(comm, gen(comm.rank()), &cfg).expect("no budget").data.len()
+                    sds_sort(comm, gen(comm.rank()), &cfg)
+                        .expect("no budget")
+                        .data
+                        .len()
                 })
             })
         });
@@ -39,7 +42,10 @@ fn bench_sorters(c: &mut Criterion) {
             cfg.tau_m_bytes = 0;
             b.iter(|| {
                 world().run(|comm| {
-                    sds_sort(comm, gen(comm.rank()), &cfg).expect("no budget").data.len()
+                    sds_sort(comm, gen(comm.rank()), &cfg)
+                        .expect("no budget")
+                        .data
+                        .len()
                 })
             })
         });
@@ -47,7 +53,10 @@ fn bench_sorters(c: &mut Criterion) {
             let cfg = HykSortConfig::default();
             b.iter(|| {
                 world().run(|comm| {
-                    hyksort(comm, gen(comm.rank()), &cfg).expect("no budget").data.len()
+                    hyksort(comm, gen(comm.rank()), &cfg)
+                        .expect("no budget")
+                        .data
+                        .len()
                 })
             })
         });
@@ -55,7 +64,10 @@ fn bench_sorters(c: &mut Criterion) {
             let cfg = SampleSortConfig::default();
             b.iter(|| {
                 world().run(|comm| {
-                    sample_sort(comm, gen(comm.rank()), &cfg).expect("no budget").data.len()
+                    sample_sort(comm, gen(comm.rank()), &cfg)
+                        .expect("no budget")
+                        .data
+                        .len()
                 })
             })
         });

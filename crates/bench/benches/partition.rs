@@ -37,12 +37,19 @@ fn bench_skew_aware(c: &mut Criterion) {
     let pivots = regular_sample(&data, p - 1);
     let runs = replicated_runs(&pivots);
     let counts = local_dup_counts(&data, &runs);
-    let shares: Vec<DupShare> =
-        counts.iter().map(|&c| DupShare { total: c * 4, before_me: c }).collect();
+    let shares: Vec<DupShare> = counts
+        .iter()
+        .map(|&c| DupShare {
+            total: c * 4,
+            before_me: c,
+        })
+        .collect();
     let mut group = c.benchmark_group("skew_aware_cuts");
     group.bench_function("replicated_runs", |b| b.iter(|| replicated_runs(&pivots)));
     group.bench_function("fast", |b| b.iter(|| fast_cuts(&data, &pivots, None)));
-    group.bench_function("stable", |b| b.iter(|| stable_cuts(&data, &pivots, None, &shares)));
+    group.bench_function("stable", |b| {
+        b.iter(|| stable_cuts(&data, &pivots, None, &shares))
+    });
     group.finish();
 }
 

@@ -19,7 +19,10 @@ const NODES: usize = 4;
 fn exchange_time(n_rank: usize, merge: bool, net: NetModel) -> f64 {
     let p = CORES * NODES;
     let m = model();
-    let world = World::new(p).cores_per_node(CORES).net(net).compute_scale(0.0);
+    let world = World::new(p)
+        .cores_per_node(CORES)
+        .net(net)
+        .compute_scale(0.0);
     let report = world.run(|comm| {
         let mut data = uniform_u64(n_rank, 5, comm.rank());
         data.sort_unstable();
@@ -34,8 +37,7 @@ fn exchange_time(n_rank: usize, merge: bool, net: NetModel) -> f64 {
             }
             if let (Some(cg), Some(merged)) = (cg, merged) {
                 let pl = cg.size();
-                let pivots: Vec<u64> =
-                    (1..pl as u64).map(|i| i * (u64::MAX / pl as u64)).collect();
+                let pivots: Vec<u64> = (1..pl as u64).map(|i| i * (u64::MAX / pl as u64)).collect();
                 let cuts = fast_cuts(&merged, &pivots, None);
                 cg.alltoallv(&merged, &cuts_to_counts(&cuts));
             }
@@ -103,5 +105,8 @@ fn main() {
         (Some(_), None) => true, // merging never stops paying on ethernet in-sweep
         _ => false,
     };
-    verdict(moved, "the slow network extends the regime where node merging pays off");
+    verdict(
+        moved,
+        "the slow network extends the regime where node merging pays off",
+    );
 }

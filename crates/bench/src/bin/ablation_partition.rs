@@ -11,13 +11,22 @@ use mpisim::World;
 use sdssort::{rdfa, sds_sort, PartitionStrategy, SdsConfig, SortError};
 use workloads::{zipf_keys, PAPER_ALPHA_DELTA_TABLE2};
 
-fn run(p: usize, n_rank: usize, alpha: f64, strategy: PartitionStrategy, budget: usize) -> (Option<f64>, f64) {
+fn run(
+    p: usize,
+    n_rank: usize,
+    alpha: f64,
+    strategy: PartitionStrategy,
+    budget: usize,
+) -> (Option<f64>, f64) {
     let m = model();
     let mut cfg = SdsConfig::modeled(m);
     cfg.tau_m_bytes = 0;
     cfg.tau_o = 0;
     cfg.partition = strategy;
-    let world = World::new(p).cores_per_node(24).compute_scale(0.0).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(24)
+        .compute_scale(0.0)
+        .memory_budget(budget);
     let report = world.run(|comm| {
         let data = zipf_keys(n_rank, alpha, 0xAB1, comm.rank());
         sds_sort(comm, data, &cfg).map(|o| o.data.len())
@@ -30,7 +39,11 @@ fn run(p: usize, n_rank: usize, alpha: f64, strategy: PartitionStrategy, budget:
             .any(|r| matches!(r, Err(SortError::Oom(_)) | Err(SortError::PeerOom))));
         return (None, f64::INFINITY);
     }
-    let loads: Vec<usize> = report.results.into_iter().map(|r| r.expect("checked ok")).collect();
+    let loads: Vec<usize> = report
+        .results
+        .into_iter()
+        .map(|r| r.expect("checked ok"))
+        .collect();
     (Some(report.makespan), rdfa(&loads))
 }
 

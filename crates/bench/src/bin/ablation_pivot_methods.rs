@@ -36,7 +36,13 @@ fn main() {
         "§2.4: avoid gathering p(p-1) samples on one rank at large p",
     );
     let ps: Vec<usize> = by_scale(vec![8, 16, 32, 64, 128], vec![8, 16, 32, 64, 128, 256]);
-    let mut table = Table::new(["p", "samples pooled", "distributed", "gather", "identical pivots"]);
+    let mut table = Table::new([
+        "p",
+        "samples pooled",
+        "distributed",
+        "gather",
+        "identical pivots",
+    ]);
     let mut agree_everywhere = true;
     let mut dist_wins_large = false;
     for &p in &ps {

@@ -16,14 +16,23 @@ use mpisim::World;
 use sdssort::{rdfa, sds_sort, PartitionStrategy, PivotSource, SdsConfig};
 use workloads::zipf_keys;
 
-fn run(p: usize, n_rank: usize, source: PivotSource, partition: PartitionStrategy, budget: usize) -> (Option<f64>, f64) {
+fn run(
+    p: usize,
+    n_rank: usize,
+    source: PivotSource,
+    partition: PartitionStrategy,
+    budget: usize,
+) -> (Option<f64>, f64) {
     let m = model();
     let mut cfg = SdsConfig::modeled(m);
     cfg.tau_m_bytes = 0;
     cfg.tau_o = 0;
     cfg.pivot_source = source;
     cfg.partition = partition;
-    let world = World::new(p).cores_per_node(24).compute_scale(0.0).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(24)
+        .compute_scale(0.0)
+        .memory_budget(budget);
     let report = world.run(|comm| {
         let data = zipf_keys(n_rank, 1.4, 0xAB5, comm.rank());
         sds_sort(comm, data, &cfg).map(|o| o.data.len())
@@ -46,10 +55,26 @@ fn main() {
     println!("p = {p}, {n_rank} u64/rank, budget = 3.5x input\n");
 
     let combos = [
-        ("sampling + skew-aware", PivotSource::Sampling, PartitionStrategy::SkewAware),
-        ("histogram + skew-aware", PivotSource::Histogram, PartitionStrategy::SkewAware),
-        ("sampling + classic", PivotSource::Sampling, PartitionStrategy::Classic),
-        ("histogram + classic", PivotSource::Histogram, PartitionStrategy::Classic),
+        (
+            "sampling + skew-aware",
+            PivotSource::Sampling,
+            PartitionStrategy::SkewAware,
+        ),
+        (
+            "histogram + skew-aware",
+            PivotSource::Histogram,
+            PartitionStrategy::SkewAware,
+        ),
+        (
+            "sampling + classic",
+            PivotSource::Sampling,
+            PartitionStrategy::Classic,
+        ),
+        (
+            "histogram + classic",
+            PivotSource::Histogram,
+            PartitionStrategy::Classic,
+        ),
     ];
     let mut table = Table::new(["combination", "time", "RDFA"]);
     let mut outcomes = Vec::new();

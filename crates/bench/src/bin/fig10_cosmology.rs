@@ -7,8 +7,10 @@
 //! δ·p ≈ 120 shares of a rank's input on one rank; our scaled run keeps
 //! δ·p comfortably past the 2×-input budget.
 
-use bench::experiments::cosmology_experiment;
-use bench::{by_scale, fmt_opt_time, fmt_rdfa, fmt_time, header, model, verdict, Sorter, Table};
+use bench::experiments::{cosmology_experiment, emit_outcome_rows};
+use bench::{
+    by_scale, fmt_opt_time, fmt_rdfa, fmt_time, header, model, verdict, Emitter, Sorter, Table,
+};
 
 fn main() {
     header(
@@ -19,6 +21,10 @@ fn main() {
     let n_rank: usize = by_scale(2000, 10_000);
     println!("records/rank: {n_rank} (u64 cluster id + 6 f32 payload), budget 2.5x input\n");
     let rows = cosmology_experiment(p, n_rank, model());
+    let mut em = Emitter::from_env("fig10");
+    em.meta("workload", "cosmology_particles");
+    em.meta("n_rank", n_rank as u64);
+    emit_outcome_rows(&mut em, p, &rows, &[]);
 
     let mut table = Table::new([
         "sorter",
@@ -43,7 +49,12 @@ fn main() {
     }
     table.print();
 
-    let get = |s: Sorter| rows.iter().find(|(x, _)| *x == s).map(|(_, o)| o.clone()).expect("row");
+    let get = |s: Sorter| {
+        rows.iter()
+            .find(|(x, _)| *x == s)
+            .map(|(_, o)| o.clone())
+            .expect("row")
+    };
     let hyk = get(Sorter::HykSort);
     let sds = get(Sorter::Sds);
     let stb = get(Sorter::SdsStable);
@@ -53,4 +64,5 @@ fn main() {
         hyk.time_s.is_none() && both_finish && rdfa_close,
         "HykSort OOMs; both SDS variants finish with small, equal RDFA",
     );
+    em.finish().expect("write metrics");
 }

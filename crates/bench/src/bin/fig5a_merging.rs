@@ -37,8 +37,7 @@ fn exchange_time(n_rank: usize, merge: bool) -> f64 {
             }
             if let (Some(cg), Some(merged)) = (cg, merged) {
                 let pl = cg.size();
-                let pivots: Vec<u64> =
-                    (1..pl as u64).map(|i| i * (u64::MAX / pl as u64)).collect();
+                let pivots: Vec<u64> = (1..pl as u64).map(|i| i * (u64::MAX / pl as u64)).collect();
                 let cuts = fast_cuts(&merged, &pivots, None);
                 cg.alltoallv(&merged, &cuts_to_counts(&cuts));
             }
@@ -60,7 +59,16 @@ fn main() {
     // Per-node volumes, scaled from the paper's 4 MB – 4 GB sweep.
     let sizes: Vec<usize> = by_scale(
         vec![16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20],
-        vec![16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20],
+        vec![
+            16 << 10,
+            64 << 10,
+            256 << 10,
+            1 << 20,
+            4 << 20,
+            16 << 20,
+            64 << 20,
+            256 << 20,
+        ],
     );
     let mut table = Table::new(["per-node size", "merging", "no-merging", "winner"]);
     let mut crossover: Option<usize> = None;
@@ -70,7 +78,11 @@ fn main() {
         let n_rank = per_node / CORES / 8;
         let t_merge = exchange_time(n_rank, true);
         let t_direct = exchange_time(n_rank, false);
-        let winner = if t_merge < t_direct { "merging" } else { "no-merging" };
+        let winner = if t_merge < t_direct {
+            "merging"
+        } else {
+            "no-merging"
+        };
         if i == 0 && t_merge < t_direct {
             merge_won_small = true;
         }
@@ -80,11 +92,19 @@ fn main() {
         if crossover.is_none() && t_direct < t_merge {
             crossover = Some(per_node);
         }
-        table.row([fmt_bytes(per_node), fmt_time(t_merge), fmt_time(t_direct), winner.to_string()]);
+        table.row([
+            fmt_bytes(per_node),
+            fmt_time(t_merge),
+            fmt_time(t_direct),
+            winner.to_string(),
+        ]);
     }
     table.print();
     if let Some(c) = crossover {
-        println!("crossover: merging stops paying off near {} per node (paper: ~160 MB on Edison)", fmt_bytes(c));
+        println!(
+            "crossover: merging stops paying off near {} per node (paper: ~160 MB on Edison)",
+            fmt_bytes(c)
+        );
     }
     verdict(
         merge_won_small && direct_won_large,

@@ -22,7 +22,10 @@ fn run(p: usize, n_rank: usize, overlap: bool, m: ComputeModel) -> f64 {
     let world = World::new(p).cores_per_node(1).compute_scale(0.0);
     let report = world.run(|comm| {
         let data = uniform_u64(n_rank, 0x5B, comm.rank());
-        sds_sort(comm, data, &cfg).expect("no budget").stats.total_s()
+        sds_sort(comm, data, &cfg)
+            .expect("no budget")
+            .stats
+            .total_s()
     });
     report.makespan
 }
@@ -32,7 +35,10 @@ fn main() {
         "Fig 5b — overlap vs no-overlap of exchange and local ordering, by p",
         "overlap faster below ~4K processes, slower above (Edison)",
     );
-    let ps: Vec<usize> = by_scale(vec![4, 8, 16, 32, 64, 128], vec![4, 8, 16, 32, 64, 128, 256, 512]);
+    let ps: Vec<usize> = by_scale(
+        vec![4, 8, 16, 32, 64, 128],
+        vec![4, 8, 16, 32, 64, 128, 256, 512],
+    );
     let n_rank = by_scale(20_000, 50_000);
     // One calibration for the whole sweep: the modelled makespans are then
     // fully deterministic and comparable across cells.
@@ -44,7 +50,11 @@ fn main() {
     for (i, &p) in ps.iter().enumerate() {
         let t_over = run(p, n_rank, true, m);
         let t_sync = run(p, n_rank, false, m);
-        let winner = if t_over < t_sync { "overlapping" } else { "no-overlapping" };
+        let winner = if t_over < t_sync {
+            "overlapping"
+        } else {
+            "no-overlapping"
+        };
         if i == 0 {
             overlap_wins_small = t_over < t_sync;
         }
@@ -54,7 +64,12 @@ fn main() {
         if crossover.is_none() && t_sync < t_over {
             crossover = Some(p);
         }
-        table.row([p.to_string(), fmt_time(t_over), fmt_time(t_sync), winner.to_string()]);
+        table.row([
+            p.to_string(),
+            fmt_time(t_over),
+            fmt_time(t_sync),
+            winner.to_string(),
+        ]);
     }
     table.print();
     if let Some(c) = crossover {

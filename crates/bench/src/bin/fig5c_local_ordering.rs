@@ -61,7 +61,12 @@ fn main() {
             crossover = Some(p);
         }
         let winner = if t_merge < t_sort { "merge" } else { "sort" };
-        table.row([p.to_string(), fmt_time(t_merge), fmt_time(t_sort), winner.to_string()]);
+        table.row([
+            p.to_string(),
+            fmt_time(t_merge),
+            fmt_time(t_sort),
+            winner.to_string(),
+        ]);
     }
     table.print();
     if let Some(c) = crossover {

@@ -64,8 +64,10 @@ fn main() {
         "sampling merge degrades on Zipf; skew-aware stays flat on both",
     );
     println!("parts (node cores): {PARTS}; chunks merged: {PARTS}\n");
-    let sizes: Vec<usize> =
-        by_scale(vec![1 << 20, 1 << 21, 1 << 22], vec![1 << 21, 1 << 22, 1 << 23, 1 << 24]);
+    let sizes: Vec<usize> = by_scale(
+        vec![1 << 20, 1 << 21, 1 << 22],
+        vec![1 << 21, 1 << 22, 1 << 23, 1 << 24],
+    );
     let mut table = Table::new([
         "records",
         "SDS + Uniform",
@@ -99,7 +101,9 @@ fn main() {
     table.print();
     let hyk_avg = hyk_penalty.iter().sum::<f64>() / hyk_penalty.len() as f64;
     let sds_avg = sds_ratio.iter().sum::<f64>() / sds_ratio.len() as f64;
-    println!("\nZipf/Uniform critical-path ratio — sampling: {hyk_avg:.2}x, skew-aware: {sds_avg:.2}x");
+    println!(
+        "\nZipf/Uniform critical-path ratio — sampling: {hyk_avg:.2}x, skew-aware: {sds_avg:.2}x"
+    );
     verdict(
         hyk_avg > 2.0 && sds_avg < 1.6,
         "sampling merge degrades on skewed data, skew-aware merge does not",

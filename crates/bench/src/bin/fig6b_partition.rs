@@ -9,8 +9,8 @@
 use baselines::{binary_cuts, full_scan_cuts};
 use bench::{by_scale, fmt_time, header, verdict, Table};
 use sdssort::partition::fast_cuts;
-use sdssort::search::LocalPivotIndex;
 use sdssort::sampling::regular_sample;
+use sdssort::search::LocalPivotIndex;
 use std::time::Instant;
 use workloads::uniform_u64;
 
@@ -32,8 +32,12 @@ fn main() {
     let n: usize = by_scale(1 << 21, 1 << 24);
     println!("records per rank: {n} (paper: 2 GB per process)\n");
     let ps: Vec<usize> = vec![10, 100, 500];
-    let mut table =
-        Table::new(["p", "sequential scan", "binary (HykSort)", "local-pivot (SDS)"]);
+    let mut table = Table::new([
+        "p",
+        "sequential scan",
+        "binary (HykSort)",
+        "local-pivot (SDS)",
+    ]);
     let mut sds_fastest = true;
     for &p in &ps {
         let mut data = uniform_u64(n, 0x6B, 0);
@@ -56,8 +60,16 @@ fn main() {
         if t_sds > t_scan {
             sds_fastest = false;
         }
-        table.row([p.to_string(), fmt_time(t_scan), fmt_time(t_bin), fmt_time(t_sds)]);
+        table.row([
+            p.to_string(),
+            fmt_time(t_scan),
+            fmt_time(t_bin),
+            fmt_time(t_sds),
+        ]);
     }
     table.print();
-    verdict(sds_fastest, "local-pivot partition is far cheaper than the full scan at every p");
+    verdict(
+        sds_fastest,
+        "local-pivot partition is far cheaper than the full scan at every p",
+    );
 }

@@ -24,11 +24,13 @@ fn main() {
     // once δ·p > 3.2 — i.e. between δ = 1 % and δ = 2 % at p = 256,
     // matching the paper's observed failure point.
     let budget = n_rank * 8 * 16 / 5;
-    println!("p = {p}, {n_rank} u64/rank, budget = {} per rank\n", bench::fmt_bytes(budget));
+    println!(
+        "p = {p}, {n_rank} u64/rank, budget = {} per rank\n",
+        bench::fmt_bytes(budget)
+    );
     let m = model();
 
-    let mut table =
-        Table::new(["δ (%)", "alpha", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
+    let mut table = Table::new(["δ (%)", "alpha", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
     let mut hyk_fails_high = false;
     let mut hyk_ok_low = false;
     let mut sds_all_ok = true;
@@ -36,8 +38,10 @@ fn main() {
         let times: Vec<Option<f64>> = [Sorter::HykSort, Sorter::Sds, Sorter::SdsStable]
             .into_iter()
             .map(|s| {
-                run_sorter(s, p, Some(budget), m, move |r| zipf_keys(n_rank, alpha, 0x6C, r))
-                    .time_s
+                run_sorter(s, p, Some(budget), m, move |r| {
+                    zipf_keys(n_rank, alpha, 0x6C, r)
+                })
+                .time_s
             })
             .collect();
         if times[0].is_some() && delta <= 0.5 {

@@ -5,8 +5,8 @@
 //! is ~51 % faster than HykSort at the top end; SDS-Sort/stable is the
 //! slowest of the three (extra pivot-selection and ordering work).
 
-use bench::experiments::weak_scaling_uniform;
-use bench::{by_scale, fmt_opt_time, header, model, verdict, Sorter, Table};
+use bench::experiments::{emit_scaling_cells, weak_scaling_uniform};
+use bench::{by_scale, fmt_opt_time, header, model, verdict, Emitter, Sorter, Table};
 
 fn main() {
     header(
@@ -17,9 +17,18 @@ fn main() {
     let n_rank: usize = by_scale(20_000, 50_000);
     println!("records/rank: {n_rank} u64 (paper: 100M = 400 MB)\n");
     let cells = weak_scaling_uniform(&ps, n_rank, model());
+    let mut em = Emitter::from_env("fig7");
+    em.meta("workload", "uniform_u64");
+    em.meta("n_rank", n_rank as u64);
+    emit_scaling_cells(&mut em, &cells, &[]);
 
-    let mut table =
-        Table::new(["p", "HykSort", "SDS-Sort", "SDS-Sort/stable", "SDS throughput"]);
+    let mut table = Table::new([
+        "p",
+        "HykSort",
+        "SDS-Sort",
+        "SDS-Sort/stable",
+        "SDS throughput",
+    ]);
     let mut sds_beats_hyk_top = false;
     let mut stable_slowest_top = false;
     for &p in &ps {
@@ -29,7 +38,11 @@ fn main() {
                 .find(|c| c.p == p && c.sorter == s)
                 .and_then(|c| c.outcome.time_s)
         };
-        let (hyk, sds, stb) = (get(Sorter::HykSort), get(Sorter::Sds), get(Sorter::SdsStable));
+        let (hyk, sds, stb) = (
+            get(Sorter::HykSort),
+            get(Sorter::Sds),
+            get(Sorter::SdsStable),
+        );
         if p == *ps.last().expect("non-empty sweep") {
             if let (Some(h), Some(s), Some(st)) = (hyk, sds, stb) {
                 sds_beats_hyk_top = s < h;
@@ -61,4 +74,5 @@ fn main() {
         sds_beats_hyk_top && stable_slowest_top,
         "SDS-Sort beats HykSort at the largest p; stable variant trails the fast one",
     );
+    em.finish().expect("write metrics");
 }

@@ -7,8 +7,8 @@
 //! workload. We use α = 1.4 (δ ≈ 32 %) from the paper's Zipf(0.7–2.0)
 //! band and a 3.5×-input budget per rank.
 
-use bench::experiments::weak_scaling_zipf;
-use bench::{by_scale, fmt_opt_time, header, model, verdict, Sorter, Table};
+use bench::experiments::{emit_scaling_cells, weak_scaling_zipf};
+use bench::{by_scale, fmt_opt_time, header, model, verdict, Emitter, Sorter, Table};
 
 fn main() {
     header(
@@ -22,9 +22,19 @@ fn main() {
     let n_rank: usize = by_scale(20_000, 50_000);
     println!("records/rank: {n_rank} u64, α = 1.4 (δ ≈ 32%), budget = 3.5× input/rank\n");
     let cells = weak_scaling_zipf(&ps, n_rank, model());
+    let mut em = Emitter::from_env("fig8");
+    em.meta("workload", "zipf_keys");
+    em.meta("alpha", 1.4);
+    em.meta("n_rank", n_rank as u64);
+    emit_scaling_cells(&mut em, &cells, &[]);
 
-    let mut table =
-        Table::new(["p", "HykSort", "SDS-Sort", "SDS-Sort/stable", "SDS throughput"]);
+    let mut table = Table::new([
+        "p",
+        "HykSort",
+        "SDS-Sort",
+        "SDS-Sort/stable",
+        "SDS throughput",
+    ]);
     let mut hyk_all_oom = true;
     let mut sds_all_ok = true;
     for &p in &ps {
@@ -34,7 +44,11 @@ fn main() {
                 .find(|c| c.p == p && c.sorter == s)
                 .and_then(|c| c.outcome.time_s)
         };
-        let (hyk, sds, stb) = (get(Sorter::HykSort), get(Sorter::Sds), get(Sorter::SdsStable));
+        let (hyk, sds, stb) = (
+            get(Sorter::HykSort),
+            get(Sorter::Sds),
+            get(Sorter::SdsStable),
+        );
         if hyk.is_some() {
             hyk_all_oom = false;
         }
@@ -60,4 +74,5 @@ fn main() {
         hyk_all_oom && sds_all_ok,
         "HykSort out-of-memory at every scale; both SDS variants complete",
     );
+    em.finish().expect("write metrics");
 }

@@ -8,8 +8,8 @@
 //! paper's footnote: HykSort's exchange bar *contains* its local ordering
 //! (overlapped), and ours does the same.
 
-use bench::experiments::ptf_experiment;
-use bench::{by_scale, fmt_time, header, model, verdict, Sorter, Table};
+use bench::experiments::{emit_outcome_rows, ptf_experiment};
+use bench::{by_scale, fmt_time, header, model, verdict, Emitter, Sorter, Table};
 
 fn main() {
     header(
@@ -20,6 +20,10 @@ fn main() {
     let n_rank: usize = by_scale(4000, 40_000);
     println!("records/rank: {n_rank} (f32 score key + u64 object id)\n");
     let rows = ptf_experiment(p, n_rank, model());
+    let mut em = Emitter::from_env("fig9");
+    em.meta("workload", "ptf_scores");
+    em.meta("n_rank", n_rank as u64);
+    emit_outcome_rows(&mut em, p, &rows, &[]);
 
     let mut table = Table::new([
         "sorter",
@@ -60,10 +64,14 @@ fn main() {
         .find(|(s, _)| *s == Sorter::HykSort)
         .map(|(_, o)| o.rdfa())
         .expect("hyksort row");
-    let sds_rdfa =
-        rows.iter().find(|(s, _)| *s == Sorter::Sds).map(|(_, o)| o.rdfa()).expect("sds row");
+    let sds_rdfa = rows
+        .iter()
+        .find(|(s, _)| *s == Sorter::Sds)
+        .map(|(_, o)| o.rdfa())
+        .expect("sds row");
     verdict(
         hyk / sds > 1.5 && hyk / stb > 1.2 && hyk_rdfa > 5.0 * sds_rdfa,
         "both SDS variants beat HykSort substantially; HykSort's RDFA is an order worse",
     );
+    em.finish().expect("write metrics");
 }

@@ -12,14 +12,21 @@
 //!   --oversample <s>               (default 1; sds only)
 //!   --trace                        print per-phase traffic matrices
 //!   --seed     <u64>               (default 42)
+//!   --metrics-out <path>           write a telemetry RunReport as JSON
+//!                                  (a directory gets BENCH_sortcli.json;
+//!                                  also honours BENCH_METRICS_OUT)
+//!   --validate-metrics <file>      parse a previously written RunReport
+//!                                  and exit 0 iff it is valid (CI smoke)
 //! ```
 //!
 //! Prints: correctness verdict (globally sorted + permutation), modelled
 //! makespan, phase breakdown, RDFA, message/byte totals.
 
 use bench::{fmt_bytes, fmt_time, Table};
+use mpisim::telemetry::{Decisions, Json, MemoryReport, RunReport, WorldMeta};
 use mpisim::{NetModel, World};
 use sdssort::{is_globally_sorted, is_permutation_of, rdfa, sds_sort, SdsConfig, SortError};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use workloads::{heavy_hitters, ptf_scores, uniform_u64, zipf_keys};
 
@@ -34,6 +41,8 @@ struct Args {
     oversample: usize,
     trace: bool,
     seed: u64,
+    metrics_out: Option<PathBuf>,
+    validate_metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,12 +56,16 @@ fn parse_args() -> Result<Args, String> {
         oversample: 1,
         trace: false,
         seed: 42,
+        metrics_out: std::env::var_os("BENCH_METRICS_OUT").map(PathBuf::from),
+        validate_metrics: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let take = |i: &mut usize| -> Result<String, String> {
         *i += 1;
-        argv.get(*i).cloned().ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -60,24 +73,49 @@ fn parse_args() -> Result<Args, String> {
             "--workload" => args.workload = take(&mut i)?,
             "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("--ranks: {e}"))?,
             "--records" => {
-                args.records = take(&mut i)?.parse().map_err(|e| format!("--records: {e}"))?
+                args.records = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--records: {e}"))?
             }
             "--cores" => args.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
             "--budget" => {
-                args.budget = Some(take(&mut i)?.parse().map_err(|e| format!("--budget: {e}"))?)
+                args.budget = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
             }
             "--oversample" => {
-                args.oversample =
-                    take(&mut i)?.parse().map_err(|e| format!("--oversample: {e}"))?
+                args.oversample = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--oversample: {e}"))?
             }
             "--trace" => args.trace = true,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(take(&mut i)?)),
+            "--validate-metrics" => args.validate_metrics = Some(PathBuf::from(take(&mut i)?)),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown option {other}")),
         }
         i += 1;
     }
     Ok(args)
+}
+
+/// The SDS configuration this invocation runs (None for baselines).
+fn sds_cfg(args: &Args) -> Option<SdsConfig> {
+    match args.sorter.as_str() {
+        "sds" | "sds-stable" => {
+            let mut cfg = if args.sorter == "sds-stable" {
+                SdsConfig::stable()
+            } else {
+                SdsConfig::default()
+            };
+            cfg.oversample = args.oversample;
+            Some(cfg)
+        }
+        _ => None,
+    }
 }
 
 fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>, String> {
@@ -111,49 +149,56 @@ fn run_sorter(
     ),
     String,
 > {
-    let mut world =
-        World::new(a.ranks).cores_per_node(a.cores).net(NetModel::edison()).trace(a.trace);
+    let mut world = World::new(a.ranks)
+        .cores_per_node(a.cores)
+        .net(NetModel::edison())
+        .trace(a.trace)
+        .telemetry(a.metrics_out.is_some());
     if let Some(b) = a.budget {
         world = world.memory_budget(b);
     }
     let a2 = a.clone();
-    let report = world.run(move |comm| -> Result<(bool, bool, usize, sdssort::SortStats), SortError> {
-        let input = gen_keys(&a2.workload, a2.records, a2.seed, comm.rank())
-            .expect("workload validated before launch");
-        let (out, stats) = match a2.sorter.as_str() {
-            "sds" | "sds-stable" => {
-                let mut cfg = if a2.sorter == "sds-stable" {
-                    SdsConfig::stable()
-                } else {
-                    SdsConfig::default()
-                };
-                cfg.oversample = a2.oversample;
-                let o = sds_sort(comm, input.clone(), &cfg)?;
-                (o.data, o.stats)
-            }
-            "hyksort" => {
-                let o = baselines::hyksort(comm, input.clone(), &baselines::HykSortConfig::default())?;
-                (o.data, o.stats)
-            }
-            "samplesort" => {
-                let o =
-                    baselines::sample_sort(comm, input.clone(), &baselines::SampleSortConfig::default())?;
-                (o.data, o.stats)
-            }
-            "radix" => {
-                let o = baselines::radix_sort(comm, input.clone())?;
-                (o.data, o.stats)
-            }
-            "bitonic" => {
-                let out = baselines::bitonic_sort(comm, input.clone());
-                (out, sdssort::SortStats::default())
-            }
-            other => panic!("unknown sorter {other} (validated before launch)"),
-        };
-        let sorted = is_globally_sorted(comm, &out);
-        let permutation = is_permutation_of(comm, &input, &out, |&k| k);
-        Ok((sorted, permutation, out.len(), stats))
-    });
+    let report = world.run(
+        move |comm| -> Result<(bool, bool, usize, sdssort::SortStats), SortError> {
+            let input = gen_keys(&a2.workload, a2.records, a2.seed, comm.rank())
+                .expect("workload validated before launch");
+            let (out, stats) = match a2.sorter.as_str() {
+                "sds" | "sds-stable" => {
+                    let cfg = sds_cfg(&a2).expect("sds sorter");
+                    let o = sds_sort(comm, input.clone(), &cfg)?;
+                    (o.data, o.stats)
+                }
+                "hyksort" => {
+                    let o = baselines::hyksort(
+                        comm,
+                        input.clone(),
+                        &baselines::HykSortConfig::default(),
+                    )?;
+                    (o.data, o.stats)
+                }
+                "samplesort" => {
+                    let o = baselines::sample_sort(
+                        comm,
+                        input.clone(),
+                        &baselines::SampleSortConfig::default(),
+                    )?;
+                    (o.data, o.stats)
+                }
+                "radix" => {
+                    let o = baselines::radix_sort(comm, input.clone())?;
+                    (o.data, o.stats)
+                }
+                "bitonic" => {
+                    let out = baselines::bitonic_sort(comm, input.clone());
+                    (out, sdssort::SortStats::default())
+                }
+                other => panic!("unknown sorter {other} (validated before launch)"),
+            };
+            let sorted = is_globally_sorted(comm, &out);
+            let permutation = is_permutation_of(comm, &input, &out, |&k| k);
+            Ok((sorted, permutation, out.len(), stats))
+        },
+    );
     let first = report.results[0].clone();
     Ok((first, report))
 }
@@ -169,6 +214,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &args.validate_metrics {
+        return match std::fs::read_to_string(path) {
+            Ok(text) => match RunReport::from_json_str(&text) {
+                Ok(r) => {
+                    println!(
+                        "valid run report: experiment {:?}, {} ranks, makespan {:.6} s",
+                        r.experiment, r.world.ranks, r.makespan_v
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("invalid metrics file {}: {e}", path.display());
+                    ExitCode::from(1)
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                ExitCode::from(1)
+            }
+        };
+    }
     match args.sorter.as_str() {
         "sds" | "sds-stable" | "hyksort" | "samplesort" | "bitonic" | "radix" => {}
         other => {
@@ -188,7 +254,9 @@ fn main() -> ExitCode {
         args.ranks,
         args.records,
         args.cores,
-        args.budget.map(|b| format!(", budget {}", fmt_bytes(b))).unwrap_or_default()
+        args.budget
+            .map(|b| format!(", budget {}", fmt_bytes(b)))
+            .unwrap_or_default()
     );
 
     let (first, report) = run_sorter(&args).expect("validated");
@@ -199,24 +267,47 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
         Ok(_) => {
-            let all_ok = report.results.iter().all(|r| {
-                matches!(r, Ok((sorted, perm, _, _)) if *sorted && *perm)
-            });
-            let loads: Vec<usize> =
-                report.results.iter().map(|r| r.as_ref().expect("checked ok").2).collect();
+            let all_ok = report
+                .results
+                .iter()
+                .all(|r| matches!(r, Ok((sorted, perm, _, _)) if *sorted && *perm));
+            let loads: Vec<usize> = report
+                .results
+                .iter()
+                .map(|r| r.as_ref().expect("checked ok").2)
+                .collect();
             let stats = report.results[0].as_ref().expect("checked ok").3;
-            println!("\nresult: {}", if all_ok { "OK (sorted, permutation)" } else { "CORRUPT" });
+            println!(
+                "\nresult: {}",
+                if all_ok {
+                    "OK (sorted, permutation)"
+                } else {
+                    "CORRUPT"
+                }
+            );
             let mut t = Table::new(["metric", "value"]);
             t.row(["modelled makespan".to_string(), fmt_time(report.makespan)]);
             t.row(["host wall".to_string(), fmt_time(report.wall.as_secs_f64())]);
             t.row(["pivot phase (rank 0)".to_string(), fmt_time(stats.pivot_s)]);
-            t.row(["exchange phase (rank 0)".to_string(), fmt_time(stats.exchange_s)]);
-            t.row(["ordering phase (rank 0)".to_string(), fmt_time(stats.local_order_s)]);
-            t.row(["node merged (τm)".to_string(), stats.node_merged.to_string()]);
+            t.row([
+                "exchange phase (rank 0)".to_string(),
+                fmt_time(stats.exchange_s),
+            ]);
+            t.row([
+                "ordering phase (rank 0)".to_string(),
+                fmt_time(stats.local_order_s),
+            ]);
+            t.row([
+                "node merged (τm)".to_string(),
+                stats.node_merged.to_string(),
+            ]);
             t.row(["RDFA".to_string(), format!("{:.4}", rdfa(&loads))]);
             t.row(["messages".to_string(), report.messages.to_string()]);
             t.row(["bytes".to_string(), fmt_bytes(report.bytes as usize)]);
-            t.row(["peak simulated memory".to_string(), fmt_bytes(report.max_memory_high_water)]);
+            t.row([
+                "peak simulated memory".to_string(),
+                fmt_bytes(report.max_memory_high_water),
+            ]);
             t.print();
             if stats.node_merged {
                 println!(
@@ -231,11 +322,20 @@ fn main() -> ExitCode {
                     tt.row([
                         name.clone(),
                         tr.total_messages().to_string(),
-                        tr.internode_messages(args.cores).to_string(),
+                        tr.internode_messages(&report.topology).to_string(),
                         fmt_bytes(tr.total_bytes() as usize),
                     ]);
                 }
                 tt.print();
+            }
+            if let Some(out) = &args.metrics_out {
+                match write_metrics(out, &args, &report, &loads, &stats) {
+                    Ok(path) => println!("metrics: wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing metrics: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
             }
             if all_ok {
                 ExitCode::SUCCESS
@@ -244,4 +344,72 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+/// Assemble and write the telemetry [`RunReport`] for a successful run. A
+/// `.json` path is written as-is; any other path is treated as a directory
+/// receiving `BENCH_sortcli.json`.
+fn write_metrics<R>(
+    out: &Path,
+    args: &Args,
+    report: &mpisim::WorldReport<R>,
+    loads: &[usize],
+    stats: &sdssort::SortStats,
+) -> std::io::Result<PathBuf> {
+    let snapshot = report.telemetry.clone().unwrap_or_default();
+    let mut run = RunReport::from_snapshot(
+        "sortcli",
+        snapshot,
+        loads.iter().map(|&l| l as u64).collect(),
+    );
+    run.config = [
+        ("sorter", Json::from(args.sorter.clone())),
+        ("workload", Json::from(args.workload.clone())),
+        ("ranks", Json::from(args.ranks)),
+        ("records_per_rank", Json::from(args.records)),
+        ("cores_per_node", Json::from(args.cores)),
+        ("oversample", Json::from(args.oversample)),
+        ("seed", Json::from(args.seed)),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    run.world = WorldMeta {
+        ranks: args.ranks,
+        cores_per_node: report.topology.cores_per_node(),
+        nodes: report.topology.num_nodes(),
+    };
+    let cfg = sds_cfg(args);
+    run.decisions = Decisions {
+        tau_m_bytes: cfg.as_ref().map(|c| c.tau_m_bytes as u64).unwrap_or(0),
+        tau_o: cfg.as_ref().map(|c| c.tau_o as u64).unwrap_or(0),
+        tau_s: cfg.as_ref().map(|c| c.tau_s as u64).unwrap_or(0),
+        stable: cfg.as_ref().map(|c| c.stable).unwrap_or(false),
+        node_merged: stats.node_merged,
+        overlapped: stats.overlapped,
+    };
+    run.memory = MemoryReport {
+        budget: report.memory_budget.map(|b| b as u64),
+        max_high_water: report.max_memory_high_water as u64,
+        per_rank_high_water: report
+            .per_rank_memory_high_water
+            .iter()
+            .map(|&b| b as u64)
+            .collect(),
+    };
+    run.makespan_v = report.makespan;
+    run.wall_s = report.wall.as_secs_f64();
+
+    let path = if out.extension().is_some_and(|e| e == "json") {
+        out.to_path_buf()
+    } else {
+        out.join("BENCH_sortcli.json")
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&path, run.to_json_string() + "\n")?;
+    Ok(path)
 }

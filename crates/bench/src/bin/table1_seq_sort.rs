@@ -47,7 +47,10 @@ fn main() {
     let mut stable_slower_everywhere = true;
     for (label, alpha, delta) in &workloads {
         let data: Vec<OrderedF32> = match alpha {
-            None => uniform_f32(n, 0x7AB1, 0).into_iter().map(OrderedF32::new).collect(),
+            None => uniform_f32(n, 0x7AB1, 0)
+                .into_iter()
+                .map(OrderedF32::new)
+                .collect(),
             Some(a) => {
                 // Table 1 cites α = 1.4 → δ 32 %, 2.1 → 63 %; those need
                 // explicit universes (see workloads::zipf).
@@ -60,7 +63,9 @@ fn main() {
                     }
                     a => zipf_keys(n, a, 0x7AB1, 0),
                 };
-                keys.into_iter().map(|k| OrderedF32::new(k as f32)).collect()
+                keys.into_iter()
+                    .map(|k| OrderedF32::new(k as f32))
+                    .collect()
             }
         };
         let t_unstable = time_sort(&data, false);
@@ -78,8 +83,8 @@ fn main() {
     }
     table.print();
     let skew_faster = unstable_times[3] < unstable_times[0];
-    let monotone_with_skew = unstable_times[1] >= unstable_times[2]
-        && unstable_times[2] >= unstable_times[3] * 0.8;
+    let monotone_with_skew =
+        unstable_times[1] >= unstable_times[2] && unstable_times[2] >= unstable_times[3] * 0.8;
     verdict(
         stable_slower_everywhere && skew_faster,
         "stable sort slower than unstable; high-skew data sorts faster than uniform",

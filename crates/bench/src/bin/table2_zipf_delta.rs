@@ -15,8 +15,13 @@ fn main() {
         "α: 0.4 0.5 0.6 0.7 0.8 0.9 → δ%: 0.2 0.5 1.0 2.0 3.7 6.4",
     );
     let n: usize = by_scale(300_000, 3_000_000);
-    let mut table =
-        Table::new(["alpha", "paper δ%", "model δ%", "empirical δ%", "key universe"]);
+    let mut table = Table::new([
+        "alpha",
+        "paper δ%",
+        "model δ%",
+        "empirical δ%",
+        "key universe",
+    ]);
     let mut all_close = true;
     for &(alpha, paper_delta) in &PAPER_ALPHA_DELTA_TABLE2 {
         let gen = ZipfGen::with_delta_target(alpha, paper_delta);
@@ -34,5 +39,8 @@ fn main() {
         ]);
     }
     table.print();
-    verdict(all_close, "empirical δ matches Table 2 within 25% at every α");
+    verdict(
+        all_close,
+        "empirical δ matches Table 2 within 25% at every α",
+    );
 }

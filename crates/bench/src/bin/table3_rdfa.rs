@@ -6,8 +6,10 @@
 //! HykSort is ∞ (OOM) everywhere while the SDS variants stay below ~2.7,
 //! and the fast and stable variants report (near-)identical RDFA.
 
-use bench::experiments::{weak_scaling_uniform, weak_scaling_zipf, ScalingCell};
-use bench::{by_scale, fmt_rdfa, header, model, verdict, Sorter, Table};
+use bench::experiments::{
+    emit_scaling_cells, weak_scaling_uniform, weak_scaling_zipf, ScalingCell,
+};
+use bench::{by_scale, fmt_rdfa, header, model, verdict, Emitter, Sorter, Table};
 
 fn print_block(name: &str, ps: &[usize], cells: &[ScalingCell]) -> (bool, Vec<f64>) {
     println!("\n{name}:");
@@ -22,7 +24,11 @@ fn print_block(name: &str, ps: &[usize], cells: &[ScalingCell]) -> (bool, Vec<f6
                 .map(|c| c.outcome.rdfa())
                 .unwrap_or(f64::NAN)
         };
-        let (h, s, st) = (get(Sorter::HykSort), get(Sorter::Sds), get(Sorter::SdsStable));
+        let (h, s, st) = (
+            get(Sorter::HykSort),
+            get(Sorter::Sds),
+            get(Sorter::SdsStable),
+        );
         if h.is_finite() {
             hyk_inf_everywhere = false;
         }
@@ -49,10 +55,16 @@ fn main() {
     let zipf = weak_scaling_zipf(&ps, n_rank, m);
     let (hyk_inf, zipf_rdfa) = print_block("Zipf (α = 1.4)", &ps, &zipf);
 
+    let mut em = Emitter::from_env("table3");
+    em.meta("n_rank", n_rank as u64);
+    emit_scaling_cells(&mut em, &uni, &[("workload", "uniform".into())]);
+    emit_scaling_cells(&mut em, &zipf, &[("workload", "zipf".into())]);
+
     let uni_near_one = uni_rdfa.iter().all(|&r| r.is_finite() && r < 1.3);
     let zipf_bounded = zipf_rdfa.iter().all(|&r| r.is_finite() && r <= 4.0);
     verdict(
         uni_near_one && hyk_inf && zipf_bounded,
         "Uniform RDFA ≈ 1 for SDS; Zipf RDFA: HykSort = inf, SDS bounded (Theorem 1)",
     );
+    em.finish().expect("write metrics");
 }

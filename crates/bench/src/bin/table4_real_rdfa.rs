@@ -3,8 +3,8 @@
 //! Paper values: PTF — HykSort 32.68, SDS-Sort 1.9908, SDS-Sort/stable
 //! 1.6908; Cosmology — HykSort ∞ (OOM), both SDS variants 1.3962.
 
-use bench::experiments::{cosmology_experiment, ptf_experiment};
-use bench::{by_scale, fmt_rdfa, header, model, verdict, Sorter, Table};
+use bench::experiments::{cosmology_experiment, emit_outcome_rows, ptf_experiment};
+use bench::{by_scale, fmt_rdfa, header, model, verdict, Emitter, Sorter, Table};
 
 fn main() {
     header(
@@ -15,9 +15,16 @@ fn main() {
     let ptf = ptf_experiment(192, by_scale(4000, 40_000), m);
     let cosmo = cosmology_experiment(512, by_scale(2000, 10_000), m);
 
+    let mut em = Emitter::from_env("table4");
+    emit_outcome_rows(&mut em, 192, &ptf, &[("dataset", "ptf".into())]);
+    emit_outcome_rows(&mut em, 512, &cosmo, &[("dataset", "cosmology".into())]);
+
     let mut table = Table::new(["dataset", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
     let get = |rows: &[(Sorter, bench::RunOutcome)], s: Sorter| {
-        rows.iter().find(|(x, _)| *x == s).map(|(_, o)| o.rdfa()).expect("row")
+        rows.iter()
+            .find(|(x, _)| *x == s)
+            .map(|(_, o)| o.rdfa())
+            .expect("row")
     };
     table.row([
         "PTF".to_string(),
@@ -43,4 +50,5 @@ fn main() {
         ptf_ok && cosmo_ok,
         "PTF: HykSort order-of-magnitude imbalance, SDS small; Cosmology: HykSort inf, SDS ~1.4",
     );
+    em.finish().expect("write metrics");
 }

@@ -19,7 +19,10 @@ const NODES: usize = 4;
 
 fn traffic(tau_m: usize) -> Vec<(String, u64, u64, u64)> {
     let p = CORES * NODES;
-    let world = World::new(p).cores_per_node(CORES).net(NetModel::edison()).trace(true);
+    let world = World::new(p)
+        .cores_per_node(CORES)
+        .net(NetModel::edison())
+        .trace(true);
     let mut cfg = SdsConfig::default();
     cfg.tau_m_bytes = tau_m;
     cfg.tau_o = 0;
@@ -31,7 +34,7 @@ fn traffic(tau_m: usize) -> Vec<(String, u64, u64, u64)> {
         .trace_phases
         .iter()
         .map(|(name, t)| {
-            let inter = t.internode_messages(CORES);
+            let inter = t.internode_messages(&report.topology);
             (name.clone(), t.total_messages(), inter, t.total_bytes())
         })
         .collect()
@@ -50,19 +53,32 @@ fn main() {
     println!("with node merging (τm = ∞):");
     let mut t1 = Table::new(["phase", "messages", "inter-node", "bytes"]);
     for (name, msgs, inter, bytes) in &merged {
-        t1.row([name.clone(), msgs.to_string(), inter.to_string(), bytes.to_string()]);
+        t1.row([
+            name.clone(),
+            msgs.to_string(),
+            inter.to_string(),
+            bytes.to_string(),
+        ]);
     }
     t1.print();
 
     println!("\nwithout node merging (τm = 0):");
     let mut t2 = Table::new(["phase", "messages", "inter-node", "bytes"]);
     for (name, msgs, inter, bytes) in &direct {
-        t2.row([name.clone(), msgs.to_string(), inter.to_string(), bytes.to_string()]);
+        t2.row([
+            name.clone(),
+            msgs.to_string(),
+            inter.to_string(),
+            bytes.to_string(),
+        ]);
     }
     t2.print();
 
     let inter_of = |rows: &[(String, u64, u64, u64)], phase: &str| {
-        rows.iter().find(|(n, ..)| n == phase).map(|&(_, _, i, _)| i).unwrap_or(0)
+        rows.iter()
+            .find(|(n, ..)| n == phase)
+            .map(|&(_, _, i, _)| i)
+            .unwrap_or(0)
     };
     let exch_merged = inter_of(&merged, "exchange");
     let exch_direct = inter_of(&direct, "exchange");

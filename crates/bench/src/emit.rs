@@ -1,0 +1,219 @@
+//! Structured result emission shared by every harness binary.
+//!
+//! Each harness records its series through an [`Emitter`] — one named
+//! series per sorter/variant, one point per parameter setting — instead of
+//! hand-rolling `println!` output. When the process was given
+//! `--metrics-out <path>` (or `BENCH_METRICS_OUT` is set), `finish`
+//! additionally writes the run as canonical JSON: a file named
+//! `BENCH_<experiment>.json` when the path is a directory, or the path
+//! itself when it ends in `.json`.
+//!
+//! The JSON shape (schema version [`EXPERIMENT_SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "kind": "experiment",
+//!   "experiment": "fig7",
+//!   "meta": { "n_rank": 20000, ... },
+//!   "series": [
+//!     { "name": "SDS-Sort",
+//!       "points": [ { "params": {"p": 8}, "values": {"time_s": 0.81, ...} } ] }
+//!   ]
+//! }
+//! ```
+
+use crate::RunOutcome;
+use mpisim::telemetry::Json;
+use std::path::{Path, PathBuf};
+
+/// Version of the experiment JSON schema written by [`Emitter::finish`].
+pub const EXPERIMENT_SCHEMA_VERSION: u64 = 1;
+
+/// Parse the metrics output destination from the process arguments
+/// (`--metrics-out <path>` or `--metrics-out=<path>`), falling back to the
+/// `BENCH_METRICS_OUT` environment variable.
+pub fn metrics_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    std::env::var_os("BENCH_METRICS_OUT").map(PathBuf::from)
+}
+
+struct SeriesData {
+    name: String,
+    points: Vec<Json>,
+}
+
+/// Collects one experiment's series and writes them as canonical JSON.
+pub struct Emitter {
+    experiment: String,
+    meta: Vec<(String, Json)>,
+    series: Vec<SeriesData>,
+    out: Option<PathBuf>,
+}
+
+impl Emitter {
+    /// An emitter for `experiment`, with the output destination taken from
+    /// the process arguments / environment (see [`metrics_out_path`]).
+    pub fn from_env(experiment: &str) -> Self {
+        Self::with_out(experiment, metrics_out_path())
+    }
+
+    /// An emitter writing to an explicit destination (`None` = print only).
+    pub fn with_out(experiment: &str, out: Option<PathBuf>) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            meta: Vec::new(),
+            series: Vec::new(),
+            out,
+        }
+    }
+
+    /// Attach an experiment-level metadata entry (sizes, workload, scale).
+    pub fn meta(&mut self, key: &str, value: impl Into<Json>) {
+        self.meta.push((key.to_string(), value.into()));
+    }
+
+    /// Record one data point of `series`: the parameter setting it was
+    /// measured at plus the measured values.
+    pub fn point(&mut self, series: &str, params: &[(&str, Json)], values: &[(&str, Json)]) {
+        let to_obj = |kv: &[(&str, Json)]| {
+            Json::Obj(kv.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+        };
+        let point = Json::obj(vec![("params", to_obj(params)), ("values", to_obj(values))]);
+        match self.series.iter_mut().find(|s| s.name == series) {
+            Some(s) => s.points.push(point),
+            None => self.series.push(SeriesData {
+                name: series.to_string(),
+                points: vec![point],
+            }),
+        }
+    }
+
+    /// The full experiment document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::from(EXPERIMENT_SCHEMA_VERSION)),
+            ("kind", Json::from("experiment")),
+            ("experiment", Json::from(self.experiment.clone())),
+            ("meta", Json::Obj(self.meta.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::from(s.name.clone())),
+                                ("points", Json::Arr(s.points.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Write the document if a destination was configured. Prints the
+    /// output path so harness logs record where the metrics went.
+    pub fn finish(self) -> std::io::Result<Option<PathBuf>> {
+        let Some(out) = &self.out else {
+            return Ok(None);
+        };
+        let path = resolve_out(out, &self.experiment);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, self.to_json().to_string_pretty() + "\n")?;
+        println!("metrics: wrote {}", path.display());
+        Ok(Some(path))
+    }
+}
+
+/// A `.json` path is used as-is; anything else is treated as a directory
+/// receiving `BENCH_<experiment>.json`.
+fn resolve_out(out: &Path, experiment: &str) -> PathBuf {
+    if out.extension().is_some_and(|e| e == "json") {
+        out.to_path_buf()
+    } else {
+        out.join(format!("BENCH_{experiment}.json"))
+    }
+}
+
+/// The standard value set recorded for one [`RunOutcome`] — shared so
+/// every harness reports the same keys.
+pub fn outcome_values(o: &RunOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("time_s", Json::from(o.time_s)),
+        ("rdfa", Json::from(o.rdfa())),
+        ("wall_s", Json::from(o.wall_s)),
+        ("pivot_s", Json::from(o.phases.pivot_s)),
+        ("exchange_s", Json::from(o.phases.exchange_s)),
+        ("local_order_s", Json::from(o.phases.local_order_s)),
+        ("other_s", Json::from(o.phases.other_s)),
+        ("recv_count_max", Json::from(o.phases.recv_count as u64)),
+        ("node_merged", Json::from(o.phases.node_merged)),
+        ("overlapped", Json::from(o.phases.overlapped)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape_and_roundtrip() {
+        let mut em = Emitter::with_out("figX", None);
+        em.meta("n_rank", 1000u64);
+        em.point(
+            "SDS-Sort",
+            &[("p", Json::from(8u64))],
+            &[("time_s", Json::from(0.5))],
+        );
+        em.point(
+            "SDS-Sort",
+            &[("p", Json::from(16u64))],
+            &[("time_s", Json::from(0.75))],
+        );
+        em.point(
+            "HykSort",
+            &[("p", Json::from(8u64))],
+            &[("time_s", Json::Null)],
+        );
+        let doc = em.to_json();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("experiment"));
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("figX"));
+        let series = doc.get("series").and_then(Json::as_arr).expect("series");
+        assert_eq!(series.len(), 2);
+        assert_eq!(
+            series[0]
+                .get("points")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        let reparsed = Json::parse(&doc.to_string_pretty()).expect("canonical JSON parses");
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn out_path_resolution() {
+        assert_eq!(
+            resolve_out(Path::new("out/metrics"), "fig7"),
+            PathBuf::from("out/metrics/BENCH_fig7.json")
+        );
+        assert_eq!(
+            resolve_out(Path::new("run.json"), "fig7"),
+            PathBuf::from("run.json")
+        );
+    }
+}

@@ -5,7 +5,9 @@
 //! figures (Figs. 9/10) and Table 4. Centralizing them keeps every harness
 //! reporting from the *same* runs it prints.
 
+use crate::emit::{outcome_values, Emitter};
 use crate::{run_sorter, RunOutcome, Sorter};
+use mpisim::telemetry::Json;
 use sdssort::ComputeModel;
 use workloads::{cosmology_particles, ptf_scores, uniform_u64, zipf_keys};
 
@@ -22,11 +24,7 @@ pub struct ScalingCell {
 
 /// Weak-scaling sweep over `ps` with `n_rank` uniform `u64` keys per rank
 /// (Fig. 7 / Table 3 "Uniform").
-pub fn weak_scaling_uniform(
-    ps: &[usize],
-    n_rank: usize,
-    model: ComputeModel,
-) -> Vec<ScalingCell> {
+pub fn weak_scaling_uniform(ps: &[usize], n_rank: usize, model: ComputeModel) -> Vec<ScalingCell> {
     sweep(ps, model, None, move |r| uniform_u64(n_rank, 0xF167, r))
 }
 
@@ -39,15 +37,12 @@ pub fn weak_scaling_zipf(ps: &[usize], n_rank: usize, model: ComputeModel) -> Ve
     // (< 2.7, Table 3) and far below an all-duplicates-on-one-rank
     // concentration (1 + δ·p shares).
     let budget = n_rank * 8 * 7 / 2;
-    sweep(ps, model, Some(budget), move |r| zipf_keys(n_rank, 1.4, 0xF168, r))
+    sweep(ps, model, Some(budget), move |r| {
+        zipf_keys(n_rank, 1.4, 0xF168, r)
+    })
 }
 
-fn sweep<T, G>(
-    ps: &[usize],
-    model: ComputeModel,
-    budget: Option<usize>,
-    gen: G,
-) -> Vec<ScalingCell>
+fn sweep<T, G>(ps: &[usize], model: ComputeModel, budget: Option<usize>, gen: G) -> Vec<ScalingCell>
 where
     T: sdssort::Sortable,
     G: Fn(usize) -> Vec<T> + Send + Sync + Copy,
@@ -62,6 +57,33 @@ where
     cells
 }
 
+/// Emit every cell of a weak-scaling sweep: one series per sorter, one
+/// point per process count, with the shared [`outcome_values`] keys.
+/// `extra` params are appended to every point (e.g. a workload tag when a
+/// harness emits several sweeps).
+pub fn emit_scaling_cells(em: &mut Emitter, cells: &[ScalingCell], extra: &[(&str, Json)]) {
+    for c in cells {
+        let mut params = vec![("p", Json::from(c.p as u64))];
+        params.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        em.point(c.sorter.label(), &params, &outcome_values(&c.outcome));
+    }
+}
+
+/// Emit one row per sorter of a fixed-`p` experiment (Figs. 9/10,
+/// Table 4), appending `extra` params to every point.
+pub fn emit_outcome_rows(
+    em: &mut Emitter,
+    p: usize,
+    rows: &[(Sorter, RunOutcome)],
+    extra: &[(&str, Json)],
+) {
+    for (sorter, outcome) in rows {
+        let mut params = vec![("p", Json::from(p as u64))];
+        params.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        em.point(sorter.label(), &params, &outcome_values(outcome));
+    }
+}
+
 /// The PTF experiment (Fig. 9 / Table 4): `p` ranks sorting synthetic
 /// real-bogus scores (δ ≈ 28 %). No memory budget — the paper notes the
 /// whole 27 GB dataset fits on one 64 GB node, so HykSort finishes despite
@@ -69,7 +91,12 @@ where
 pub fn ptf_experiment(p: usize, n_rank: usize, model: ComputeModel) -> Vec<(Sorter, RunOutcome)> {
     [Sorter::HykSort, Sorter::Sds, Sorter::SdsStable]
         .into_iter()
-        .map(|s| (s, run_sorter(s, p, None, model, move |r| ptf_scores(n_rank, 0x97F, r))))
+        .map(|s| {
+            (
+                s,
+                run_sorter(s, p, None, model, move |r| ptf_scores(n_rank, 0x97F, r)),
+            )
+        })
         .collect()
 }
 
@@ -88,7 +115,12 @@ pub fn cosmology_experiment(
     [Sorter::HykSort, Sorter::Sds, Sorter::SdsStable]
         .into_iter()
         .map(|s| {
-            (s, run_sorter(s, p, Some(budget), model, move |r| cosmology_particles(n_rank, 0xC05, r)))
+            (
+                s,
+                run_sorter(s, p, Some(budget), model, move |r| {
+                    cosmology_particles(n_rank, 0xC05, r)
+                }),
+            )
         })
         .collect()
 }

@@ -16,9 +16,11 @@ use mpisim::{Comm, NetModel, World};
 use sdssort::{sds_sort, ComputeCharge, ComputeModel, SdsConfig, SortError, SortOutput, Sortable};
 use std::time::Instant;
 
+pub mod emit;
 pub mod experiments;
 pub mod table;
 
+pub use emit::{metrics_out_path, Emitter};
 pub use table::{fmt_bytes, fmt_time, Table};
 
 /// Experiment scale, from the `BENCH_SCALE` env var.
@@ -54,7 +56,10 @@ pub fn model() -> ComputeModel {
 /// A modelled world: Edison network, 24-core nodes, zero wall-clock
 /// compute charging (compute enters through `ComputeCharge::Modeled`).
 pub fn modeled_world(p: usize) -> World {
-    World::new(p).cores_per_node(24).net(NetModel::edison()).compute_scale(0.0)
+    World::new(p)
+        .cores_per_node(24)
+        .net(NetModel::edison())
+        .compute_scale(0.0)
 }
 
 /// Which sorter a harness runs.
@@ -133,8 +138,11 @@ where
             wall_s,
         };
     }
-    let stats: Vec<sdssort::SortStats> =
-        report.results.iter().map(|r| r.as_ref().expect("checked ok").stats).collect();
+    let stats: Vec<sdssort::SortStats> = report
+        .results
+        .iter()
+        .map(|r| r.as_ref().expect("checked ok").stats)
+        .collect();
     let loads = report
         .results
         .iter()
@@ -210,11 +218,17 @@ pub fn header(id: &str, paper_claim: &str) {
     println!("==============================================================");
     println!("{id}");
     println!("paper: {paper_claim}");
-    println!("scale: {:?} (set BENCH_SCALE=full for larger sweeps)", scale());
+    println!(
+        "scale: {:?} (set BENCH_SCALE=full for larger sweeps)",
+        scale()
+    );
     println!("==============================================================");
 }
 
 /// Print a shape verdict line.
 pub fn verdict(ok: bool, what: &str) {
-    println!("shape: [{}] {what}", if ok { "REPRODUCED" } else { "DIVERGED" });
+    println!(
+        "shape: [{}] {what}",
+        if ok { "REPRODUCED" } else { "DIVERGED" }
+    );
 }

@@ -47,6 +47,7 @@ impl Comm {
         send_counts: &[usize],
         recv_counts: Vec<usize>,
     ) -> AsyncAlltoallv<T> {
+        self.count("coll.alltoallv_async", 1);
         let p = self.size();
         assert_eq!(send_counts.len(), p);
         assert_eq!(send_counts.iter().sum::<usize>(), data.len());
@@ -59,8 +60,7 @@ impl Comm {
             offsets.push(offsets.last().copied().expect("non-empty") + c);
         }
         let self_slice = &data[offsets[me]..offsets[me + 1]];
-        let self_chunk =
-            (!self_slice.is_empty()).then(|| self_slice.to_vec());
+        let self_chunk = (!self_slice.is_empty()).then(|| self_slice.to_vec());
         // Staggered send order, matching the synchronous alltoallv (see
         // there for the arrival-spread rationale).
         for i in 1..p {
@@ -118,8 +118,7 @@ impl<T: Send + 'static> AsyncAlltoallv<T> {
         // Progress cost of testing the outstanding requests (MPI_Test
         // sweep): grows with the number of pending peers, which is what
         // erodes the overlap benefit at large process counts (Fig. 5b).
-        comm.clock()
-            .charge(comm.universe().net().async_test_overhead * self.remaining as f64);
+        comm.charge_comm(comm.universe().net().async_test_overhead * self.remaining as f64);
         if let Some(chunk) = self.self_chunk.take() {
             self.remaining -= 1;
             return Some((comm.rank(), chunk));

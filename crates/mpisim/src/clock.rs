@@ -34,7 +34,10 @@ impl VirtualClock {
     /// faster or slower CPU than the host.
     pub fn new(compute_scale: f64) -> Self {
         assert!(compute_scale.is_finite() && compute_scale >= 0.0);
-        Self { now: Cell::new(0.0), compute_scale }
+        Self {
+            now: Cell::new(0.0),
+            compute_scale,
+        }
     }
 
     /// Current virtual time in seconds.

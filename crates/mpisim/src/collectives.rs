@@ -4,6 +4,11 @@
 //! tag isolation so that interleaved collectives on the same communicator
 //! never cross-match. Reductions fold in rank order, so results are
 //! deterministic even for non-commutative closures.
+//!
+//! When telemetry is enabled, each traffic-generating primitive (barrier,
+//! bcast, gatherv, alltoall, alltoallv, scatterv) bumps a `coll.<name>`
+//! counter on entry; composed collectives (gather, allreduce, scans, …)
+//! show up as the primitives they delegate to.
 
 use crate::comm::Comm;
 
@@ -12,6 +17,7 @@ impl Comm {
     /// Also synchronizes virtual clocks: after the barrier every clock is at
     /// least the maximum pre-barrier clock plus the modelled barrier cost.
     pub fn barrier(&self) {
+        self.count("coll.barrier", 1);
         let p = self.size();
         if p == 1 {
             return;
@@ -32,6 +38,7 @@ impl Comm {
     /// Broadcast from `root` (binomial tree). `data` must be `Some` on the
     /// root and is ignored elsewhere; every rank returns the payload.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        self.count("coll.bcast", 1);
         let p = self.size();
         let tag = self.next_coll_tag();
         if p == 1 {
@@ -64,7 +71,12 @@ impl Comm {
 
     /// Gather variable-length contributions to `root`. Root returns one
     /// vector per rank (in rank order); other ranks return `None`.
-    pub fn gatherv<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+    pub fn gatherv<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: &[T],
+    ) -> Option<Vec<Vec<T>>> {
+        self.count("coll.gatherv", 1);
         let p = self.size();
         let tag = self.next_coll_tag();
         if self.rank() == root {
@@ -86,7 +98,8 @@ impl Comm {
     /// Gather equal-length contributions to `root`, concatenated in rank
     /// order. Other ranks return `None`.
     pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
-        self.gatherv(root, data).map(|parts| parts.into_iter().flatten().collect())
+        self.gatherv(root, data)
+            .map(|parts| parts.into_iter().flatten().collect())
     }
 
     /// All ranks obtain the concatenation (rank order) of every rank's
@@ -102,8 +115,22 @@ impl Comm {
         } else {
             (Vec::new(), Vec::new())
         };
-        let counts = self.bcast(root, if self.rank() == root { Some(counts) } else { None });
-        let flat = self.bcast(root, if self.rank() == root { Some(flat) } else { None });
+        let counts = self.bcast(
+            root,
+            if self.rank() == root {
+                Some(counts)
+            } else {
+                None
+            },
+        );
+        let flat = self.bcast(
+            root,
+            if self.rank() == root {
+                Some(flat)
+            } else {
+                None
+            },
+        );
         (flat, counts)
     }
 
@@ -115,6 +142,7 @@ impl Comm {
     /// Personalized all-to-all: `data` holds exactly one item per rank;
     /// returns the item received from each rank, in rank order.
     pub fn alltoall<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        self.count("coll.alltoall", 1);
         let p = self.size();
         assert_eq!(data.len(), p, "alltoall requires one item per rank");
         let tag = self.next_coll_tag();
@@ -162,6 +190,7 @@ impl Comm {
         send_counts: &[usize],
         recv_counts: &[usize],
     ) -> Vec<T> {
+        self.count("coll.alltoallv", 1);
         let p = self.size();
         assert_eq!(send_counts.len(), p, "one send count per rank");
         assert_eq!(recv_counts.len(), p, "one recv count per rank");
@@ -205,13 +234,14 @@ impl Comm {
         value: T,
         op: impl Fn(T, T) -> T,
     ) -> Option<T> {
-        self.gatherv(root, std::slice::from_ref(&value)).map(|parts| {
-            parts
-                .into_iter()
-                .flatten()
-                .reduce(op)
-                .expect("at least one contribution")
-        })
+        self.gatherv(root, std::slice::from_ref(&value))
+            .map(|parts| {
+                parts
+                    .into_iter()
+                    .flatten()
+                    .reduce(op)
+                    .expect("at least one contribution")
+            })
     }
 
     /// Allreduce with `op` (deterministic rank-order fold).
@@ -251,6 +281,7 @@ impl Comm {
         root: usize,
         chunks: Option<Vec<Vec<T>>>,
     ) -> Vec<T> {
+        self.count("coll.scatterv", 1);
         let p = self.size();
         let tag = self.next_coll_tag();
         if self.rank() == root {

@@ -61,8 +61,13 @@ impl Comm {
         my_index: usize,
         clock: Rc<VirtualClock>,
     ) -> Self {
-        let world_to_comm =
-            Arc::new(members.iter().enumerate().map(|(i, &w)| (w, i)).collect::<HashMap<_, _>>());
+        let world_to_comm = Arc::new(
+            members
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (w, i))
+                .collect::<HashMap<_, _>>(),
+        );
         Self {
             uni,
             ctx,
@@ -116,18 +121,83 @@ impl Comm {
 
     /// Shorthand: run `f`, measure wall time, charge it to the clock.
     pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.clock.measure(f)
+        let before = self.clock.now();
+        let r = self.clock.measure(f);
+        self.uni
+            .recorder
+            .add_compute(self.world_rank(), self.clock.now() - before);
+        r
     }
 
-    /// Attribute subsequent traced traffic to the named phase (no-op when
-    /// tracing is disabled; see [`crate::trace`]).
+    /// Charge modeled compute seconds to this rank's clock, attributing
+    /// them to the compute ledger in the telemetry recorder.
+    pub fn charge_compute(&self, seconds: f64) {
+        self.clock.charge(seconds);
+        self.uni.recorder.add_compute(self.world_rank(), seconds);
+    }
+
+    /// Charge communication-overhead seconds (injection, probe costs) to
+    /// this rank's clock, attributing them to the comm ledger.
+    pub(crate) fn charge_comm(&self, seconds: f64) {
+        self.clock.charge(seconds);
+        self.uni.recorder.add_comm(self.world_rank(), seconds);
+    }
+
+    /// Attribute subsequent traced traffic (tracer matrices and telemetry
+    /// phase totals) to the named phase. No-op when both are disabled.
     pub fn trace_phase(&self, name: &str) {
         self.uni.tracer.set_phase(name);
+        self.uni.recorder.set_phase(name);
+    }
+
+    /// The world's telemetry recorder (disabled unless the world was built
+    /// with [`crate::World::telemetry`]).
+    pub fn recorder(&self) -> &telemetry::Recorder {
+        &self.uni.recorder
+    }
+
+    /// Open a telemetry span on this rank at the current virtual time.
+    pub fn span_begin(&self, name: &str) -> telemetry::SpanId {
+        self.uni
+            .recorder
+            .span_begin(self.world_rank(), name, self.clock.now())
+    }
+
+    /// Close a telemetry span at the current virtual time.
+    pub fn span_end(&self, id: telemetry::SpanId) {
+        self.uni.recorder.span_end(id, self.clock.now());
+    }
+
+    /// Record a telemetry point event on this rank at the current virtual
+    /// time.
+    pub fn event(&self, name: &str, detail: &str) {
+        self.uni
+            .recorder
+            .event(self.world_rank(), name, detail, self.clock.now());
+    }
+
+    /// Bump a named telemetry counter.
+    pub fn count(&self, name: &str, n: u64) {
+        self.uni.recorder.count(name, n);
     }
 
     /// Reserve `bytes` of simulated memory on this rank.
     pub fn try_alloc(&self, bytes: usize) -> Result<(), OomError> {
-        self.uni.memory().try_alloc(self.world_rank(), bytes)
+        let res = self.uni.memory().try_alloc(self.world_rank(), bytes);
+        if self.uni.recorder.enabled() {
+            if let Err(e) = &res {
+                self.uni.recorder.count("mem.oom", 1);
+                self.event(
+                    "oom",
+                    &format!("requested {} with {} available", e.requested, e.available),
+                );
+            }
+            self.uni.recorder.gauge_max(
+                "mem.high_water",
+                self.uni.memory().high_water(self.world_rank()) as f64,
+            );
+        }
+        res
     }
 
     /// Release a simulated-memory reservation.
@@ -177,10 +247,11 @@ impl Comm {
         let dst_w = self.members[dst];
         let topo = self.uni.topology();
         let net = self.uni.net();
-        self.clock.charge(net.inject_time(topo, src_w, dst_w, bytes));
+        self.charge_comm(net.inject_time(topo, src_w, dst_w, bytes));
         let arrival = self.clock.now() + net.transit_time(topo, src_w, dst_w, bytes);
         self.uni.stats().record(bytes);
         self.uni.tracer.record(src_w, dst_w, bytes);
+        self.uni.recorder.on_send(src_w, dst_w, bytes);
         self.uni.mailboxes[dst_w].push(Envelope {
             ctx: self.ctx,
             src: src_w,
@@ -242,7 +313,8 @@ impl Comm {
     pub fn try_recv_any<T: Send + 'static>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
         self.check_alive();
         let mb = &self.uni.mailboxes[self.world_rank()];
-        mb.try_take(self.ctx, SrcSel::Any, tag).map(|env| self.open_envelope(env))
+        mb.try_take(self.ctx, SrcSel::Any, tag)
+            .map(|env| self.open_envelope(env))
     }
 
     /// Non-blocking receive attempt from a specific source rank.

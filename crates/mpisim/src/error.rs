@@ -65,7 +65,12 @@ mod tests {
 
     #[test]
     fn oom_display_mentions_rank_and_sizes() {
-        let e = OomError { rank: 3, requested: 100, available: 10, budget: 50 };
+        let e = OomError {
+            rank: 3,
+            requested: 100,
+            available: 10,
+            budget: 50,
+        };
         let s = e.to_string();
         assert!(s.contains("rank 3"));
         assert!(s.contains("100 B"));
@@ -74,7 +79,12 @@ mod tests {
 
     #[test]
     fn comm_error_from_oom() {
-        let oom = OomError { rank: 0, requested: 1, available: 0, budget: 0 };
+        let oom = OomError {
+            rank: 0,
+            requested: 1,
+            available: 0,
+            budget: 0,
+        };
         let ce: CommError = oom.clone().into();
         assert_eq!(ce, CommError::Oom(oom));
     }

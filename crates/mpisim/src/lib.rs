@@ -55,3 +55,7 @@ pub use runtime::{World, WorldReport};
 pub use topology::Topology;
 pub use trace::{PhaseTraffic, Tracer};
 pub use universe::Universe;
+
+// Re-exported so downstream crates can name `WorldReport::telemetry` types
+// without a direct dependency.
+pub use telemetry;

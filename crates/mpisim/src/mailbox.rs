@@ -46,7 +46,10 @@ pub(crate) struct Mailbox {
 
 impl Default for Mailbox {
     fn default() -> Self {
-        Self { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
     }
 }
 
@@ -111,7 +114,14 @@ mod tests {
 
     fn env(ctx: u64, src: usize, tag: u64, payload: Vec<u32>) -> Envelope {
         let bytes = payload.len() * 4;
-        Envelope { ctx, src, tag, data: Box::new(payload), bytes, arrival: 0.0 }
+        Envelope {
+            ctx,
+            src,
+            tag,
+            data: Box::new(payload),
+            bytes,
+            arrival: 0.0,
+        }
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl MemoryTracker {
     /// Release a previous reservation.
     pub fn free(&self, rank: usize, bytes: usize) {
         let prev = self.used[rank].fetch_sub(bytes, Ordering::Relaxed);
-        debug_assert!(prev >= bytes, "free of {bytes} B exceeds {prev} B in use on rank {rank}");
+        debug_assert!(
+            prev >= bytes,
+            "free of {bytes} B exceeds {prev} B in use on rank {rank}"
+        );
     }
 
     /// Bytes currently charged to `rank`.
@@ -81,7 +84,11 @@ impl MemoryTracker {
 
     /// Highest simultaneous usage observed on any rank.
     pub fn max_high_water(&self) -> usize {
-        self.high_water.iter().map(|h| h.load(Ordering::Relaxed)).max().unwrap_or(0)
+        self.high_water
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 }
 

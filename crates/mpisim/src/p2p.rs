@@ -30,14 +30,14 @@ impl Comm {
 
     /// Post a nonblocking receive for a message from `src` with `tag`.
     pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u64) -> RecvRequest<T> {
-        RecvRequest { src, tag, done: None }
+        RecvRequest {
+            src,
+            tag,
+            done: None,
+        }
     }
 
-    pub(crate) fn try_take_from<T: Send + 'static>(
-        &self,
-        src: usize,
-        tag: u64,
-    ) -> Option<Vec<T>> {
+    pub(crate) fn try_take_from<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<Vec<T>> {
         self.try_recv_from(src, tag)
     }
 }
@@ -50,7 +50,7 @@ impl<T: Send + 'static> RecvRequest<T> {
         if self.done.is_some() {
             return true;
         }
-        comm.clock().charge(comm.universe().net().async_test_overhead);
+        comm.charge_comm(comm.universe().net().async_test_overhead);
         if let Some(data) = comm.try_take_from::<T>(self.src, self.tag) {
             self.done = Some(data);
             true

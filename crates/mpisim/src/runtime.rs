@@ -21,11 +21,13 @@ use std::time::{Duration, Instant};
 pub struct World {
     size: usize,
     cores_per_node: usize,
+    node_map: Option<Vec<usize>>,
     net: NetModel,
     memory_budget: Option<usize>,
     compute_scale: f64,
     stack_size: usize,
     trace: bool,
+    telemetry: bool,
 }
 
 impl World {
@@ -37,11 +39,13 @@ impl World {
         Self {
             size,
             cores_per_node: 24,
+            node_map: None,
             net: NetModel::edison(),
             memory_budget: None,
             compute_scale: 1.0,
             stack_size: 1 << 21, // 2 MiB: worlds may have thousands of ranks
             trace: false,
+            telemetry: false,
         }
     }
 
@@ -53,10 +57,28 @@ impl World {
         self
     }
 
+    /// Enable telemetry recording (phase comm totals, span timelines,
+    /// metrics; see the `telemetry` crate); the snapshot lands in
+    /// [`WorldReport::telemetry`]. Recording is a pure observer: results
+    /// and virtual clocks are identical with it on or off.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Set simulated cores (= ranks) per node.
     pub fn cores_per_node(mut self, c: usize) -> Self {
         assert!(c > 0);
         self.cores_per_node = c;
+        self
+    }
+
+    /// Place ranks on nodes via an explicit rank→node map instead of the
+    /// block `rank / cores_per_node` layout (see
+    /// [`Topology::with_node_map`]). The map length must equal the world
+    /// size (checked in [`World::run`]).
+    pub fn node_map(mut self, node_of: Vec<usize>) -> Self {
+        self.node_map = Some(node_of);
         self
     }
 
@@ -98,8 +120,20 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
-        let topo = Topology::new(self.size, self.cores_per_node);
-        let uni = Arc::new(Universe::new(topo, self.net.clone(), self.memory_budget, self.trace));
+        let topo = match &self.node_map {
+            Some(map) => {
+                assert_eq!(map.len(), self.size, "node map must cover every rank");
+                Topology::with_node_map(map.clone())
+            }
+            None => Topology::new(self.size, self.cores_per_node),
+        };
+        let uni = Arc::new(Universe::new(
+            topo,
+            self.net.clone(),
+            self.memory_budget,
+            self.trace,
+            self.telemetry,
+        ));
         let members: Arc<[usize]> = (0..self.size).collect();
         let started = Instant::now();
 
@@ -121,8 +155,7 @@ impl World {
                         let clock = Rc::new(VirtualClock::new(compute_scale));
                         let mut comm =
                             Comm::new(Arc::clone(&uni), 0, members, rank, Rc::clone(&clock));
-                        let out =
-                            std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                         match out {
                             Ok(r) => {
                                 *slot = Some((r, clock.now()));
@@ -139,7 +172,10 @@ impl World {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread must not die outside catch_unwind"))
+                .map(|h| {
+                    h.join()
+                        .expect("rank thread must not die outside catch_unwind")
+                })
                 .collect()
         });
 
@@ -171,6 +207,9 @@ impl World {
         } else {
             Vec::new()
         };
+        let telemetry = self.telemetry.then(|| uni.recorder().snapshot());
+        let per_rank_memory_high_water =
+            (0..self.size).map(|r| uni.memory().high_water(r)).collect();
         WorldReport {
             results,
             per_rank_time,
@@ -179,7 +218,11 @@ impl World {
             messages: uni.stats().messages(),
             bytes: uni.stats().bytes(),
             max_memory_high_water: uni.memory().max_high_water(),
+            per_rank_memory_high_water,
+            memory_budget: self.memory_budget,
+            topology: uni.topology().clone(),
             trace_phases,
+            telemetry,
         }
     }
 }
@@ -201,8 +244,16 @@ pub struct WorldReport<R> {
     pub bytes: u64,
     /// Peak simulated memory usage on any rank.
     pub max_memory_high_water: usize,
+    /// Peak simulated memory usage per rank.
+    pub per_rank_memory_high_water: Vec<usize>,
+    /// The per-rank memory budget the world ran under, if any.
+    pub memory_budget: Option<usize>,
+    /// The rank→node topology the world ran on.
+    pub topology: Topology,
     /// Per-phase traffic matrices (empty unless tracing was enabled).
     pub trace_phases: Vec<(String, crate::trace::PhaseTraffic)>,
+    /// Recorder snapshot (`None` unless telemetry was enabled).
+    pub telemetry: Option<telemetry::Snapshot>,
 }
 
 impl<R> WorldReport<R> {

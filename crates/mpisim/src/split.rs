@@ -33,8 +33,10 @@ impl Comm {
             .map(|(old_rank, &(_, _, k))| (k, old_rank))
             .collect();
         group.sort_unstable();
-        let members: Arc<[usize]> =
-            group.iter().map(|&(_, old)| self.world_rank_of(old)).collect();
+        let members: Arc<[usize]> = group
+            .iter()
+            .map(|&(_, old)| self.world_rank_of(old))
+            .collect();
         let my_index = group
             .iter()
             .position(|&(_, old)| old == self.rank())

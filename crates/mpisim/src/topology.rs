@@ -5,14 +5,27 @@
 //! optimizations — node-level merging before the all-to-all exchange, and
 //! `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)` — depend on knowing which
 //! ranks share a node. [`Topology`] captures that mapping for the simulated
-//! machine: ranks are packed onto nodes in contiguous blocks of
-//! `cores_per_node`.
+//! machine. By default ranks are packed onto nodes in contiguous blocks of
+//! `cores_per_node`; [`Topology::with_node_map`] supports arbitrary
+//! placements (round-robin launchers, heterogeneous node sizes), and every
+//! consumer — the network cost model, node-local communicator splits, and
+//! traffic accounting — routes through this type rather than assuming the
+//! block layout.
 
 /// Immutable description of how world ranks map onto simulated nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     world_size: usize,
     cores_per_node: usize,
+    /// Explicit rank→node map; `None` means the block mapping
+    /// `node_of(r) = r / cores_per_node`.
+    custom: Option<CustomMap>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CustomMap {
+    node_of: Vec<usize>,
+    num_nodes: usize,
 }
 
 impl Topology {
@@ -24,7 +37,39 @@ impl Topology {
     pub fn new(world_size: usize, cores_per_node: usize) -> Self {
         assert!(world_size > 0, "world_size must be positive");
         assert!(cores_per_node > 0, "cores_per_node must be positive");
-        Self { world_size, cores_per_node }
+        Self {
+            world_size,
+            cores_per_node,
+            custom: None,
+        }
+    }
+
+    /// Create a topology from an explicit rank→node map (`node_of[rank]`).
+    /// Node ids must be dense: every id in `0..max+1` must host at least
+    /// one rank.
+    ///
+    /// # Panics
+    /// Panics if the map is empty or has gaps in its node ids.
+    pub fn with_node_map(node_of: Vec<usize>) -> Self {
+        assert!(!node_of.is_empty(), "node map must cover at least one rank");
+        let num_nodes = node_of.iter().max().expect("non-empty") + 1;
+        let mut seen = vec![false; num_nodes];
+        for &n in &node_of {
+            seen[n] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "node ids must be dense (every id in 0..=max occupied)"
+        );
+        let max_per_node = (0..num_nodes)
+            .map(|n| node_of.iter().filter(|&&x| x == n).count())
+            .max()
+            .expect("at least one node");
+        Self {
+            world_size: node_of.len(),
+            cores_per_node: max_per_node,
+            custom: Some(CustomMap { node_of, num_nodes }),
+        }
     }
 
     /// Number of ranks in the world.
@@ -32,7 +77,8 @@ impl Topology {
         self.world_size
     }
 
-    /// Cores (= ranks) per node.
+    /// Cores (= ranks) per node. For custom maps this is the *largest*
+    /// node's occupancy (nodes may be heterogeneous).
     pub fn cores_per_node(&self) -> usize {
         self.cores_per_node
     }
@@ -40,17 +86,29 @@ impl Topology {
     /// Node index hosting `rank`.
     pub fn node_of(&self, rank: usize) -> usize {
         debug_assert!(rank < self.world_size);
-        rank / self.cores_per_node
+        match &self.custom {
+            Some(m) => m.node_of[rank],
+            None => rank / self.cores_per_node,
+        }
     }
 
     /// Total number of (possibly partially filled) nodes.
     pub fn num_nodes(&self) -> usize {
-        self.world_size.div_ceil(self.cores_per_node)
+        match &self.custom {
+            Some(m) => m.num_nodes,
+            None => self.world_size.div_ceil(self.cores_per_node),
+        }
     }
 
     /// Rank's index within its node (0 = node leader).
     pub fn local_index(&self, rank: usize) -> usize {
-        rank % self.cores_per_node
+        match &self.custom {
+            Some(m) => {
+                let node = m.node_of[rank];
+                m.node_of[..rank].iter().filter(|&&n| n == node).count()
+            }
+            None => rank % self.cores_per_node,
+        }
     }
 
     /// Whether `a` and `b` live on the same node (intra-node messages are
@@ -61,10 +119,30 @@ impl Topology {
 
     /// World ranks co-located on `rank`'s node, in ascending order.
     pub fn node_members(&self, rank: usize) -> Vec<usize> {
-        let node = self.node_of(rank);
-        let lo = node * self.cores_per_node;
-        let hi = ((node + 1) * self.cores_per_node).min(self.world_size);
-        (lo..hi).collect()
+        match &self.custom {
+            Some(m) => {
+                let node = m.node_of[rank];
+                (0..self.world_size)
+                    .filter(|&r| m.node_of[r] == node)
+                    .collect()
+            }
+            None => {
+                let node = self.node_of(rank);
+                let lo = node * self.cores_per_node;
+                let hi = ((node + 1) * self.cores_per_node).min(self.world_size);
+                (lo..hi).collect()
+            }
+        }
+    }
+
+    /// The full rank→node map as a vector (`v[rank] = node`).
+    pub fn node_map(&self) -> Vec<usize> {
+        match &self.custom {
+            Some(m) => m.node_of.clone(),
+            None => (0..self.world_size)
+                .map(|r| r / self.cores_per_node)
+                .collect(),
+        }
     }
 }
 
@@ -119,5 +197,49 @@ mod tests {
     #[should_panic(expected = "cores_per_node")]
     fn zero_cores_rejected() {
         Topology::new(4, 0);
+    }
+
+    #[test]
+    fn custom_map_round_robin() {
+        // Round-robin placement of 6 ranks over 2 nodes.
+        let t = Topology::with_node_map(vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(t.world_size(), 6);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.cores_per_node(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 1);
+        assert!(t.same_node(0, 4));
+        assert!(!t.same_node(0, 1));
+        assert_eq!(t.node_members(2), vec![0, 2, 4]);
+        assert_eq!(t.node_members(1), vec![1, 3, 5]);
+        // local_index counts earlier co-residents: 0,2,4 on node 0.
+        assert_eq!(t.local_index(0), 0);
+        assert_eq!(t.local_index(2), 1);
+        assert_eq!(t.local_index(4), 2);
+        assert_eq!(t.node_map(), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn custom_map_heterogeneous_nodes() {
+        let t = Topology::with_node_map(vec![0, 0, 0, 1]);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.cores_per_node(), 3);
+        assert_eq!(t.node_members(3), vec![3]);
+        assert_eq!(t.local_index(3), 0);
+    }
+
+    #[test]
+    fn block_map_vector_matches_node_of() {
+        let t = Topology::new(10, 4);
+        let map = t.node_map();
+        for (r, &node) in map.iter().enumerate() {
+            assert_eq!(node, t.node_of(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn gappy_node_ids_rejected() {
+        Topology::with_node_map(vec![0, 2]);
     }
 }

@@ -10,6 +10,7 @@
 //! Tracing is off by default (zero cost beyond an atomic load per send);
 //! enable it per world with [`crate::runtime::World::trace`].
 
+use crate::topology::Topology;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,7 +26,10 @@ pub struct PhaseTraffic {
 
 impl PhaseTraffic {
     fn new(p: usize) -> Self {
-        Self { messages: vec![vec![0; p]; p], bytes: vec![vec![0; p]; p] }
+        Self {
+            messages: vec![vec![0; p]; p],
+            bytes: vec![vec![0; p]; p],
+        }
     }
 
     /// Total messages in this phase.
@@ -38,12 +42,23 @@ impl PhaseTraffic {
         self.bytes.iter().flatten().sum()
     }
 
-    /// Messages crossing node boundaries, given `cores_per_node`.
-    pub fn internode_messages(&self, cores_per_node: usize) -> u64 {
+    /// Messages crossing node boundaries under the given topology. Custom
+    /// rank→node maps (see [`Topology::with_node_map`]) are honoured — this
+    /// must not assume the block `rank / cores_per_node` layout.
+    pub fn internode_messages(&self, topo: &Topology) -> u64 {
+        self.fold_internode(&self.messages, topo)
+    }
+
+    /// Bytes crossing node boundaries under the given topology.
+    pub fn internode_bytes(&self, topo: &Topology) -> u64 {
+        self.fold_internode(&self.bytes, topo)
+    }
+
+    fn fold_internode(&self, matrix: &[Vec<u64>], topo: &Topology) -> u64 {
         let mut n = 0;
-        for (src, row) in self.messages.iter().enumerate() {
+        for (src, row) in matrix.iter().enumerate() {
             for (dst, &m) in row.iter().enumerate() {
-                if src / cores_per_node != dst / cores_per_node {
+                if !topo.same_node(src, dst) {
                     n += m;
                 }
             }
@@ -176,11 +191,27 @@ mod tests {
     #[test]
     fn internode_classification() {
         let t = Tracer::new(4, true);
-        t.record(0, 1, 1); // same node with 2 cores/node
-        t.record(0, 2, 1); // cross node
-        t.record(3, 0, 1); // cross node
+        t.record(0, 1, 8); // same node with 2 cores/node
+        t.record(0, 2, 8); // cross node
+        t.record(3, 0, 8); // cross node
         let total = t.total();
-        assert_eq!(total.internode_messages(2), 2);
-        assert_eq!(total.internode_messages(4), 0);
+        assert_eq!(total.internode_messages(&Topology::new(4, 2)), 2);
+        assert_eq!(total.internode_messages(&Topology::new(4, 4)), 0);
+        assert_eq!(total.internode_bytes(&Topology::new(4, 2)), 16);
+    }
+
+    #[test]
+    fn internode_respects_custom_node_map() {
+        // Round-robin map: ranks 0,2 on node 0; ranks 1,3 on node 1. The
+        // old block assumption (`rank / cores_per_node`) would classify
+        // 0→2 as crossing and 0→1 as local — both wrong here.
+        let t = Tracer::new(4, true);
+        t.record(0, 2, 8); // intra-node under the custom map
+        t.record(0, 1, 8); // inter-node
+        t.record(1, 3, 8); // intra-node
+        let topo = Topology::with_node_map(vec![0, 1, 0, 1]);
+        let total = t.total();
+        assert_eq!(total.internode_messages(&topo), 1);
+        assert_eq!(total.internode_bytes(&topo), 8);
     }
 }

@@ -9,6 +9,7 @@ use crate::trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use telemetry::Recorder;
 
 /// Statistics accumulated over a run (whole world, all communicators).
 #[derive(Debug, Default)]
@@ -43,6 +44,7 @@ pub struct Universe {
     pub(crate) aborted: AtomicBool,
     pub(crate) stats: NetStats,
     pub(crate) tracer: Tracer,
+    pub(crate) recorder: Recorder,
     /// Deterministic context-id registry for communicator splits: all ranks
     /// performing the same (parent ctx, split sequence number, color) split
     /// must agree on the child context id, regardless of arrival order.
@@ -56,11 +58,13 @@ impl Universe {
         net: NetModel,
         memory_budget: Option<usize>,
         trace: bool,
+        telemetry: bool,
     ) -> Self {
         let size = topology.world_size();
         Self {
             memory: MemoryTracker::new(size, memory_budget),
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            recorder: Recorder::new(topology.node_map(), telemetry),
             topology,
             net,
             aborted: AtomicBool::new(false),
@@ -118,6 +122,11 @@ impl Universe {
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
+
+    /// The telemetry recorder (no-op unless enabled at world build).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +134,7 @@ mod tests {
     use super::*;
 
     fn uni(p: usize) -> Universe {
-        Universe::new(Topology::new(p, 4), NetModel::zero(), None, false)
+        Universe::new(Topology::new(p, 4), NetModel::zero(), None, false, false)
     }
 
     #[test]

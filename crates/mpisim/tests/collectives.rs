@@ -149,7 +149,11 @@ fn reduce_and_allreduce_fold_in_rank_order() {
         (cat, sum)
     });
     for (rank, (cat, sum)) in report.results.into_iter().enumerate() {
-        assert_eq!(cat, vec![0, 1, 2, 3, 4, 5], "non-commutative op must fold in rank order");
+        assert_eq!(
+            cat,
+            vec![0, 1, 2, 3, 4, 5],
+            "non-commutative op must fold in rank order"
+        );
         if rank == 3 {
             assert_eq!(sum, Some(15));
         } else {
@@ -210,8 +214,7 @@ fn scan_inclusive_prefix() {
 fn scatter_equal_chunks() {
     let p = 4;
     let report = world(p).run(move |comm| {
-        let data: Option<Vec<u32>> =
-            (comm.rank() == 1).then(|| (0..(p as u32) * 3).collect());
+        let data: Option<Vec<u32>> = (comm.rank() == 1).then(|| (0..(p as u32) * 3).collect());
         comm.scatter(1, data.as_deref())
     });
     for (rank, chunk) in report.results.into_iter().enumerate() {
@@ -224,8 +227,8 @@ fn scatter_equal_chunks() {
 fn scatterv_variable_chunks() {
     let p = 4;
     let report = world(p).run(move |comm| {
-        let chunks: Option<Vec<Vec<u8>>> = (comm.rank() == 0)
-            .then(|| (0..p).map(|i| vec![i as u8; i]).collect());
+        let chunks: Option<Vec<Vec<u8>>> =
+            (comm.rank() == 0).then(|| (0..p).map(|i| vec![i as u8; i]).collect());
         comm.scatterv(0, chunks)
     });
     for (rank, chunk) in report.results.into_iter().enumerate() {

@@ -12,7 +12,9 @@ fn world(p: usize, cores: usize) -> World {
 fn split_by_parity() {
     let report = world(8, 4).run(|comm| {
         let color = (comm.rank() % 2) as i64;
-        let sub = comm.split(Some(color), comm.rank() as i64).expect("in a group");
+        let sub = comm
+            .split(Some(color), comm.rank() as i64)
+            .expect("in a group");
         (sub.rank(), sub.size(), sub.world_rank())
     });
     for (old, (new_rank, size, world)) in report.results.into_iter().enumerate() {
@@ -28,7 +30,10 @@ fn split_undefined_color_returns_none() {
         let color = if comm.rank() < 2 { Some(0) } else { None };
         comm.split(color, 0).map(|c| c.size())
     });
-    assert_eq!(report.results, vec![Some(2), Some(2), None, None, None, None]);
+    assert_eq!(
+        report.results,
+        vec![Some(2), Some(2), None, None, None, None]
+    );
 }
 
 #[test]
@@ -45,7 +50,9 @@ fn split_key_reorders_ranks() {
 #[test]
 fn split_comm_isolated_from_parent_traffic() {
     let report = world(4, 4).run(|comm| {
-        let sub = comm.split(Some((comm.rank() / 2) as i64), comm.rank() as i64).unwrap();
+        let sub = comm
+            .split(Some((comm.rank() / 2) as i64), comm.rank() as i64)
+            .unwrap();
         // same tag on parent and child communicators must not cross-match
         if comm.rank() == 0 {
             comm.send_val(1, 5, 111u32);
@@ -130,7 +137,10 @@ fn async_alltoallv_delivers_all_chunks() {
         while let Some(hit) = pending.wait_any(comm) {
             got.push(hit);
         }
-        assert!(pending.wait_any(comm).is_none(), "drained handle returns None");
+        assert!(
+            pending.wait_any(comm).is_none(),
+            "drained handle returns None"
+        );
         // first delivered chunk must be the local one
         assert_eq!(got[0].0, me);
         got.sort_by_key(|&(src, _)| src);
@@ -155,7 +165,7 @@ fn async_alltoallv_empty_chunks_skipped() {
         counts[(me + 1) % p] = 3;
         let data = vec![me as u64; 3];
         let mut pending = comm.alltoallv_async(&data, &counts);
-        
+
         pending.wait_all(comm)
     });
     for (rank, chunks) in report.results.into_iter().enumerate() {
@@ -169,8 +179,12 @@ fn async_alltoallv_empty_chunks_skipped() {
 #[test]
 fn nested_splits() {
     let report = world(8, 2).run(|comm| {
-        let half = comm.split(Some((comm.rank() / 4) as i64), comm.rank() as i64).unwrap();
-        let quarter = half.split(Some((half.rank() / 2) as i64), half.rank() as i64).unwrap();
+        let half = comm
+            .split(Some((comm.rank() / 4) as i64), comm.rank() as i64)
+            .unwrap();
+        let quarter = half
+            .split(Some((half.rank() / 2) as i64), half.rank() as i64)
+            .unwrap();
         quarter.allreduce(comm.rank() as u64, |a, b| a + b)
     });
     assert_eq!(report.results, vec![1, 1, 5, 5, 9, 9, 13, 13]);

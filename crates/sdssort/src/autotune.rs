@@ -62,7 +62,11 @@ fn probe_keys(n: usize, rank: usize) -> Vec<u64> {
 /// Tune τm, τo, τs for the upcoming sort of `local_n` records of `T` on
 /// this communicator, starting from `base` (whose `stable`,
 /// `local_threads`, and charge mode are preserved). Collective.
-pub fn autotune<T: Sortable>(comm: &Comm, local_n: usize, base: &SdsConfig) -> (SdsConfig, AutotuneReport) {
+pub fn autotune<T: Sortable>(
+    comm: &Comm,
+    local_n: usize,
+    base: &SdsConfig,
+) -> (SdsConfig, AutotuneReport) {
     let p = comm.size();
     let mut cfg = *base;
     let n = probe_size(local_n);
@@ -101,7 +105,11 @@ pub fn autotune<T: Sortable>(comm: &Comm, local_n: usize, base: &SdsConfig) -> (
     // byte threshold: if merging won the probe, merge anything up to twice
     // the real message size, else disable.
     let real_msg_bytes = local_n / p.max(1) * std::mem::size_of::<T>();
-    cfg.tau_m_bytes = if t_node_merge < t_direct { real_msg_bytes.saturating_mul(2).max(1) } else { 0 };
+    cfg.tau_m_bytes = if t_node_merge < t_direct {
+        real_msg_bytes.saturating_mul(2).max(1)
+    } else {
+        0
+    };
 
     // --- τo probe: sync vs overlapped exchange+order --------------------
     comm.barrier();
@@ -122,7 +130,11 @@ pub fn autotune<T: Sortable>(comm: &Comm, local_n: usize, base: &SdsConfig) -> (
         }
     }
     let t_overlap = max_across(comm, comm.clock().now() - t3);
-    cfg.tau_o = if t_overlap < t_sync && !cfg.stable { p + 1 } else { 0 };
+    cfg.tau_o = if t_overlap < t_sync && !cfg.stable {
+        p + 1
+    } else {
+        0
+    };
 
     // --- τs probe: k-way merge vs adaptive re-sort (local only) ---------
     let chunk_len = n.div_ceil(p).max(1);
@@ -140,11 +152,22 @@ pub fn autotune<T: Sortable>(comm: &Comm, local_n: usize, base: &SdsConfig) -> (
         std::hint::black_box(buf.len());
     });
     let t_sort_order = max_across(comm, comm.clock().now() - t5);
-    cfg.tau_s = if t_merge_order < t_sort_order { p + 1 } else { 0 };
+    cfg.tau_s = if t_merge_order < t_sort_order {
+        p + 1
+    } else {
+        0
+    };
 
     (
         cfg,
-        AutotuneReport { t_direct, t_node_merge, t_sync, t_overlap, t_merge_order, t_sort_order },
+        AutotuneReport {
+            t_direct,
+            t_node_merge,
+            t_sync,
+            t_overlap,
+            t_merge_order,
+            t_sort_order,
+        },
     )
 }
 
@@ -169,10 +192,13 @@ mod tests {
 
     #[test]
     fn decisions_are_uniform_across_ranks() {
-        let report = World::new(6).cores_per_node(3).net(NetModel::edison()).run(|comm| {
-            let (cfg, _) = autotune::<u64>(comm, 5000, &SdsConfig::default());
-            (cfg.tau_m_bytes, cfg.tau_o, cfg.tau_s)
-        });
+        let report = World::new(6)
+            .cores_per_node(3)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let (cfg, _) = autotune::<u64>(comm, 5000, &SdsConfig::default());
+                (cfg.tau_m_bytes, cfg.tau_o, cfg.tau_s)
+            });
         let first = report.results[0];
         for r in &report.results {
             assert_eq!(*r, first, "all ranks must agree on the tuned config");
@@ -181,16 +207,18 @@ mod tests {
 
     #[test]
     fn tuned_config_sorts_correctly() {
-        let report = World::new(8).cores_per_node(4).net(NetModel::edison()).run(|comm| {
-            let input = probe_keys(3000, comm.rank() + 100);
-            let (cfg, _) = autotune::<u64>(comm, input.len(), &SdsConfig::default());
-            let out = sds_sort(comm, input.clone(), &cfg).expect("no budget");
-            (input, out.data)
-        });
+        let report = World::new(8)
+            .cores_per_node(4)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let input = probe_keys(3000, comm.rank() + 100);
+                let (cfg, _) = autotune::<u64>(comm, input.len(), &SdsConfig::default());
+                let out = sds_sort(comm, input.clone(), &cfg).expect("no budget");
+                (input, out.data)
+            });
         let flat: Vec<u64> = report.results.iter().flat_map(|(_, o)| o.clone()).collect();
         assert!(flat.windows(2).all(|w| w[0] <= w[1]));
-        let mut all_in: Vec<u64> =
-            report.results.iter().flat_map(|(i, _)| i.clone()).collect();
+        let mut all_in: Vec<u64> = report.results.iter().flat_map(|(i, _)| i.clone()).collect();
         let mut all_out = flat;
         all_in.sort_unstable();
         all_out.sort_unstable();
@@ -199,10 +227,13 @@ mod tests {
 
     #[test]
     fn stable_base_never_enables_overlap() {
-        let report = World::new(4).cores_per_node(2).net(NetModel::edison()).run(|comm| {
-            let (cfg, _) = autotune::<u64>(comm, 4000, &SdsConfig::stable());
-            (cfg.stable, cfg.should_overlap(comm.size()))
-        });
+        let report = World::new(4)
+            .cores_per_node(2)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let (cfg, _) = autotune::<u64>(comm, 4000, &SdsConfig::stable());
+                (cfg.stable, cfg.should_overlap(comm.size()))
+            });
         for (stable, overlap) in report.results {
             assert!(stable);
             assert!(!overlap, "stable sorting must never overlap");
@@ -211,10 +242,13 @@ mod tests {
 
     #[test]
     fn report_times_are_positive() {
-        let report = World::new(4).cores_per_node(2).net(NetModel::edison()).run(|comm| {
-            let (_, rep) = autotune::<u64>(comm, 4000, &SdsConfig::default());
-            rep
-        });
+        let report = World::new(4)
+            .cores_per_node(2)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let (_, rep) = autotune::<u64>(comm, 4000, &SdsConfig::default());
+                rep
+            });
         for rep in report.results {
             assert!(rep.t_direct > 0.0);
             assert!(rep.t_node_merge > 0.0);

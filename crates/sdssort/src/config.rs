@@ -58,7 +58,9 @@ impl ComputeModel {
     pub fn calibrate() -> Self {
         use std::time::Instant;
         let n = 1 << 19;
-        let mut data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let t0 = Instant::now();
         data.sort_unstable();
         let sort_secs = t0.elapsed().as_secs_f64();
@@ -86,8 +88,9 @@ impl ComputeModel {
         let merge_per_key = (merge_secs / n as f64).max(1e-12);
 
         // Stable-sort premium: time the stable sort on the same input.
-        let mut data2: Vec<u64> =
-            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut data2: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let t2 = Instant::now();
         data2.sort();
         let stable_secs = t2.elapsed().as_secs_f64();
@@ -220,12 +223,18 @@ impl Default for SdsConfig {
 impl SdsConfig {
     /// Configuration for the stable variant ("SDS-Sort/stable").
     pub fn stable() -> Self {
-        Self { stable: true, ..Self::default() }
+        Self {
+            stable: true,
+            ..Self::default()
+        }
     }
 
     /// Configuration charging modelled compute (for scaling studies).
     pub fn modeled(model: ComputeModel) -> Self {
-        Self { charge: ComputeCharge::Modeled(model), ..Self::default() }
+        Self {
+            charge: ComputeCharge::Modeled(model),
+            ..Self::default()
+        }
     }
 
     /// Whether node-level merging applies for local size `n`, world size

@@ -57,7 +57,10 @@ fn write_records<T: PlainData>(w: &mut impl Write, records: &[T]) -> io::Result<
     // SAFETY: PlainData guarantees no padding, so every byte is
     // initialized.
     let bytes = unsafe {
-        std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), std::mem::size_of_val(records))
+        std::slice::from_raw_parts(
+            records.as_ptr().cast::<u8>(),
+            std::mem::size_of_val(records),
+        )
     };
     w.write_all(bytes)
 }
@@ -115,7 +118,10 @@ pub fn write_sorted_runs<T: Sortable + PlainData>(
         let mut w = BufWriter::new(File::create(&path)?);
         write_records(&mut w, buf)?;
         w.flush()?;
-        let rf = RunFile { path, records: buf.len() };
+        let rf = RunFile {
+            path,
+            records: buf.len(),
+        };
         buf.clear();
         Ok(Some(rf))
     };
@@ -174,11 +180,18 @@ impl<T: Sortable + PlainData> RunMerger<T> {
             let mut reader = BufReader::new(File::open(&run.path)?);
             remaining += run.records;
             if let Some(first) = read_record::<T>(&mut reader)? {
-                heap.push(HeapItem { record: first, run: i });
+                heap.push(HeapItem {
+                    record: first,
+                    run: i,
+                });
             }
             readers.push(reader);
         }
-        Ok(Self { readers, heap, remaining })
+        Ok(Self {
+            readers,
+            heap,
+            remaining,
+        })
     }
 
     /// Records left to emit.
@@ -286,15 +299,19 @@ mod tests {
     fn record_payloads_roundtrip() {
         let dir = tmpdir("records");
         let mut rng = StdRng::seed_from_u64(5);
-        let data: Vec<Record<u64, u64>> =
-            (0..3000).map(|i| Record::new(rng.gen_range(0..100), i)).collect();
+        let data: Vec<Record<u64, u64>> = (0..3000)
+            .map(|i| Record::new(rng.gen_range(0..100), i))
+            .collect();
         let sorted = external_sort(data.iter().copied(), 500, &dir).expect("io");
         assert!(is_sorted_by_key(&sorted));
         let mut in_payloads: Vec<u64> = data.iter().map(|r| r.payload).collect();
         let mut out_payloads: Vec<u64> = sorted.iter().map(|r| r.payload).collect();
         in_payloads.sort_unstable();
         out_payloads.sort_unstable();
-        assert_eq!(in_payloads, out_payloads, "payloads must survive the disk roundtrip");
+        assert_eq!(
+            in_payloads, out_payloads,
+            "payloads must survive the disk roundtrip"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -310,8 +327,9 @@ mod tests {
     fn float_keys_on_disk() {
         let dir = tmpdir("float");
         let mut rng = StdRng::seed_from_u64(9);
-        let data: Vec<OrderedF32> =
-            (0..4000).map(|_| OrderedF32::new(rng.gen::<f32>() * 2.0 - 1.0)).collect();
+        let data: Vec<OrderedF32> = (0..4000)
+            .map(|_| OrderedF32::new(rng.gen::<f32>() * 2.0 - 1.0))
+            .collect();
         let sorted = external_sort(data.iter().copied(), 512, &dir).expect("io");
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(sorted.len(), 4000);

@@ -33,7 +33,11 @@ pub struct HistogramConfig {
 
 impl Default for HistogramConfig {
     fn default() -> Self {
-        Self { samples_per_round: 16, max_rounds: 8, tolerance: 0.1 }
+        Self {
+            samples_per_round: 16,
+            max_rounds: 8,
+            tolerance: 0.1,
+        }
     }
 }
 
@@ -91,10 +95,13 @@ pub fn histogram_splitters<T: Sortable>(
             break;
         }
         // One reduction gives every candidate's global rank.
-        let local_ranks: Vec<u64> =
-            candidates.iter().map(|&c| upper_bound(data, c) as u64).collect();
-        let global_ranks =
-            comm.allreduce(local_ranks, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+        let local_ranks: Vec<u64> = candidates
+            .iter()
+            .map(|&c| upper_bound(data, c) as u64)
+            .collect();
+        let global_ranks = comm.allreduce(local_ranks, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        });
 
         for (t, &target) in targets.iter().enumerate() {
             for (c, &cand) in candidates.iter().enumerate() {

@@ -58,7 +58,11 @@ pub fn local_sort<T: Sortable>(data: &mut Vec<T>, threads: usize, stable: bool) 
         });
     }
     let chunks: Vec<&[T]> = data.chunks(chunk_len).collect();
-    let strategy = if stable { MergeStrategy::SkewAwareStable } else { MergeStrategy::SkewAware };
+    let strategy = if stable {
+        MergeStrategy::SkewAwareStable
+    } else {
+        MergeStrategy::SkewAware
+    };
     let merged = parallel_merge(&chunks, threads, strategy);
     *data = merged;
 }
@@ -100,9 +104,7 @@ pub fn merge_cuts<T: Sortable>(
 
     match strategy {
         MergeStrategy::Classic => chunks.iter().map(|c| classic_cuts(c, &pivots)).collect(),
-        MergeStrategy::SkewAware => {
-            chunks.iter().map(|c| fast_cuts(c, &pivots, None)).collect()
-        }
+        MergeStrategy::SkewAware => chunks.iter().map(|c| fast_cuts(c, &pivots, None)).collect(),
         MergeStrategy::SkewAwareStable => {
             let runs = replicated_runs(&pivots);
             let counts: Vec<Vec<usize>> =
@@ -213,7 +215,13 @@ mod tests {
         // produce a correct sort.
         let mut rng = StdRng::seed_from_u64(5);
         let mut a: Vec<u32> = (0..30_000)
-            .map(|_| if rng.gen_bool(0.9) { 7 } else { rng.gen_range(0..1000) })
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    7
+                } else {
+                    rng.gen_range(0..1000)
+                }
+            })
             .collect();
         let mut b = a.clone();
         local_sort(&mut a, 4, false);
@@ -233,14 +241,18 @@ mod tests {
             r
         };
         local_sort(&mut recs, 4, true);
-        assert_eq!(recs, reference, "stable parallel sort must equal std stable sort");
+        assert_eq!(
+            recs, reference,
+            "stable parallel sort must equal std stable sort"
+        );
     }
 
     #[test]
     fn unstable_parallel_sort_keys_correct_with_payload() {
         let mut rng = StdRng::seed_from_u64(13);
-        let mut recs: Vec<Record<u32, u64>> =
-            (0..10_000).map(|i| Record::new(rng.gen_range(0..10), i)).collect();
+        let mut recs: Vec<Record<u32, u64>> = (0..10_000)
+            .map(|i| Record::new(rng.gen_range(0..10), i))
+            .collect();
         local_sort(&mut recs, 4, false);
         assert!(is_sorted_by_key(&recs));
         // must be a permutation: payloads are unique
@@ -261,7 +273,11 @@ mod tests {
         let total = 40_000usize;
         assert_eq!(classic.iter().sum::<usize>(), total);
         assert_eq!(skew.iter().sum::<usize>(), total);
-        assert_eq!(classic.iter().max(), Some(&total), "classic dumps all on one part");
+        assert_eq!(
+            classic.iter().max(),
+            Some(&total),
+            "classic dumps all on one part"
+        );
         let ideal = total / parts;
         assert!(
             *skew.iter().max().unwrap() <= ideal * 2,
@@ -290,9 +306,11 @@ mod tests {
             })
             .collect();
         let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
-        for strategy in
-            [MergeStrategy::Classic, MergeStrategy::SkewAware, MergeStrategy::SkewAwareStable]
-        {
+        for strategy in [
+            MergeStrategy::Classic,
+            MergeStrategy::SkewAware,
+            MergeStrategy::SkewAwareStable,
+        ] {
             let merged = parallel_merge(&refs, 4, strategy);
             let mut expect: Vec<u32> = runs.iter().flatten().copied().collect();
             expect.sort_unstable();

@@ -132,14 +132,22 @@ pub fn kway_merge_heap<T: Sortable>(runs: &[&[T]]) -> Vec<T> {
     let mut heap: BinaryHeap<HeapEntry<T::Key>> = BinaryHeap::with_capacity(runs.len());
     for (run, data) in runs.iter().enumerate() {
         if let Some(first) = data.first() {
-            heap.push(HeapEntry { key: first.key(), run, pos: 0 });
+            heap.push(HeapEntry {
+                key: first.key(),
+                run,
+                pos: 0,
+            });
         }
     }
     while let Some(HeapEntry { run, pos, .. }) = heap.pop() {
         out.push(runs[run][pos]);
         let next = pos + 1;
         if next < runs[run].len() {
-            heap.push(HeapEntry { key: runs[run][next].key(), run, pos: next });
+            heap.push(HeapEntry {
+                key: runs[run][next].key(),
+                run,
+                pos: next,
+            });
         }
     }
     out
@@ -195,7 +203,11 @@ mod tests {
         let runs: Vec<&[Record<u32, u64>]> = vec![&r0, &r1, &r2];
         let m = kway_merge(&runs);
         let tags: Vec<u64> = m.iter().map(|r| r.payload).collect();
-        assert_eq!(tags, vec![0, 1, 2, 3, 4], "equal keys must come out in run order");
+        assert_eq!(
+            tags,
+            vec![0, 1, 2, 3, 4],
+            "equal keys must come out in run order"
+        );
     }
 
     #[test]
@@ -209,7 +221,10 @@ mod tests {
     fn kway_merge_offsets_contiguous_buffer() {
         let buf = [1u32, 5, 9, 2, 6, 3, 7, 8];
         let disp = [0, 3, 5, 8];
-        assert_eq!(kway_merge_offsets(&buf, &disp), vec![1, 2, 3, 5, 6, 7, 8, 9]);
+        assert_eq!(
+            kway_merge_offsets(&buf, &disp),
+            vec![1, 2, 3, 5, 6, 7, 8, 9]
+        );
     }
 
     #[test]
@@ -219,8 +234,9 @@ mod tests {
         for k in [1usize, 2, 3, 8, 17] {
             let runs: Vec<Vec<u32>> = (0..k)
                 .map(|_| {
-                    let mut v: Vec<u32> =
-                        (0..rng.gen_range(0..200)).map(|_| rng.gen_range(0..50)).collect();
+                    let mut v: Vec<u32> = (0..rng.gen_range(0..200))
+                        .map(|_| rng.gen_range(0..50))
+                        .collect();
                     v.sort_unstable();
                     v
                 })
@@ -240,8 +256,9 @@ mod tests {
         for k in [3usize, 5, 9, 33] {
             let runs: Vec<Vec<u32>> = (0..k)
                 .map(|_| {
-                    let mut v: Vec<u32> =
-                        (0..rng.gen_range(0..150)).map(|_| rng.gen_range(0..30)).collect();
+                    let mut v: Vec<u32> = (0..rng.gen_range(0..150))
+                        .map(|_| rng.gen_range(0..30))
+                        .collect();
                     v.sort_unstable();
                     v
                 })

@@ -21,7 +21,10 @@ use mpisim::Comm;
 /// Gathering in `cl` rank order and merging with run-order-stable k-way
 /// merge preserves global stability.
 pub fn node_merge<T: Sortable>(cl: &Comm, data: &[T]) -> Option<Vec<T>> {
-    debug_assert!(crate::merge::is_sorted_by_key(data), "node_merge expects sorted input");
+    debug_assert!(
+        crate::merge::is_sorted_by_key(data),
+        "node_merge expects sorted input"
+    );
     match cl.gatherv(0, data) {
         Some(parts) => {
             let runs: Vec<&[T]> = parts.iter().map(Vec::as_slice).collect();
@@ -39,15 +42,20 @@ mod tests {
 
     #[test]
     fn leaders_receive_merged_node_data() {
-        let report = World::new(8).cores_per_node(4).net(NetModel::zero()).run(|comm| {
-            // rank r holds [r*10, r*10 + 5) sorted
-            let data: Vec<u64> = (0..5).map(|i| (comm.rank() * 10 + i) as u64).collect();
-            let (_cg, cl) = comm.refine_comm();
-            node_merge(&cl, &data)
-        });
+        let report = World::new(8)
+            .cores_per_node(4)
+            .net(NetModel::zero())
+            .run(|comm| {
+                // rank r holds [r*10, r*10 + 5) sorted
+                let data: Vec<u64> = (0..5).map(|i| (comm.rank() * 10 + i) as u64).collect();
+                let (_cg, cl) = comm.refine_comm();
+                node_merge(&cl, &data)
+            });
         // node 0 leader = rank 0 gets ranks 0..4's data merged
         let node0: Vec<u64> = report.results[0].clone().expect("leader");
-        let mut expect: Vec<u64> = (0..4).flat_map(|r| (0..5).map(move |i| r * 10 + i)).collect();
+        let mut expect: Vec<u64> = (0..4)
+            .flat_map(|r| (0..5).map(move |i| r * 10 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(node0, expect);
         // non-leaders get nothing
@@ -61,27 +69,37 @@ mod tests {
 
     #[test]
     fn node_merge_is_stable_in_rank_order() {
-        let report = World::new(4).cores_per_node(4).net(NetModel::zero()).run(|comm| {
-            // every rank holds two records with the same key 9
-            let data = vec![
-                Record::new(9u32, (comm.rank() * 2) as u64),
-                Record::new(9u32, (comm.rank() * 2 + 1) as u64),
-            ];
-            let (_cg, cl) = comm.refine_comm();
-            node_merge(&cl, &data)
-        });
+        let report = World::new(4)
+            .cores_per_node(4)
+            .net(NetModel::zero())
+            .run(|comm| {
+                // every rank holds two records with the same key 9
+                let data = vec![
+                    Record::new(9u32, (comm.rank() * 2) as u64),
+                    Record::new(9u32, (comm.rank() * 2 + 1) as u64),
+                ];
+                let (_cg, cl) = comm.refine_comm();
+                node_merge(&cl, &data)
+            });
         let merged = report.results[0].clone().expect("leader");
         let tags: Vec<u64> = merged.iter().map(|r| r.payload).collect();
-        assert_eq!(tags, (0..8).collect::<Vec<u64>>(), "duplicates must stay in rank order");
+        assert_eq!(
+            tags,
+            (0..8).collect::<Vec<u64>>(),
+            "duplicates must stay in rank order"
+        );
     }
 
     #[test]
     fn single_rank_node() {
-        let report = World::new(2).cores_per_node(1).net(NetModel::zero()).run(|comm| {
-            let data = vec![comm.rank() as u32];
-            let (_cg, cl) = comm.refine_comm();
-            node_merge(&cl, &data)
-        });
+        let report = World::new(2)
+            .cores_per_node(1)
+            .net(NetModel::zero())
+            .run(|comm| {
+                let data = vec![comm.rank() as u32];
+                let (_cg, cl) = comm.refine_comm();
+                node_merge(&cl, &data)
+            });
         assert_eq!(report.results[0], Some(vec![0]));
         assert_eq!(report.results[1], Some(vec![1]));
     }

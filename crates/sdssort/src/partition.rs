@@ -55,7 +55,11 @@ pub fn replicated_runs<K: Ord + Copy>(pivots: &[K]) -> Vec<PivotRun<K>> {
             j += 1;
         }
         if j - i >= 2 {
-            runs.push(PivotRun { start: i, len: j - i, value: pivots[i] });
+            runs.push(PivotRun {
+                start: i,
+                len: j - i,
+                value: pivots[i],
+            });
         }
         i = j;
     }
@@ -177,7 +181,10 @@ fn skew_aware_cuts<T: Sortable>(
         cuts[i + 1] = ub(data, index, pivots[i]);
         i += 1;
     }
-    debug_assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must be monotone");
+    debug_assert!(
+        cuts.windows(2).all(|w| w[0] <= w[1]),
+        "cuts must be monotone"
+    );
     cuts
 }
 
@@ -221,13 +228,25 @@ mod tests {
         assert_eq!(
             replicated_runs(&[1u32, 1, 2, 3, 3, 3, 4]),
             vec![
-                PivotRun { start: 0, len: 2, value: 1 },
-                PivotRun { start: 3, len: 3, value: 3 },
+                PivotRun {
+                    start: 0,
+                    len: 2,
+                    value: 1
+                },
+                PivotRun {
+                    start: 3,
+                    len: 3,
+                    value: 3
+                },
             ]
         );
         assert_eq!(
             replicated_runs(&[7u32, 7, 7, 7]),
-            vec![PivotRun { start: 0, len: 4, value: 7 }]
+            vec![PivotRun {
+                start: 0,
+                len: 4,
+                value: 7
+            }]
         );
     }
 
@@ -267,7 +286,10 @@ mod tests {
     fn fast_cuts_no_duplicates_match_classic() {
         let data: Vec<u32> = (0..100).collect();
         let pivots = [24u32, 49, 74];
-        assert_eq!(fast_cuts(&data, &pivots, None), classic_cuts(&data, &pivots));
+        assert_eq!(
+            fast_cuts(&data, &pivots, None),
+            classic_cuts(&data, &pivots)
+        );
     }
 
     #[test]
@@ -278,7 +300,10 @@ mod tests {
         data.sort_unstable();
         let pivots = [3u32, 7, 7, 7, 12, 15, 15];
         let idx = LocalPivotIndex::build(&data, 7);
-        assert_eq!(fast_cuts(&data, &pivots, None), fast_cuts(&data, &pivots, Some(&idx)));
+        assert_eq!(
+            fast_cuts(&data, &pivots, None),
+            fast_cuts(&data, &pivots, Some(&idx))
+        );
     }
 
     #[test]
@@ -288,8 +313,14 @@ mod tests {
         // Group 0 = src0's entire run; group 1 = src1's entire run.
         let data = vec![5u32; 6];
         let pivots = [5u32, 5, 9];
-        let shares0 = [DupShare { total: 12, before_me: 0 }];
-        let shares1 = [DupShare { total: 12, before_me: 6 }];
+        let shares0 = [DupShare {
+            total: 12,
+            before_me: 0,
+        }];
+        let shares1 = [DupShare {
+            total: 12,
+            before_me: 6,
+        }];
         let c0 = cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares0));
         let c1 = cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares1));
         assert_eq!(c0, vec![6, 0, 0, 0]);
@@ -303,7 +334,10 @@ mod tests {
         // node").
         let data = vec![5u32; 12];
         let pivots = [5u32, 5];
-        let shares = [DupShare { total: 12, before_me: 0 }];
+        let shares = [DupShare {
+            total: 12,
+            before_me: 0,
+        }];
         let c = cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares));
         assert_eq!(c, vec![6, 6, 0]);
     }
@@ -315,7 +349,10 @@ mod tests {
         // group0 gets global [0,10) → my [6,10) = 4; group1 my [10,14) = 4.
         let data = vec![5u32; 8];
         let pivots = [5u32, 5];
-        let shares = [DupShare { total: 20, before_me: 6 }];
+        let shares = [DupShare {
+            total: 20,
+            before_me: 6,
+        }];
         let c = cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares));
         assert_eq!(c, vec![4, 4, 0]);
     }
@@ -324,7 +361,10 @@ mod tests {
     fn stable_cuts_zero_duplicates_here() {
         let data = [1u32, 2, 3];
         let pivots = [5u32, 5];
-        let shares = [DupShare { total: 10, before_me: 0 }];
+        let shares = [DupShare {
+            total: 10,
+            before_me: 0,
+        }];
         let c = cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares));
         assert_eq!(c.iter().sum::<usize>(), 3);
         assert_eq!(c, vec![3, 0, 0]);
@@ -353,9 +393,27 @@ mod tests {
     fn shares_for_source_prefix_sums() {
         let counts = vec![vec![3, 0], vec![2, 5], vec![1, 1]];
         let s1 = shares_for_source(&counts, 1);
-        assert_eq!(s1, vec![DupShare { total: 6, before_me: 3 }, DupShare { total: 6, before_me: 0 }]);
+        assert_eq!(
+            s1,
+            vec![
+                DupShare {
+                    total: 6,
+                    before_me: 3
+                },
+                DupShare {
+                    total: 6,
+                    before_me: 0
+                }
+            ]
+        );
         let s0 = shares_for_source(&counts, 0);
-        assert_eq!(s0[0], DupShare { total: 6, before_me: 0 });
+        assert_eq!(
+            s0[0],
+            DupShare {
+                total: 6,
+                before_me: 0
+            }
+        );
         assert!(shares_for_source(&[], 0).is_empty());
     }
 
@@ -363,9 +421,21 @@ mod tests {
     fn local_dup_counts_counts_values() {
         let data = [1u32, 3, 3, 3, 7, 7];
         let runs = [
-            PivotRun { start: 0, len: 2, value: 3u32 },
-            PivotRun { start: 3, len: 2, value: 4 },
-            PivotRun { start: 6, len: 2, value: 7 },
+            PivotRun {
+                start: 0,
+                len: 2,
+                value: 3u32,
+            },
+            PivotRun {
+                start: 3,
+                len: 2,
+                value: 4,
+            },
+            PivotRun {
+                start: 6,
+                len: 2,
+                value: 7,
+            },
         ];
         assert_eq!(local_dup_counts(&data, &runs), vec![3, 0, 2]);
     }

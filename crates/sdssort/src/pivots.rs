@@ -40,7 +40,10 @@ pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static>(
     if p == 1 {
         return Vec::new();
     }
-    debug_assert!(local_pivots.windows(2).all(|w| w[0] <= w[1]), "local pivots must be sorted");
+    debug_assert!(
+        local_pivots.windows(2).all(|w| w[0] <= w[1]),
+        "local pivots must be sorted"
+    );
 
     // The distributed sorters need equal block sizes; tiny inputs can make
     // sample counts differ per rank. Detect and fall back to gathering.
@@ -136,7 +139,10 @@ pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static>(
     mut block: Vec<K>,
 ) -> Vec<K> {
     let p = comm.size();
-    assert!(p.is_power_of_two(), "bitonic needs a power-of-two rank count");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic needs a power-of-two rank count"
+    );
     if p == 1 {
         block.sort_unstable();
         return block;

@@ -209,7 +209,16 @@ mod tests {
 
     #[test]
     fn ordered_f32_sorts_like_f32() {
-        let mut vals = [3.5f32, -1.0, 0.0, -0.0, 2.25, -7.5, f32::INFINITY, f32::NEG_INFINITY];
+        let mut vals = [
+            3.5f32,
+            -1.0,
+            0.0,
+            -0.0,
+            2.25,
+            -7.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
         let mut wrapped: Vec<OrderedF32> = vals.iter().map(|&v| OrderedF32::new(v)).collect();
         wrapped.sort_unstable();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -269,9 +278,11 @@ mod tests {
 
     #[test]
     fn record_sorting_by_key() {
-        let mut recs = [Record::new(3u64, 'c'),
+        let mut recs = [
+            Record::new(3u64, 'c'),
             Record::new(1u64, 'a'),
-            Record::new(2u64, 'b')];
+            Record::new(2u64, 'b'),
+        ];
         recs.sort_by_key(|r| r.key());
         let keys: Vec<u64> = recs.iter().map(|r| r.key).collect();
         assert_eq!(keys, vec![1, 2, 3]);

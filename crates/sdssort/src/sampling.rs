@@ -76,7 +76,11 @@ mod tests {
                 let bound = n / (count + 1) + 2;
                 let mut prev = 0usize;
                 for &p in &pos {
-                    assert!(p - prev <= bound, "n={n} count={count}: gap {} > {bound}", p - prev);
+                    assert!(
+                        p - prev <= bound,
+                        "n={n} count={count}: gap {} > {bound}",
+                        p - prev
+                    );
                     prev = p;
                 }
                 assert!(n - prev <= bound + 1);

@@ -51,7 +51,11 @@ impl<K: Ord + Copy> LocalPivotIndex<K> {
     pub fn build<T: Sortable<Key = K>>(data: &[T], count: usize) -> Self {
         let positions = crate::sampling::regular_sample_positions(data.len(), count);
         let keys = positions.iter().map(|&p| data[p].key()).collect();
-        Self { positions, keys, len: data.len() }
+        Self {
+            positions,
+            keys,
+            len: data.len(),
+        }
     }
 
     /// Number of samples in the index.
@@ -73,8 +77,16 @@ impl<K: Ord + Copy> LocalPivotIndex<K> {
         // keys[i] is data[positions[i]]; boundary is after every position
         // whose key <= `key`.
         let seg = self.keys.partition_point(|&k| k <= key);
-        let lo = if seg == 0 { 0 } else { self.positions[seg - 1] + 1 };
-        let hi = if seg == self.positions.len() { self.len } else { self.positions[seg] + 1 };
+        let lo = if seg == 0 {
+            0
+        } else {
+            self.positions[seg - 1] + 1
+        };
+        let hi = if seg == self.positions.len() {
+            self.len
+        } else {
+            self.positions[seg] + 1
+        };
         lo + upper_bound(&data[lo..hi], key)
     }
 
@@ -84,7 +96,11 @@ impl<K: Ord + Copy> LocalPivotIndex<K> {
         debug_assert_eq!(data.len(), self.len);
         let seg = self.keys.partition_point(|&k| k < key);
         let lo = if seg == 0 { 0 } else { self.positions[seg - 1] };
-        let hi = if seg == self.positions.len() { self.len } else { self.positions[seg] + 1 };
+        let hi = if seg == self.positions.len() {
+            self.len
+        } else {
+            self.positions[seg] + 1
+        };
         lo + lower_bound(&data[lo..hi], key)
     }
 }
@@ -111,7 +127,11 @@ mod tests {
         let mut data: Vec<u32> = (0..300).map(|_| rng.gen_range(0..40)).collect();
         data.sort_unstable();
         for key in 0..45u32 {
-            assert_eq!(upper_bound_scan(&data, key), upper_bound(&data, key), "key {key}");
+            assert_eq!(
+                upper_bound_scan(&data, key),
+                upper_bound(&data, key),
+                "key {key}"
+            );
         }
     }
 

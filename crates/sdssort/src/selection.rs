@@ -39,12 +39,21 @@ pub fn kth_smallest_key<T: Sortable>(comm: &Comm, data: &[T], k: u64) -> T::Key 
         let (mut candidates, _) = comm.allgatherv(&mine);
         candidates.sort_unstable();
         candidates.dedup();
-        debug_assert!(!candidates.is_empty(), "windows globally non-empty until found");
+        debug_assert!(
+            !candidates.is_empty(),
+            "windows globally non-empty until found"
+        );
 
         // Global rank of each candidate: how many records are < c, and how
         // many are <= c.
-        let below: Vec<u64> = candidates.iter().map(|&c| lower_bound(data, c) as u64).collect();
-        let upto: Vec<u64> = candidates.iter().map(|&c| upper_bound(data, c) as u64).collect();
+        let below: Vec<u64> = candidates
+            .iter()
+            .map(|&c| lower_bound(data, c) as u64)
+            .collect();
+        let upto: Vec<u64> = candidates
+            .iter()
+            .map(|&c| upper_bound(data, c) as u64)
+            .collect();
         let g_below = comm.allreduce(below, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
         let g_upto = comm.allreduce(upto, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
 
@@ -100,12 +109,8 @@ pub fn top_k<T: Sortable>(comm: &Comm, data: &[T], k: usize) -> Vec<T> {
     let need_ties = k - n_above;
     let tie_lo = lower_bound(data, threshold);
     let my_ties = above_start - tie_lo;
-    let before_me: u64 = comm
-        .exscan(my_ties as u64, |a, b| a + b)
-        .unwrap_or(0);
-    let take = need_ties
-        .saturating_sub(before_me as usize)
-        .min(my_ties);
+    let before_me: u64 = comm.exscan(my_ties as u64, |a, b| a + b).unwrap_or(0);
+    let take = need_ties.saturating_sub(before_me as usize).min(my_ties);
     let mut mine: Vec<T> = data[tie_lo..tie_lo + take].to_vec();
     mine.extend_from_slice(&above);
 
@@ -141,8 +146,7 @@ mod tests {
                 let data = sorted_data(1000, 500, 7, comm.rank());
                 (data.clone(), kth_smallest_key(comm, &data, k))
             });
-            let mut all: Vec<u64> =
-                report.results.iter().flat_map(|(d, _)| d.clone()).collect();
+            let mut all: Vec<u64> = report.results.iter().flat_map(|(d, _)| d.clone()).collect();
             all.sort_unstable();
             for (_, got) in &report.results {
                 assert_eq!(*got, all[k as usize], "k={k}");
@@ -176,8 +180,11 @@ mod tests {
     fn kth_with_empty_ranks() {
         let p = 4;
         let report = world(p).run(|comm| {
-            let data: Vec<u64> =
-                if comm.rank() == 2 { (0..100).collect() } else { Vec::new() };
+            let data: Vec<u64> = if comm.rank() == 2 {
+                (0..100).collect()
+            } else {
+                Vec::new()
+            };
             kth_smallest_key(comm, &data, 42)
         });
         for k in report.results {
@@ -193,8 +200,7 @@ mod tests {
                 let data = sorted_data(400, 10_000, 13, comm.rank());
                 (data.clone(), top_k(comm, &data, k))
             });
-            let mut all: Vec<u64> =
-                report.results.iter().flat_map(|(d, _)| d.clone()).collect();
+            let mut all: Vec<u64> = report.results.iter().flat_map(|(d, _)| d.clone()).collect();
             all.sort_unstable_by(|a, b| b.cmp(a));
             let expect = &all[..k];
             for (_, got) in &report.results {

@@ -83,7 +83,7 @@ fn charged<R>(
         None => comm.compute(f),
         Some(m) => {
             let r = f();
-            comm.clock().charge(cost(&m));
+            comm.charge_compute(cost(&m));
             r
         }
     }
@@ -100,20 +100,28 @@ pub fn sds_sort<T: Sortable>(
     cfg: &SdsConfig,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
-    let mut stats = SortStats { input_count: data.len(), ..SortStats::default() };
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
     let t0 = comm.clock().now();
 
     // Step 1: initial local sort (pivot-selection phase per the paper's
     // "initial ordering" footnote).
     comm.trace_phase("pivot");
+    let sp_pivot = comm.span_begin("pivot-select");
     let n0 = data.len();
-    charged(comm, cfg, |m| m.sort_cost_with(n0, cfg.stable), || {
-        local_sort(&mut data, cfg.local_threads, cfg.stable)
-    });
+    charged(
+        comm,
+        cfg,
+        |m| m.sort_cost_with(n0, cfg.stable),
+        || local_sort(&mut data, cfg.local_threads, cfg.stable),
+    );
 
     if p == 1 {
         stats.pivot_s = comm.clock().now() - t0;
         stats.recv_count = data.len();
+        comm.span_end(sp_pivot);
         return Ok(SortOutput { data, stats });
     }
 
@@ -124,25 +132,40 @@ pub fn sds_sort<T: Sortable>(
     let c = comm.cores_per_node();
     if c > 1 && cfg.should_node_merge::<T>(n_avg, p) {
         stats.node_merged = true;
+        if comm.recorder().enabled() && comm.rank() == 0 {
+            comm.event(
+                "decision.node-merge",
+                &format!("avg {n_avg} records/rank over {p} ranks"),
+            );
+        }
+        let sp_nm = comm.span_begin("node-merge");
         let (cg, cl) = comm.refine_comm();
         let node_n = cl.allreduce(data.len(), |a, b| a + b);
         let k = cl.size();
-        let merged = charged(comm, cfg, |m| m.kway_merge_cost(node_n, k), || {
-            node_merge(&cl, &data)
-        });
+        let merged = charged(
+            comm,
+            cfg,
+            |m| m.kway_merge_cost(node_n, k),
+            || node_merge(&cl, &data),
+        );
         drop(data);
+        comm.span_end(sp_nm);
         return match (cg, merged) {
-            (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0),
+            (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0, sp_pivot),
             (None, None) => {
                 // Non-leader: its data now lives on the node leader.
                 stats.pivot_s = comm.clock().now() - t0;
-                Ok(SortOutput { data: Vec::new(), stats })
+                comm.span_end(sp_pivot);
+                Ok(SortOutput {
+                    data: Vec::new(),
+                    stats,
+                })
             }
             _ => unreachable!("leader status must agree between cg and node_merge"),
         };
     }
 
-    inner_sort(comm, data, cfg, stats, t0)
+    inner_sort(comm, data, cfg, stats, t0, sp_pivot)
 }
 
 /// Steps 3–7 on the (possibly refined) communicator. `data` is sorted.
@@ -152,11 +175,13 @@ fn inner_sort<T: Sortable>(
     cfg: &SdsConfig,
     mut stats: SortStats,
     t0: f64,
+    sp_pivot: mpisim::telemetry::SpanId,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
     if p == 1 {
         stats.pivot_s = comm.clock().now() - t0;
         stats.recv_count = data.len();
+        comm.span_end(sp_pivot);
         return Ok(SortOutput { data, stats });
     }
 
@@ -195,38 +220,47 @@ fn inner_sort<T: Sortable>(
         let runs = replicated_runs(&pivots);
         let my_counts = local_dup_counts(&data, &runs);
         let all_counts = comm.allgather(&my_counts);
-        let by_source: Vec<Vec<usize>> =
-            all_counts.chunks(runs.len().max(1)).map(<[usize]>::to_vec).collect();
+        let by_source: Vec<Vec<usize>> = all_counts
+            .chunks(runs.len().max(1))
+            .map(<[usize]>::to_vec)
+            .collect();
         let shares = if runs.is_empty() {
             Vec::new()
         } else {
             shares_for_source(&by_source, comm.rank())
         };
-        charged(comm, cfg, |m| m.scan_cost(p * 32), || {
-            stable_cuts(&data, &pivots, Some(&index), &shares)
-        })
+        charged(
+            comm,
+            cfg,
+            |m| m.scan_cost(p * 32),
+            || stable_cuts(&data, &pivots, Some(&index), &shares),
+        )
     } else {
         match cfg.partition {
-            crate::config::PartitionStrategy::SkewAware => {
-                charged(comm, cfg, |m| m.scan_cost(p * 32), || {
-                    fast_cuts(&data, &pivots, Some(&index))
-                })
-            }
+            crate::config::PartitionStrategy::SkewAware => charged(
+                comm,
+                cfg,
+                |m| m.scan_cost(p * 32),
+                || fast_cuts(&data, &pivots, Some(&index)),
+            ),
             // Ablation: duplicate-blind upper_bound partitioning.
-            crate::config::PartitionStrategy::Classic => {
-                charged(comm, cfg, |m| m.scan_cost(p * 32), || {
-                    crate::partition::classic_cuts(&data, &pivots)
-                })
-            }
+            crate::config::PartitionStrategy::Classic => charged(
+                comm,
+                cfg,
+                |m| m.scan_cost(p * 32),
+                || crate::partition::classic_cuts(&data, &pivots),
+            ),
         }
     };
     let scounts = cuts_to_counts(&cuts);
     debug_assert_eq!(scounts.len(), p);
     stats.pivot_s = comm.clock().now() - t0;
+    comm.span_end(sp_pivot);
 
     // Step 5: exchange counts and collectively check the receive buffer
     // against the simulated memory budget.
     comm.trace_phase("exchange");
+    let sp_ex = comm.span_begin("exchange");
     let t1 = comm.clock().now();
     let rcounts = comm.alltoall(&scounts);
     let m: usize = rcounts.iter().sum();
@@ -239,6 +273,7 @@ fn inner_sort<T: Sortable>(
         }
         // stats are discarded on the error path: the paper treats this as a
         // whole-job crash.
+        comm.span_end(sp_ex);
         return Err(match my_alloc {
             Err(e) => SortError::Oom(e),
             Ok(()) => SortError::PeerOom,
@@ -252,8 +287,10 @@ fn inner_sort<T: Sortable>(
         let buf = comm.alltoallv_given_counts(&data, &scounts, &rcounts);
         drop(data);
         stats.exchange_s = comm.clock().now() - t1;
+        comm.span_end(sp_ex);
         // ...then ordering: merge below τs, adaptive re-sort above.
         comm.trace_phase("local-order");
+        let sp_lo = comm.span_begin("local-order");
         let t2 = comm.clock().now();
         let mut disp = Vec::with_capacity(p + 1);
         disp.push(0usize);
@@ -261,7 +298,12 @@ fn inner_sort<T: Sortable>(
             disp.push(disp.last().copied().expect("non-empty") + rc);
         }
         let sorted = if cfg.should_merge_local(p) {
-            charged(comm, cfg, |mo| mo.kway_merge_cost(m, p), || kway_merge_offsets(&buf, &disp))
+            charged(
+                comm,
+                cfg,
+                |mo| mo.kway_merge_cost(m, p),
+                || kway_merge_offsets(&buf, &disp),
+            )
         } else {
             let mut buf = buf;
             charged(
@@ -280,11 +322,18 @@ fn inner_sort<T: Sortable>(
             buf
         };
         stats.local_order_s = comm.clock().now() - t2;
+        comm.span_end(sp_lo);
         sorted
     } else {
         // Asynchronous exchange overlapped with incremental merging
         // (SdssAlltoallvAsync + SdssFinished + SdssMergeTwo).
         stats.overlapped = true;
+        if comm.recorder().enabled() && comm.rank() == 0 {
+            comm.event(
+                "decision.overlap",
+                &format!("p {p} below tau_o {}", cfg.tau_o),
+            );
+        }
         let mut pending = comm.alltoallv_async_given_counts(&data, &scounts, rcounts.clone());
         drop(data);
         let mut merge_s = 0.0;
@@ -301,13 +350,21 @@ fn inner_sort<T: Sortable>(
                 let (lvl, hi) = runs.pop().expect("len>=2");
                 let (_, lo) = runs.pop().expect("len>=2");
                 let tm = comm.clock().now();
-                let merged = charged(comm, cfg, |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2), || {
-                    merge_two(&lo, &hi)
-                });
+                let merged = charged(
+                    comm,
+                    cfg,
+                    |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2),
+                    || merge_two(&lo, &hi),
+                );
                 merge_s += comm.clock().now() - tm;
                 runs.push((lvl + 1, merged));
             }
         }
+        // Overlap makes exchange and merge inseparable in wall order; the
+        // "exchange" span covers the overlapped region, "local-order" the
+        // final cascade. stats still split the virtual time exactly.
+        comm.span_end(sp_ex);
+        let sp_lo = comm.span_begin("local-order");
         // Balanced cascade over whatever the stack still holds (free when
         // the counter already collapsed everything into one run).
         let acc = if runs.len() == 1 {
@@ -317,15 +374,19 @@ fn inner_sort<T: Sortable>(
             let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
             let left: usize = refs.iter().map(|r| r.len()).sum();
             let k_left = refs.len();
-            let acc = charged(comm, cfg, |mo| mo.kway_merge_cost(left, k_left), || {
-                crate::merge::kway_merge(&refs)
-            });
+            let acc = charged(
+                comm,
+                cfg,
+                |mo| mo.kway_merge_cost(left, k_left),
+                || crate::merge::kway_merge(&refs),
+            );
             merge_s += comm.clock().now() - tm;
             acc
         };
         let elapsed = comm.clock().now() - t1;
         stats.local_order_s = merge_s;
         stats.exchange_s = (elapsed - merge_s).max(0.0);
+        comm.span_end(sp_lo);
         acc
     };
     comm.free(bytes);

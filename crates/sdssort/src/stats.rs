@@ -37,23 +37,11 @@ impl SortStats {
 /// RDFA over per-rank loads: `max(m) / avg(m)`. Returns ∞ when any load is
 /// unknown (modelled OOM) — the paper's convention — and 1.0 for an empty
 /// or all-zero distribution (perfectly balanced trivially).
-pub fn rdfa(loads: &[usize]) -> f64 {
-    if loads.is_empty() {
-        return 1.0;
-    }
-    let total: usize = loads.iter().sum();
-    if total == 0 {
-        return 1.0;
-    }
-    let avg = total as f64 / loads.len() as f64;
-    let max = *loads.iter().max().expect("non-empty") as f64;
-    max / avg
-}
-
-/// RDFA for a run where some ranks failed (OOM): ∞, per Tables 3/4.
-pub fn rdfa_failed() -> f64 {
-    f64::INFINITY
-}
+///
+/// The computation lives in the `telemetry` crate (it is also derived
+/// inside [`telemetry::RunReport`]); this re-export keeps the historical
+/// `sdssort::stats::rdfa` path working.
+pub use telemetry::{rdfa, rdfa_failed};
 
 /// Combine per-rank [`SortStats`] into the per-phase *maxima* (the
 /// critical-path view the paper's stacked bars approximate).
@@ -98,8 +86,18 @@ mod tests {
 
     #[test]
     fn totals_and_maxima() {
-        let a = SortStats { pivot_s: 1.0, exchange_s: 2.0, local_order_s: 3.0, ..Default::default() };
-        let b = SortStats { pivot_s: 4.0, exchange_s: 1.0, other_s: 0.5, ..Default::default() };
+        let a = SortStats {
+            pivot_s: 1.0,
+            exchange_s: 2.0,
+            local_order_s: 3.0,
+            ..Default::default()
+        };
+        let b = SortStats {
+            pivot_s: 4.0,
+            exchange_s: 1.0,
+            other_s: 0.5,
+            ..Default::default()
+        };
         assert!((a.total_s() - 6.0).abs() < 1e-12);
         let m = phase_maxima(&[a, b]);
         assert_eq!(m.pivot_s, 4.0);

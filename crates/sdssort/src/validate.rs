@@ -18,6 +18,8 @@ use mpisim::Comm;
 /// True iff the concatenation of all ranks' `data` (in rank order) is
 /// sorted by key. Collective: every rank returns the same answer.
 pub fn is_globally_sorted<T: Sortable>(comm: &Comm, data: &[T]) -> bool {
+    comm.trace_phase("validate");
+    let sp = comm.span_begin("validate");
     let locally = data.windows(2).all(|w| w[0].key() <= w[1].key());
     // Exchange boundary keys: every rank publishes (has_data, min, max).
     let snapshot = (
@@ -40,6 +42,7 @@ pub fn is_globally_sorted<T: Sortable>(comm: &Comm, data: &[T]) -> bool {
         last_max = max;
     }
     let all_local = comm.allreduce(locally as u8, |a, b| a.min(b)) == 1;
+    comm.span_end(sp);
     all_local && boundaries_ok
 }
 
@@ -75,6 +78,8 @@ pub fn is_permutation_of<T: Sortable, H: Fn(&T) -> u64>(
     output: &[T],
     hash: H,
 ) -> bool {
+    comm.trace_phase("validate");
+    let sp = comm.span_begin("validate");
     let in_ck = content_checksum(input, &hash);
     let out_ck = content_checksum(output, &hash);
     let contribution = (
@@ -95,7 +100,9 @@ pub fn is_permutation_of<T: Sortable, H: Fn(&T) -> u64>(
             a.5 ^ b.5,
         )
     });
-    total.0 == total.1 && total.2 == total.4 && total.3 == total.5
+    let ok = total.0 == total.1 && total.2 == total.4 && total.3 == total.5;
+    comm.span_end(sp);
+    ok
 }
 
 /// Global load distribution: every rank returns `(loads, rdfa)` where
@@ -135,7 +142,11 @@ mod tests {
     #[test]
     fn detects_local_disorder() {
         let report = world(3).run(|comm| {
-            let data: Vec<u64> = if comm.rank() == 1 { vec![5, 3] } else { vec![1, 2] };
+            let data: Vec<u64> = if comm.rank() == 1 {
+                vec![5, 3]
+            } else {
+                vec![1, 2]
+            };
             is_globally_sorted(comm, &data)
         });
         assert!(report.results.iter().all(|&ok| !ok));
@@ -144,7 +155,11 @@ mod tests {
     #[test]
     fn tolerates_empty_ranks() {
         let report = world(4).run(|comm| {
-            let data: Vec<u64> = if comm.rank() == 2 { vec![1, 2, 3] } else { vec![] };
+            let data: Vec<u64> = if comm.rank() == 2 {
+                vec![1, 2, 3]
+            } else {
+                vec![]
+            };
             is_globally_sorted(comm, &data)
         });
         assert!(report.results.iter().all(|&ok| ok));

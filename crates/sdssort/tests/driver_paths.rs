@@ -49,9 +49,14 @@ fn sort_error_display_messages() {
         cfg.tau_m_bytes = 0;
         sds_sort(comm, vec![1u64, 2, 3], &cfg)
     });
-    let err = report.results[0].as_ref().expect_err("tiny budget must fail");
+    let err = report.results[0]
+        .as_ref()
+        .expect_err("tiny budget must fail");
     let msg = err.to_string();
-    assert!(msg.contains('B') || msg.contains("peer"), "useful message: {msg}");
+    assert!(
+        msg.contains('B') || msg.contains("peer"),
+        "useful message: {msg}"
+    );
 }
 
 #[test]
@@ -122,8 +127,7 @@ fn stable_flag_survives_every_config_combination() {
                     .collect();
                 sds_sort(comm, data, &cfg).expect("no budget").data
             });
-            let flat: Vec<sdssort::Tagged<u8>> =
-                report.results.into_iter().flatten().collect();
+            let flat: Vec<sdssort::Tagged<u8>> = report.results.into_iter().flatten().collect();
             assert_eq!(flat.len(), 2400);
             for w in flat.windows(2) {
                 assert!(w[0].key <= w[1].key, "τs={tau_s} τm={tau_m}: key order");
@@ -148,7 +152,10 @@ fn output_memory_reservation_is_released() {
         let data: Vec<u64> = (0..2000).map(|i| i * 3 % 700).collect();
         sds_sort(comm, data, &cfg).expect("fits");
         let uni = comm.universe();
-        (uni.memory().used(comm.world_rank()), uni.memory().high_water(comm.world_rank()))
+        (
+            uni.memory().used(comm.world_rank()),
+            uni.memory().high_water(comm.world_rank()),
+        )
     });
     for (used, high) in report.results {
         assert_eq!(used, 0, "reservations must be released");

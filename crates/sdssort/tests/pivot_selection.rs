@@ -3,10 +3,10 @@
 //! return the same regular-position pivots on every rank.
 
 use mpisim::{NetModel, World};
+use rand::prelude::*;
 use sdssort::pivots::{
     bitonic_block_sort, odd_even_block_sort, reference_pivots, select_global_pivots, PivotMethod,
 };
-use rand::prelude::*;
 
 fn world(p: usize) -> World {
     World::new(p).cores_per_node(4).net(NetModel::zero())
@@ -16,7 +16,10 @@ fn assert_block_sorted(blocks: &[Vec<u64>], block_len: usize) {
     let mut last: Option<u64> = None;
     for (r, block) in blocks.iter().enumerate() {
         assert_eq!(block.len(), block_len, "rank {r} block length changed");
-        assert!(block.windows(2).all(|w| w[0] <= w[1]), "rank {r} block not sorted");
+        assert!(
+            block.windows(2).all(|w| w[0] <= w[1]),
+            "rank {r} block not sorted"
+        );
         if let (Some(prev), Some(&first)) = (last, block.first()) {
             assert!(prev <= first, "blocks not ordered across ranks at {r}");
         }
@@ -88,8 +91,11 @@ fn distributed_and_gather_pivots_agree() {
             assert_eq!(gath, first_gath);
         }
         // And they equal the sequential reference over the pooled samples.
-        let mut all: Vec<u64> =
-            report.results.iter().flat_map(|(l, _, _)| l.clone()).collect();
+        let mut all: Vec<u64> = report
+            .results
+            .iter()
+            .flat_map(|(l, _, _)| l.clone())
+            .collect();
         let expect = reference_pivots(&mut all, p);
         assert_eq!(first_gath, &expect);
     }
@@ -117,9 +123,8 @@ fn unequal_sample_counts_fall_back_to_gather() {
 
 #[test]
 fn single_rank_returns_no_pivots() {
-    let report = world(1).run(|comm| {
-        select_global_pivots(comm, &[1u64, 2, 3], PivotMethod::Distributed)
-    });
+    let report =
+        world(1).run(|comm| select_global_pivots(comm, &[1u64, 2, 3], PivotMethod::Distributed));
     assert!(report.results[0].is_empty());
 }
 

@@ -29,8 +29,9 @@ pub fn heavy_hitters(n: usize, hitters: usize, heavy_pct: f64, seed: u64, rank: 
     assert!(hitters >= 1);
     let mut rng = rng_for(seed, rank);
     let domain = u64::MAX;
-    let values: Vec<u64> =
-        (0..hitters).map(|i| (i as u64 + 1) * (domain / (hitters as u64 + 1))).collect();
+    let values: Vec<u64> = (0..hitters)
+        .map(|i| (i as u64 + 1) * (domain / (hitters as u64 + 1)))
+        .collect();
     (0..n)
         .map(|_| {
             if rng.gen_bool((heavy_pct / 100.0).clamp(0.0, 1.0)) {
@@ -48,8 +49,7 @@ pub fn heavy_hitters(n: usize, hitters: usize, heavy_pct: f64, seed: u64, rank: 
 pub fn pivot_aligned(n: usize, p: usize, dup_pct: f64, seed: u64, rank: usize) -> Vec<u64> {
     assert!(p >= 2);
     let mut rng = rng_for(seed, rank);
-    let pivot_values: Vec<u64> =
-        (1..p as u64).map(|i| i * (u64::MAX / p as u64)).collect();
+    let pivot_values: Vec<u64> = (1..p as u64).map(|i| i * (u64::MAX / p as u64)).collect();
     (0..n)
         .map(|_| {
             if rng.gen_bool((dup_pct / 100.0).clamp(0.0, 1.0)) {

@@ -53,8 +53,16 @@ pub fn particles_with_gen(gen: &ZipfGen, n: usize, seed: u64, rank: usize) -> Ve
         .map(|_| {
             let cluster = scramble(gen.sample(&mut rng));
             let payload = Kinematics {
-                pos: [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)],
-                vel: [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                pos: [
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ],
+                vel: [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ],
             };
             Record::new(cluster, payload)
         })
@@ -98,9 +106,15 @@ mod tests {
     fn deterministic_per_rank() {
         let a = cosmology_particles(100, 3, 0);
         let b = cosmology_particles(100, 3, 0);
-        assert_eq!(a.iter().map(|p| p.key).collect::<Vec<_>>(), b.iter().map(|p| p.key).collect::<Vec<_>>());
+        assert_eq!(
+            a.iter().map(|p| p.key).collect::<Vec<_>>(),
+            b.iter().map(|p| p.key).collect::<Vec<_>>()
+        );
         let c = cosmology_particles(100, 3, 1);
-        assert_ne!(a.iter().map(|p| p.key).collect::<Vec<_>>(), c.iter().map(|p| p.key).collect::<Vec<_>>());
+        assert_ne!(
+            a.iter().map(|p| p.key).collect::<Vec<_>>(),
+            c.iter().map(|p| p.key).collect::<Vec<_>>()
+        );
     }
 
     #[test]

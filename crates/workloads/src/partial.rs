@@ -73,7 +73,10 @@ mod tests {
         let lo = count_runs(&nearly_sorted(10_000, 1.0, 2, 0));
         let hi = count_runs(&nearly_sorted(10_000, 50.0, 2, 0));
         assert!(lo > 1);
-        assert!(hi > lo * 2, "more disorder must create more runs ({lo} vs {hi})");
+        assert!(
+            hi > lo * 2,
+            "more disorder must create more runs ({lo} vs {hi})"
+        );
     }
 
     #[test]

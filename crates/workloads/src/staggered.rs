@@ -59,7 +59,10 @@ mod tests {
         for rank in 0..p {
             let data = presplit(500, p, rank);
             let base = rank as u64 * width;
-            assert!(data.iter().all(|&k| k >= base && k < base + width), "rank {rank}");
+            assert!(
+                data.iter().all(|&k| k >= base && k < base + width),
+                "rank {rank}"
+            );
         }
     }
 
@@ -70,7 +73,10 @@ mod tests {
         for rank in 0..p {
             let data = reversed(300, p, rank);
             let base = (p - 1 - rank) as u64 * width;
-            assert!(data.iter().all(|&k| k >= base && k < base + width), "rank {rank}");
+            assert!(
+                data.iter().all(|&k| k >= base && k < base + width),
+                "rank {rank}"
+            );
         }
     }
 

@@ -64,7 +64,11 @@ impl ZipfGen {
         for v in &mut cdf {
             *v /= h;
         }
-        Self { alpha, universe, cdf }
+        Self {
+            alpha,
+            universe,
+            cdf,
+        }
     }
 
     /// Sampler whose expected maximum replication ratio is
@@ -160,7 +164,10 @@ mod tests {
         let keys = gen.keys(50_000, 1, 0);
         let ones = keys.iter().filter(|&&k| k == 1).count();
         let fives = keys.iter().filter(|&&k| k == 5).count();
-        assert!(ones > fives * 3, "zipf must be head-heavy: {ones} vs {fives}");
+        assert!(
+            ones > fives * 3,
+            "zipf must be head-heavy: {ones} vs {fives}"
+        );
         assert!(keys.iter().all(|&k| (1..=1000).contains(&k)));
     }
 

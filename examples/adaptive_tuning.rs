@@ -42,7 +42,11 @@ fn main() {
     println!("  direct        : {:>10.1} us", t_direct * 1e6);
     println!(
         "  → {} wins at this message size (paper: merge wins below 160 MB/node on Edison)\n",
-        if t_merge < t_direct { "merging" } else { "direct" }
+        if t_merge < t_direct {
+            "merging"
+        } else {
+            "direct"
+        }
     );
 
     println!("τo — overlap exchange with local ordering:");
@@ -52,7 +56,11 @@ fn main() {
     println!("  synchronous   : {:>10.1} us", t_sync * 1e6);
     println!(
         "  → {} wins at p = {p} (paper: overlap wins below ~4096 ranks on Edison)\n",
-        if t_overlap < t_sync { "overlap" } else { "synchronous" }
+        if t_overlap < t_sync {
+            "overlap"
+        } else {
+            "synchronous"
+        }
     );
 
     println!("τs — final local ordering by merge vs re-sort:");
@@ -62,7 +70,11 @@ fn main() {
     println!("  adaptive sort : {:>10.1} us", t_resort * 1e6);
     println!(
         "  → {} wins with {p} chunks (paper: merge wins below ~4000 chunks on Edison)\n",
-        if t_kway < t_resort { "merging" } else { "sorting" }
+        if t_kway < t_resort {
+            "merging"
+        } else {
+            "sorting"
+        }
     );
 
     // The paper's future work, implemented: probe the live machine and let

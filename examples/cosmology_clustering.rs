@@ -56,8 +56,12 @@ fn main() {
 
     let total: usize = report.results.iter().map(|r| r.0).sum();
     assert_eq!(total, ranks * per_rank);
-    let (big_id, big_size) =
-        report.results.iter().map(|r| r.2).max_by_key(|&(_, s)| s).expect("non-empty");
+    let (big_id, big_size) = report
+        .results
+        .iter()
+        .map(|r| r.2)
+        .max_by_key(|&(_, s)| s)
+        .expect("non-empty");
     println!("particles sorted:     {total}");
     println!(
         "clusters seen:        {} (rank-local segments)",

@@ -9,7 +9,10 @@ use mpisim::{NetModel, World};
 
 fn main() {
     println!("mpisim primer: 8 ranks on 2 simulated 4-core nodes (Edison network model)\n");
-    let world = World::new(8).cores_per_node(4).net(NetModel::edison()).trace(true);
+    let world = World::new(8)
+        .cores_per_node(4)
+        .net(NetModel::edison())
+        .trace(true);
 
     let report = world.run(|comm| {
         let rank = comm.rank();
@@ -68,7 +71,7 @@ fn main() {
         println!(
             "  {name:12} {:>5} messages, {:>5} inter-node, {:>8} bytes",
             t.total_messages(),
-            t.internode_messages(4),
+            t.internode_messages(&report.topology),
             t.total_bytes()
         );
     }

@@ -16,7 +16,9 @@ use workloads::{ptf_scores, PtfObject};
 fn main() {
     let ranks = 12;
     let per_rank = 50_000;
-    println!("PTF pipeline: {ranks} ranks x {per_rank} detections, stable sort by real-bogus score\n");
+    println!(
+        "PTF pipeline: {ranks} ranks x {per_rank} detections, stable sort by real-bogus score\n"
+    );
 
     let world = World::new(ranks).cores_per_node(6);
     let report = world.run(|comm| {
@@ -30,7 +32,10 @@ fn main() {
     // Highest scores live on the last non-empty ranks.
     let all: Vec<PtfObject> = report.results.into_iter().flatten().collect();
     assert_eq!(all.len(), ranks * per_rank);
-    assert!(all.windows(2).all(|w| w[0].key <= w[1].key), "catalog must be score-ordered");
+    assert!(
+        all.windows(2).all(|w| w[0].key <= w[1].key),
+        "catalog must be score-ordered"
+    );
 
     let dup = workloads::replication_ratio_pct(all.iter().map(|o| o.key));
     println!("replication ratio δ: {dup:.2}% (paper reports 28.02%)");

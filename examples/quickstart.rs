@@ -44,7 +44,10 @@ fn main() {
     let mut total = 0usize;
     let mut last: Option<u64> = None;
     for (rank, slice) in report.results.iter().enumerate() {
-        assert!(slice.windows(2).all(|w| w[0] <= w[1]), "rank {rank} not locally sorted");
+        assert!(
+            slice.windows(2).all(|w| w[0] <= w[1]),
+            "rank {rank} not locally sorted"
+        );
         if let (Some(prev), Some(&first)) = (last, slice.first()) {
             assert!(prev <= first, "rank boundary {rank} out of order");
         }
@@ -58,7 +61,13 @@ fn main() {
     let loads: Vec<usize> = report.results.iter().map(Vec::len).collect();
     println!("\nglobally sorted: yes");
     println!("records total:   {total}");
-    println!("load balance:    RDFA = {:.4} (1.0 = perfect)", sdssort::rdfa(&loads));
-    println!("modelled time:   {:.2} ms on the simulated machine", report.makespan * 1e3);
+    println!(
+        "load balance:    RDFA = {:.4} (1.0 = perfect)",
+        sdssort::rdfa(&loads)
+    );
+    println!(
+        "modelled time:   {:.2} ms on the simulated machine",
+        report.makespan * 1e3
+    );
     println!("host wall time:  {:.0} ms", report.wall.as_secs_f64() * 1e3);
 }

@@ -38,8 +38,9 @@ fn pivot_aligned_duplicates_stay_bounded() {
     // Duplicates planted exactly where pivots land: the maximal
     // replicated-run scenario.
     for p in [4usize, 8, 16] {
-        let (total, loads) =
-            run_loads(p, no_merge_cfg(), move |r| pivot_aligned(2000, p, 60.0, 1, r));
+        let (total, loads) = run_loads(p, no_merge_cfg(), move |r| {
+            pivot_aligned(2000, p, 60.0, 1, r)
+        });
         assert!(
             *loads.iter().max().unwrap() <= bound(total, p),
             "p={p}: loads {loads:?} exceed bound"
@@ -51,8 +52,9 @@ fn pivot_aligned_duplicates_stay_bounded() {
 fn heavy_hitters_stay_bounded() {
     let p = 8;
     for hitters in [1usize, 2, 5] {
-        let (total, loads) =
-            run_loads(p, no_merge_cfg(), move |r| heavy_hitters(2500, hitters, 80.0, 2, r));
+        let (total, loads) = run_loads(p, no_merge_cfg(), move |r| {
+            heavy_hitters(2500, hitters, 80.0, 2, r)
+        });
         assert!(
             *loads.iter().max().unwrap() <= bound(total, p),
             "hitters={hitters}: loads {loads:?}"
@@ -74,7 +76,10 @@ fn one_rank_duplicates_bounded_and_correct() {
     assert_global_sort(&inputs, &outputs, |&k| k);
     let total: usize = inputs.iter().map(Vec::len).sum();
     let loads: Vec<usize> = outputs.iter().map(Vec::len).collect();
-    assert!(*loads.iter().max().unwrap() <= bound(total, p), "loads {loads:?}");
+    assert!(
+        *loads.iter().max().unwrap() <= bound(total, p),
+        "loads {loads:?}"
+    );
 }
 
 #[test]
@@ -103,8 +108,12 @@ fn classic_partition_ablation_shows_imbalance() {
     // Same pipeline, classic partition: adversarial duplicates concentrate
     // (RDFA → p-ish) where skew-aware stays near Theorem 1's regime.
     let p = 8;
-    let gen = move |r: usize| workloads::all_equal(1000, 42).into_iter().chain(
-        workloads::uniform_u64(1000, 7, r)).collect::<Vec<u64>>();
+    let gen = move |r: usize| {
+        workloads::all_equal(1000, 42)
+            .into_iter()
+            .chain(workloads::uniform_u64(1000, 7, r))
+            .collect::<Vec<u64>>()
+    };
 
     let mut skew_cfg = no_merge_cfg();
     skew_cfg.partition = PartitionStrategy::SkewAware;
@@ -132,8 +141,9 @@ fn oversampling_tightens_balance() {
     for s in [1usize, 4, 16] {
         let mut cfg = no_merge_cfg();
         cfg.oversample = s;
-        let (total, loads) =
-            run_loads(p, cfg, move |r| workloads::uniform_u64(3000, 9 + s as u64, r));
+        let (total, loads) = run_loads(p, cfg, move |r| {
+            workloads::uniform_u64(3000, 9 + s as u64, r)
+        });
         assert_eq!(loads.iter().sum::<usize>(), total);
         assert!(*loads.iter().max().unwrap() <= bound(total, p));
         rdfa_by_s.push(rdfa(&loads));
@@ -179,7 +189,10 @@ fn histogram_pivot_source_sorts_correctly() {
     assert_global_sort(&inputs, &outputs, |&k| k);
     let total: usize = inputs.iter().map(Vec::len).sum();
     let loads: Vec<usize> = outputs.iter().map(Vec::len).collect();
-    assert!(*loads.iter().max().unwrap() <= bound(total, p), "loads {loads:?}");
+    assert!(
+        *loads.iter().max().unwrap() <= bound(total, p),
+        "loads {loads:?}"
+    );
 }
 
 #[test]
@@ -193,7 +206,9 @@ fn histogram_pivot_source_with_stable() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(comm.rank() as u64 + 31);
         let data: Vec<sdssort::Tagged<u32>> = (0..1500u64)
-            .map(|i| sdssort::Record::new(rng.gen_range(0..12u32), ((comm.rank() as u64) << 32) | i))
+            .map(|i| {
+                sdssort::Record::new(rng.gen_range(0..12u32), ((comm.rank() as u64) << 32) | i)
+            })
             .collect();
         let out = sds_sort(comm, data.clone(), &cfg).expect("no budget");
         (data, out.data)
@@ -203,7 +218,10 @@ fn histogram_pivot_source_with_stable() {
     let flat: Vec<sdssort::Tagged<u32>> = outputs.into_iter().flatten().collect();
     for w in flat.windows(2) {
         if w[0].key == w[1].key {
-            assert!(w[0].payload < w[1].payload, "stability violated with histogram pivots");
+            assert!(
+                w[0].payload < w[1].payload,
+                "stability violated with histogram pivots"
+            );
         }
     }
 }

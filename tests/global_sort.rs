@@ -26,8 +26,7 @@ where
 #[test]
 fn uniform_various_world_sizes() {
     for p in [1usize, 2, 3, 4, 7, 8, 16] {
-        let (inputs, outputs) =
-            run_sort(p, 4, SdsConfig::default(), |r| uniform_u64(2000, 42, r));
+        let (inputs, outputs) = run_sort(p, 4, SdsConfig::default(), |r| uniform_u64(2000, 42, r));
         assert_global_sort(&inputs, &outputs, |&k| k);
     }
 }
@@ -35,8 +34,9 @@ fn uniform_various_world_sizes() {
 #[test]
 fn zipf_heavy_skew() {
     for alpha in [0.7f64, 1.4, 2.1] {
-        let (inputs, outputs) =
-            run_sort(8, 4, SdsConfig::default(), move |r| zipf_keys(3000, alpha, 7, r));
+        let (inputs, outputs) = run_sort(8, 4, SdsConfig::default(), move |r| {
+            zipf_keys(3000, alpha, 7, r)
+        });
         assert_global_sort(&inputs, &outputs, |&k| k);
     }
 }
@@ -52,13 +52,15 @@ fn all_identical_keys() {
     // Skew-aware partition must spread the single value across ranks
     // rather than dumping all 8000 records on one rank.
     let max_load = outputs.iter().map(Vec::len).max().unwrap();
-    assert!(max_load <= 8000 / 8 * 4, "load {max_load} exceeds 4N/p bound");
+    assert!(
+        max_load <= 8000 / 8 * 4,
+        "load {max_load} exceeds 4N/p bound"
+    );
 }
 
 #[test]
 fn stable_config_sorts_correctly() {
-    let (inputs, outputs) =
-        run_sort(8, 4, SdsConfig::stable(), |r| zipf_keys(2000, 0.9, 3, r));
+    let (inputs, outputs) = run_sort(8, 4, SdsConfig::stable(), |r| zipf_keys(2000, 0.9, 3, r));
     assert_global_sort(&inputs, &outputs, |&k| k);
 }
 
@@ -72,7 +74,10 @@ fn node_merging_path() {
     // With 4 cores/node and 8 ranks, only the 2 node leaders hold data.
     assert!(!outputs[0].is_empty());
     for r in [1, 2, 3, 5, 6, 7] {
-        assert!(outputs[r].is_empty(), "non-leader rank {r} should hold nothing");
+        assert!(
+            outputs[r].is_empty(),
+            "non-leader rank {r} should hold nothing"
+        );
     }
 }
 
@@ -137,9 +142,12 @@ fn ptf_and_cosmology_workloads() {
     let (inputs, outputs) = run_sort(6, 3, SdsConfig::default(), |r| ptf_scores(2000, 1, r));
     assert_global_sort(&inputs, &outputs, |rec| (rec.key, rec.payload));
 
-    let (inputs, outputs) =
-        run_sort(6, 3, SdsConfig::default(), |r| cosmology_particles(2000, 1, r));
-    assert_global_sort(&inputs, &outputs, |rec| (rec.key, rec.payload.pos[0].to_bits()));
+    let (inputs, outputs) = run_sort(6, 3, SdsConfig::default(), |r| {
+        cosmology_particles(2000, 1, r)
+    });
+    assert_global_sort(&inputs, &outputs, |rec| {
+        (rec.key, rec.payload.pos[0].to_bits())
+    });
 }
 
 #[test]
@@ -148,19 +156,30 @@ fn empty_and_tiny_inputs() {
     let (inputs, outputs) = run_sort(4, 2, SdsConfig::default(), |_r| Vec::<u64>::new());
     assert_global_sort(&inputs, &outputs, |&k| k);
     // One record total.
-    let (inputs, outputs) =
-        run_sort(4, 2, SdsConfig::default(), |r| if r == 2 { vec![5u64] } else { vec![] });
+    let (inputs, outputs) = run_sort(4, 2, SdsConfig::default(), |r| {
+        if r == 2 {
+            vec![5u64]
+        } else {
+            vec![]
+        }
+    });
     assert_global_sort(&inputs, &outputs, |&k| k);
     // Fewer records than ranks.
-    let (inputs, outputs) =
-        run_sort(8, 4, SdsConfig::default(), |r| if r % 2 == 0 { vec![r as u64] } else { vec![] });
+    let (inputs, outputs) = run_sort(8, 4, SdsConfig::default(), |r| {
+        if r % 2 == 0 {
+            vec![r as u64]
+        } else {
+            vec![]
+        }
+    });
     assert_global_sort(&inputs, &outputs, |&k| k);
 }
 
 #[test]
 fn unequal_rank_loads() {
-    let (inputs, outputs) =
-        run_sort(5, 5, SdsConfig::default(), |r| uniform_u64(500 * (r + 1), 13, r));
+    let (inputs, outputs) = run_sort(5, 5, SdsConfig::default(), |r| {
+        uniform_u64(500 * (r + 1), 13, r)
+    });
     assert_global_sort(&inputs, &outputs, |&k| k);
 }
 
@@ -175,7 +194,9 @@ fn presorted_input() {
 #[test]
 fn reverse_sorted_input() {
     let (inputs, outputs) = run_sort(4, 2, SdsConfig::default(), |r| {
-        (0..1000u64).map(|i| (4 - r as u64) * 1000 - i).collect::<Vec<u64>>()
+        (0..1000u64)
+            .map(|i| (4 - r as u64) * 1000 - i)
+            .collect::<Vec<u64>>()
     });
     assert_global_sort(&inputs, &outputs, |&k| k);
 }
@@ -207,5 +228,8 @@ fn presplit_exchange_volume_is_minimal() {
     let (_, outputs) = run_sort(p, 4, cfg, move |r| workloads::presplit(1500, p, r));
     let loads: Vec<usize> = outputs.iter().map(Vec::len).collect();
     let r = sdssort::rdfa(&loads);
-    assert!(r < 1.2, "presplit data should balance near-perfectly: {r} ({loads:?})");
+    assert!(
+        r < 1.2,
+        "presplit data should balance near-perfectly: {r} ({loads:?})"
+    );
 }

@@ -97,7 +97,10 @@ fn signed_integer_keys() {
     let (inputs, outputs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
     assert_global_sort(&inputs, &outputs, |&k| k);
     let flat: Vec<i64> = outputs.into_iter().flatten().collect();
-    assert!(flat.first().copied().unwrap_or(0) < 0, "negatives must sort first");
+    assert!(
+        flat.first().copied().unwrap_or(0) < 0,
+        "negatives must sort first"
+    );
 }
 
 #[test]
@@ -121,8 +124,9 @@ fn local_threads_inside_ranks() {
 fn u128_keys() {
     let report = world(4).run(|comm| {
         let mut rng = StdRng::seed_from_u64(comm.rank() as u64 + 17);
-        let data: Vec<u128> =
-            (0..1200).map(|_| (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128).collect();
+        let data: Vec<u128> = (0..1200)
+            .map(|_| (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128)
+            .collect();
         let out = sds_sort(comm, data.clone(), &SdsConfig::default()).expect("no budget");
         (data, out.data)
     });

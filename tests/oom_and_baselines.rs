@@ -91,22 +91,35 @@ fn bitonic_sorts_skewed_data_too() {
 fn hyksort_ooms_on_skew_sds_survives() {
     let p = 8;
     let n = 4000usize; // per rank
-    // Budget: 6×(N/p)×8B — fits SDS-Sort's 4N/p bound, not an all-on-one
-    // concentration of a 99%-duplicate dataset.
+                       // Budget: 6×(N/p)×8B — fits SDS-Sort's 4N/p bound, not an all-on-one
+                       // concentration of a 99%-duplicate dataset.
     let budget = 6 * n * 8;
     let gen = |rank: usize| -> Vec<u64> {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(rank as u64 ^ 0xBEEF);
-        (0..n as u64).map(|_| if rng.gen_bool(0.99) { 123 } else { rng.gen_range(0..1000) }).collect()
+        (0..n as u64)
+            .map(|_| {
+                if rng.gen_bool(0.99) {
+                    123
+                } else {
+                    rng.gen_range(0..1000)
+                }
+            })
+            .collect()
     };
 
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(budget);
     let hyk = world.run(|comm| {
         let data = gen(comm.rank());
         hyksort(comm, data, &HykSortConfig::default()).map(|o| o.data.len())
     });
     assert!(
-        hyk.results.iter().any(|r| matches!(r, Err(SortError::Oom(_)))),
+        hyk.results
+            .iter()
+            .any(|r| matches!(r, Err(SortError::Oom(_)))),
         "HykSort must OOM on 99% duplicates under budget"
     );
     assert!(
@@ -114,14 +127,20 @@ fn hyksort_ooms_on_skew_sds_survives() {
         "OOM must abort the collective everywhere"
     );
 
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(budget);
     let mut cfg = SdsConfig::default();
     cfg.tau_m_bytes = 0;
     let sds = world.run(|comm| {
         let data = gen(comm.rank());
         sds_sort(comm, data, &cfg).map(|o| o.data.len())
     });
-    assert!(sds.results.iter().all(Result::is_ok), "SDS-Sort must fit the same budget");
+    assert!(
+        sds.results.iter().all(Result::is_ok),
+        "SDS-Sort must fit the same budget"
+    );
     let total: usize = sds.results.iter().map(|r| *r.as_ref().unwrap()).sum();
     assert_eq!(total, p * n);
 }
@@ -131,12 +150,18 @@ fn sample_sort_also_ooms_on_skew() {
     let p = 8;
     let n = 4000usize;
     let budget = 6 * n * 8;
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(budget);
     let res = world.run(|comm| {
         let data = vec![77u64; n];
         sample_sort(comm, data, &SampleSortConfig::default()).map(|o| o.data.len())
     });
-    assert!(res.results.iter().all(Result::is_err), "classic PSRS must OOM on identical keys");
+    assert!(
+        res.results.iter().all(Result::is_err),
+        "classic PSRS must OOM on identical keys"
+    );
 }
 
 #[test]
@@ -144,7 +169,10 @@ fn sds_stable_survives_same_budget() {
     let p = 8;
     let n = 4000usize;
     let budget = 6 * n * 8;
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(budget);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(budget);
     let mut cfg = SdsConfig::stable();
     cfg.tau_m_bytes = 0;
     let res = world.run(|comm| {
@@ -160,7 +188,10 @@ fn generous_budget_lets_hyksort_finish_skew() {
     // node, so HykSort finishes despite terrible RDFA.
     let p = 4;
     let n = 2000usize;
-    let world = World::new(p).cores_per_node(4).net(NetModel::zero()).memory_budget(p * n * 8 * 2);
+    let world = World::new(p)
+        .cores_per_node(4)
+        .net(NetModel::zero())
+        .memory_budget(p * n * 8 * 2);
     let report = world.run(|comm| {
         let data = vec![5u64; n];
         let out = hyksort(comm, data, &HykSortConfig::default()).expect("generous budget");
@@ -170,5 +201,8 @@ fn generous_budget_lets_hyksort_finish_skew() {
     assert_eq!(loads.iter().sum::<usize>(), p * n);
     // all duplicates on one rank: RDFA = p
     let r = sdssort::rdfa(&loads);
-    assert!(r > (p as f64) * 0.9, "HykSort RDFA should approach p, got {r} ({loads:?})");
+    assert!(
+        r > (p as f64) * 0.9,
+        "HykSort RDFA should approach p, got {r} ({loads:?})"
+    );
 }

@@ -21,10 +21,20 @@ fn replicated_reference<K: Ord + Copy>(pivots: &[K]) -> Vec<PivotRun<K>> {
         // emulate the paper's per-index scan: for pivot i, look left and
         // right for equal neighbours
         let v = pivots[i];
-        let start = pivots[..i].iter().rposition(|&x| x != v).map_or(0, |j| j + 1);
-        let end = pivots[i..].iter().position(|&x| x != v).map_or(pivots.len(), |j| i + j);
+        let start = pivots[..i]
+            .iter()
+            .rposition(|&x| x != v)
+            .map_or(0, |j| j + 1);
+        let end = pivots[i..]
+            .iter()
+            .position(|&x| x != v)
+            .map_or(pivots.len(), |j| i + j);
         if end - start >= 2 {
-            runs.push(PivotRun { start, len: end - start, value: v });
+            runs.push(PivotRun {
+                start,
+                len: end - start,
+                value: v,
+            });
             i = end;
         } else {
             i += 1;

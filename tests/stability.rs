@@ -16,7 +16,12 @@ use sdssort::{sds_sort, Record, SdsConfig, Tagged};
 fn tagged_input(n: usize, key_space: u32, seed: u64, rank: usize) -> Vec<Tagged<u32>> {
     let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64) << 16);
     (0..n)
-        .map(|i| Record::new(rng.gen_range(0..key_space), ((rank as u64) << 32) | i as u64))
+        .map(|i| {
+            Record::new(
+                rng.gen_range(0..key_space),
+                ((rank as u64) << 32) | i as u64,
+            )
+        })
         .collect()
 }
 

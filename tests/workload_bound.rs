@@ -39,7 +39,11 @@ where
 fn bound_holds_on_uniform() {
     for p in [4usize, 8, 16] {
         let (n, max) = max_load(p, |r| workloads::uniform_u64(2000, 1, r));
-        assert!(max <= bound(n, p), "p={p}: max {max} > bound {}", bound(n, p));
+        assert!(
+            max <= bound(n, p),
+            "p={p}: max {max} > bound {}",
+            bound(n, p)
+        );
     }
 }
 
@@ -47,7 +51,11 @@ fn bound_holds_on_uniform() {
 fn bound_holds_on_zipf_all_alphas() {
     for &(alpha, _) in &workloads::PAPER_ALPHA_DELTA_TABLE2 {
         let (n, max) = max_load(8, move |r| zipf_keys(3000, alpha, 2, r));
-        assert!(max <= bound(n, 8), "α={alpha}: max {max} > bound {}", bound(n, 8));
+        assert!(
+            max <= bound(n, 8),
+            "α={alpha}: max {max} > bound {}",
+            bound(n, 8)
+        );
     }
 }
 
@@ -56,7 +64,15 @@ fn bound_holds_on_extreme_skew() {
     // 99% one value.
     let (n, max) = max_load(8, |r| {
         let mut rng = StdRng::seed_from_u64(r as u64);
-        (0..2500u64).map(|_| if rng.gen_bool(0.99) { 42 } else { rng.gen_range(0..100) }).collect()
+        (0..2500u64)
+            .map(|_| {
+                if rng.gen_bool(0.99) {
+                    42
+                } else {
+                    rng.gen_range(0..100)
+                }
+            })
+            .collect()
     });
     assert!(max <= bound(n, 8), "max {max} > bound {}", bound(n, 8));
 }
@@ -66,7 +82,10 @@ fn bound_holds_on_all_identical() {
     let (n, max) = max_load(16, |_r| vec![7u64; 1000]);
     assert!(max <= bound(n, 16), "max {max} > bound {}", bound(n, 16));
     // and the balance is actually good, not merely within 4N/p:
-    assert!(max <= 2 * n / 16 + 16, "identical keys should spread near-evenly: {max}");
+    assert!(
+        max <= 2 * n / 16 + 16,
+        "identical keys should spread near-evenly: {max}"
+    );
 }
 
 #[test]
@@ -99,7 +118,11 @@ fn bound_holds_for_stable_variant() {
     });
     let n_total: usize = report.results.iter().map(|r| r.0).sum();
     let max = report.results.iter().map(|r| r.1).max().unwrap();
-    assert!(max <= bound(n_total, p), "stable: max {max} > bound {}", bound(n_total, p));
+    assert!(
+        max <= bound(n_total, p),
+        "stable: max {max} > bound {}",
+        bound(n_total, p)
+    );
 }
 
 #[test]
