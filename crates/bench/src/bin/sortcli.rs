@@ -12,6 +12,16 @@
 //!   --oversample <s>               (default 1; sds only)
 //!   --trace                        print per-phase traffic matrices
 //!   --seed     <u64>               (default 42)
+//!   --faults   <spec>              inject deterministic message faults,
+//!                                  e.g. seed=7,delay=0.5:1e-4,reorder=0.3:8,
+//!                                  stall=2:0.3:1e-3,sendbuf=0.2:3:1e-5,
+//!                                  ramp=0:0.01:0.5 (see mpisim::FaultSpec)
+//!   --collective-timeout <secs>    wall-clock deadlock detector: if every
+//!                                  rank blocks with no message progress for
+//!                                  this long, abort with a diagnostic report
+//!   --resilient <spill-dir>        sds only: degrade gracefully under
+//!                                  memory pressure by spilling received
+//!                                  chunks to <spill-dir> instead of aborting
 //!   --metrics-out <path>           write a telemetry RunReport as JSON
 //!                                  (a directory gets BENCH_sortcli.json;
 //!                                  also honours BENCH_METRICS_OUT)
@@ -24,10 +34,14 @@
 
 use bench::{fmt_bytes, fmt_time, Table};
 use mpisim::telemetry::{Decisions, Json, MemoryReport, RunReport, WorldMeta};
-use mpisim::{NetModel, World};
-use sdssort::{is_globally_sorted, is_permutation_of, rdfa, sds_sort, SdsConfig, SortError};
+use mpisim::{FaultSpec, NetModel, World};
+use sdssort::{
+    is_globally_sorted, is_permutation_of, rdfa, sds_sort, sds_sort_resilient, ResilienceConfig,
+    SdsConfig, SortError,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 use workloads::{heavy_hitters, ptf_scores, uniform_u64, zipf_keys};
 
 #[derive(Debug, Clone)]
@@ -41,6 +55,10 @@ struct Args {
     oversample: usize,
     trace: bool,
     seed: u64,
+    faults: Option<FaultSpec>,
+    faults_text: Option<String>,
+    collective_timeout: Option<Duration>,
+    resilient: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     validate_metrics: Option<PathBuf>,
 }
@@ -56,6 +74,10 @@ fn parse_args() -> Result<Args, String> {
         oversample: 1,
         trace: false,
         seed: 42,
+        faults: None,
+        faults_text: None,
+        collective_timeout: None,
+        resilient: None,
         metrics_out: std::env::var_os("BENCH_METRICS_OUT").map(PathBuf::from),
         validate_metrics: None,
     };
@@ -92,6 +114,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => args.trace = true,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => {
+                let spec = take(&mut i)?;
+                args.faults = Some(FaultSpec::parse(&spec).map_err(|e| format!("--faults: {e}"))?);
+                args.faults_text = Some(spec);
+            }
+            "--collective-timeout" => {
+                let secs: f64 = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--collective-timeout: {e}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--collective-timeout: must be a positive number".into());
+                }
+                args.collective_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--resilient" => args.resilient = Some(PathBuf::from(take(&mut i)?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(take(&mut i)?)),
             "--validate-metrics" => args.validate_metrics = Some(PathBuf::from(take(&mut i)?)),
             "--help" | "-h" => return Err("help".into()),
@@ -157,6 +194,12 @@ fn run_sorter(
     if let Some(b) = a.budget {
         world = world.memory_budget(b);
     }
+    if let Some(spec) = a.faults {
+        world = world.faults(spec);
+    }
+    if let Some(window) = a.collective_timeout {
+        world = world.collective_timeout(window);
+    }
     let a2 = a.clone();
     let report = world.run(
         move |comm| -> Result<(bool, bool, usize, sdssort::SortStats), SortError> {
@@ -165,7 +208,12 @@ fn run_sorter(
             let (out, stats) = match a2.sorter.as_str() {
                 "sds" | "sds-stable" => {
                     let cfg = sds_cfg(&a2).expect("sds sorter");
-                    let o = sds_sort(comm, input.clone(), &cfg)?;
+                    let o = if let Some(dir) = &a2.resilient {
+                        let rcfg = ResilienceConfig::new(dir);
+                        sds_sort_resilient(comm, input.clone(), &cfg, &rcfg)?
+                    } else {
+                        sds_sort(comm, input.clone(), &cfg)?
+                    };
                     (o.data, o.stats)
                 }
                 "hyksort" => {
@@ -246,6 +294,10 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::from(2);
     }
+    if args.resilient.is_some() && sds_cfg(&args).is_none() {
+        eprintln!("error: --resilient applies to the sds sorters only");
+        return ExitCode::from(2);
+    }
 
     println!(
         "sortcli: {} on {} | p = {}, {} records/rank, {} cores/node{}",
@@ -258,6 +310,9 @@ fn main() -> ExitCode {
             .map(|b| format!(", budget {}", fmt_bytes(b)))
             .unwrap_or_default()
     );
+    if let Some(spec) = &args.faults_text {
+        println!("faults: {spec}");
+    }
 
     let (first, report) = run_sorter(&args).expect("validated");
     match first {
@@ -309,6 +364,13 @@ fn main() -> ExitCode {
                 fmt_bytes(report.max_memory_high_water),
             ]);
             t.print();
+            if stats.spilled {
+                println!(
+                    "note: memory pressure tripped graceful degradation — {} received\n\
+                     records were spilled through disk runs instead of aborting.",
+                    stats.spill_records
+                );
+            }
             if stats.node_merged {
                 println!(
                     "note: node-level merging ran (avg message below τm), so output\n\
@@ -370,6 +432,11 @@ fn write_metrics<R>(
         ("cores_per_node", Json::from(args.cores)),
         ("oversample", Json::from(args.oversample)),
         ("seed", Json::from(args.seed)),
+        (
+            "faults",
+            Json::from(args.faults_text.clone().unwrap_or_default()),
+        ),
+        ("resilient", Json::from(args.resilient.is_some())),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))

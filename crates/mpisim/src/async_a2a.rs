@@ -67,7 +67,7 @@ impl Comm {
             let dst = (me + i) % p;
             let chunk = &data[offsets[dst]..offsets[dst + 1]];
             if !chunk.is_empty() {
-                self.send_slice(dst, tag, chunk);
+                self.send_slice_raw(dst, tag, chunk);
             }
         }
 
@@ -124,11 +124,20 @@ impl<T: Send + 'static> AsyncAlltoallv<T> {
             return Some((comm.rank(), chunk));
         }
         // Prefer a chunk that already arrived; otherwise block for any.
-        let (src, data) = match comm.try_recv_any::<T>(self.tag) {
+        let (src, data) = match comm.try_recv_any_raw::<T>(self.tag) {
             Some(hit) => hit,
-            None => comm.recv_any::<T>(self.tag),
+            None => comm.recv_any_raw::<T>(self.tag),
         };
-        debug_assert!(self.pending[src], "unexpected chunk from {src}");
+        // A hard check, not a debug assert: a duplicate or foreign chunk
+        // here means the exchange protocol was violated (e.g. a tag
+        // collision) and would otherwise corrupt the output silently.
+        assert!(
+            self.pending[src],
+            "async alltoallv protocol violation: unexpected chunk from rank {src} \
+             on tag {} ({} records); bookkeeping already marked it delivered",
+            self.tag,
+            data.len()
+        );
         self.pending[src] = false;
         self.remaining -= 1;
         Some((src, data))

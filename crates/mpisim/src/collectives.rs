@@ -29,8 +29,8 @@ impl Comm {
             let d = 1usize << k;
             let dst = (r + d) % p;
             let src = (r + p - d) % p;
-            self.send_vec::<u8>(dst, base + k as u64, Vec::new());
-            let _ = self.recv_vec::<u8>(src, base + k as u64);
+            self.send_vec_raw::<u8>(dst, base + k as u64, Vec::new());
+            let _ = self.recv_vec_raw::<u8>(src, base + k as u64);
             k += 1;
         }
     }
@@ -57,12 +57,12 @@ impl Comm {
             if buf.is_none() && vr >= d && vr < 2 * d {
                 let parent_vr = vr - d;
                 let parent = (parent_vr + root) % p;
-                buf = Some(self.recv_vec::<T>(parent, tag + k as u64));
+                buf = Some(self.recv_vec_raw::<T>(parent, tag + k as u64));
             } else if buf.is_some() && vr < d {
                 let child_vr = vr + d;
                 if child_vr < p {
                     let child = (child_vr + root) % p;
-                    self.send_slice(child, tag + k as u64, buf.as_ref().expect("buffered"));
+                    self.send_slice_raw(child, tag + k as u64, buf.as_ref().expect("buffered"));
                 }
             }
         }
@@ -85,12 +85,12 @@ impl Comm {
                 if src == root {
                     out.push(data.to_vec());
                 } else {
-                    out.push(self.recv_vec::<T>(src, tag));
+                    out.push(self.recv_vec_raw::<T>(src, tag));
                 }
             }
             Some(out)
         } else {
-            self.send_slice(root, tag, data);
+            self.send_slice_raw(root, tag, data);
             None
         }
     }
@@ -149,7 +149,7 @@ impl Comm {
         let me = self.rank();
         for (dst, item) in data.iter().enumerate() {
             if dst != me {
-                self.send_val(dst, tag, item.clone());
+                self.send_val_raw(dst, tag, item.clone());
             }
         }
         let mut out: Vec<T> = Vec::with_capacity(p);
@@ -157,7 +157,7 @@ impl Comm {
             if src == me {
                 out.push(data[me].clone());
             } else {
-                out.push(self.recv_val::<T>(src, tag));
+                out.push(self.recv_val_raw::<T>(src, tag));
             }
         }
         out
@@ -211,7 +211,7 @@ impl Comm {
         for i in 1..p {
             let dst = (me + i) % p;
             if send_counts[dst] > 0 {
-                self.send_slice(dst, tag, &data[offsets[dst]..offsets[dst + 1]]);
+                self.send_slice_raw(dst, tag, &data[offsets[dst]..offsets[dst + 1]]);
             }
         }
         let mut out: Vec<T> = Vec::with_capacity(recv_counts.iter().sum());
@@ -219,8 +219,8 @@ impl Comm {
             if src == me {
                 out.extend_from_slice(&data[offsets[me]..offsets[me + 1]]);
             } else if rc > 0 {
-                let chunk = self.recv_vec::<T>(src, tag);
-                debug_assert_eq!(chunk.len(), rc, "count mismatch from {src}");
+                let chunk = self.recv_vec_raw::<T>(src, tag);
+                assert_eq!(chunk.len(), rc, "alltoallv count mismatch from {src}");
                 out.extend(chunk);
             }
         }
@@ -292,12 +292,12 @@ impl Comm {
                 if dst == root {
                     mine = chunk;
                 } else {
-                    self.send_vec(dst, tag, chunk);
+                    self.send_vec_raw(dst, tag, chunk);
                 }
             }
             mine
         } else {
-            self.recv_vec(root, tag)
+            self.recv_vec_raw(root, tag)
         }
     }
 

@@ -13,12 +13,14 @@
 
 use crate::clock::VirtualClock;
 use crate::error::OomError;
-use crate::mailbox::{Envelope, SrcSel};
-use crate::universe::Universe;
+use crate::mailbox::{Envelope, SrcSel, TakeResult};
+use crate::universe::{DeadlockError, Universe, WaitDesc};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Panic payload used when a rank unwinds *because another rank panicked*
 /// (the world was aborted). The runtime filters these out so the original
@@ -123,6 +125,12 @@ impl Comm {
     pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
         let before = self.clock.now();
         let r = self.clock.measure(f);
+        let factor = self.uni.faults().compute_factor(self.world_rank());
+        if factor != 1.0 {
+            // Slowed rank: the same work takes `factor` times as long.
+            let dt = self.clock.now() - before;
+            self.clock.charge(dt * (factor - 1.0));
+        }
         self.uni
             .recorder
             .add_compute(self.world_rank(), self.clock.now() - before);
@@ -132,6 +140,7 @@ impl Comm {
     /// Charge modeled compute seconds to this rank's clock, attributing
     /// them to the compute ledger in the telemetry recorder.
     pub fn charge_compute(&self, seconds: f64) {
+        let seconds = seconds * self.uni.faults().compute_factor(self.world_rank());
         self.clock.charge(seconds);
         self.uni.recorder.add_compute(self.world_rank(), seconds);
     }
@@ -148,6 +157,9 @@ impl Comm {
     pub fn trace_phase(&self, name: &str) {
         self.uni.tracer.set_phase(name);
         self.uni.recorder.set_phase(name);
+        if self.uni.deadlock.timeout.is_some() {
+            *self.uni.deadlock.last_phase[self.world_rank()].lock() = name.to_string();
+        }
     }
 
     /// The world's telemetry recorder (disabled unless the world was built
@@ -181,9 +193,19 @@ impl Comm {
         self.uni.recorder.count(name, n);
     }
 
-    /// Reserve `bytes` of simulated memory on this rank.
+    /// Reserve `bytes` of simulated memory on this rank. Under a
+    /// memory-pressure fault ramp, part of the budget is withheld and the
+    /// effective headroom shrinks over virtual time.
     pub fn try_alloc(&self, bytes: usize) -> Result<(), OomError> {
-        let res = self.uni.memory().try_alloc(self.world_rank(), bytes);
+        let withheld = self.uni.faults().withheld(
+            self.world_rank(),
+            self.clock.now(),
+            self.uni.memory().budget(),
+        );
+        let res = self
+            .uni
+            .memory()
+            .try_alloc_reserved(self.world_rank(), bytes, withheld);
         if self.uni.recorder.enabled() {
             if let Err(e) = &res {
                 self.uni.recorder.count("mem.oom", 1);
@@ -205,6 +227,28 @@ impl Comm {
         self.uni.memory().free(self.world_rank(), bytes);
     }
 
+    /// Fraction of this rank's *effective* memory budget (budget minus any
+    /// fault-withheld bytes) that would be in use after reserving `extra`
+    /// more bytes. Always 0.0 with an unlimited budget. Drivers use this to
+    /// detect memory pressure and degrade gracefully before an allocation
+    /// actually fails.
+    pub fn memory_pressure_with(&self, extra: usize) -> f64 {
+        let budget = self.uni.memory().budget();
+        if budget == usize::MAX {
+            return 0.0;
+        }
+        let withheld = self
+            .uni
+            .faults()
+            .withheld(self.world_rank(), self.clock.now(), budget);
+        let effective = budget.saturating_sub(withheld).max(1);
+        self.uni
+            .memory()
+            .used(self.world_rank())
+            .saturating_add(extra) as f64
+            / effective as f64
+    }
+
     /// Cores per node of the simulated machine.
     pub fn cores_per_node(&self) -> usize {
         self.uni.topology().cores_per_node()
@@ -224,9 +268,34 @@ impl Comm {
     pub(crate) fn next_coll_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
+        debug_assert!(
+            seq < (1 << 15),
+            "collective sequence number overflow risk (seq {seq})"
+        );
         // Reserved space above MAX_USER_TAG; round numbers within one
         // collective are added by the caller (< 4096 rounds).
         Self::MAX_USER_TAG + (seq << 12)
+    }
+
+    /// Reject tags that would collide with the reserved collective tag
+    /// space. An in-flight asynchronous collective receives with
+    /// any-source matching on its reserved tag; a user message forged into
+    /// that space could be stolen by it and silently corrupt the exchange.
+    #[track_caller]
+    fn assert_user_tag(tag: u64) {
+        assert!(
+            tag < Self::MAX_USER_TAG,
+            "tag {tag} is outside the user tag space: tags at or above \
+             Comm::MAX_USER_TAG (2^48) are reserved for collective operations"
+        );
+    }
+
+    /// Charge any injected stall for one message operation on this rank.
+    fn inject_op_stall(&self) {
+        let s = self.uni.faults().op_stall(self.world_rank());
+        if s > 0.0 {
+            self.charge_comm(s);
+        }
     }
 
     pub(crate) fn next_split_seq(&self) -> u64 {
@@ -240,26 +309,59 @@ impl Comm {
     /// Send an owned vector to communicator rank `dst` with `tag`.
     /// Buffered: returns as soon as the envelope is enqueued. The sender's
     /// clock is charged the injection cost from the network model.
+    ///
+    /// `tag` must be below [`Comm::MAX_USER_TAG`]; the space above it is
+    /// reserved for collectives.
     pub fn send_vec<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        Self::assert_user_tag(tag);
+        self.send_vec_raw(dst, tag, data);
+    }
+
+    /// Internal send without the user-tag check — collectives and async
+    /// exchanges send on reserved tags through this path.
+    pub(crate) fn send_vec_raw<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) {
         self.check_alive();
+        self.inject_op_stall();
         let bytes = std::mem::size_of::<T>() * data.len();
         let src_w = self.world_rank();
         let dst_w = self.members[dst];
         let topo = self.uni.topology();
         let net = self.uni.net();
-        self.charge_comm(net.inject_time(topo, src_w, dst_w, bytes));
-        let arrival = self.clock.now() + net.transit_time(topo, src_w, dst_w, bytes);
+        let (inject, transit, reorder_depth) = match self.uni.faults().message(src_w, dst_w) {
+            Some(mf) => {
+                let (i, t) = net.perturbed_times(topo, src_w, dst_w, bytes, &mf);
+                (i, t, mf.reorder_depth)
+            }
+            None => (
+                net.inject_time(topo, src_w, dst_w, bytes),
+                net.transit_time(topo, src_w, dst_w, bytes),
+                0,
+            ),
+        };
+        self.charge_comm(inject);
+        let arrival = self.clock.now() + transit;
         self.uni.stats().record(bytes);
         self.uni.tracer.record(src_w, dst_w, bytes);
         self.uni.recorder.on_send(src_w, dst_w, bytes);
-        self.uni.mailboxes[dst_w].push(Envelope {
-            ctx: self.ctx,
-            src: src_w,
-            tag,
-            data: Box::new(data),
-            bytes,
-            arrival,
-        });
+        self.uni.mailboxes[dst_w].push_reordered(
+            Envelope {
+                ctx: self.ctx,
+                src: src_w,
+                tag,
+                data: Box::new(data),
+                bytes,
+                arrival,
+            },
+            reorder_depth,
+        );
+        if self.uni.deadlock.timeout.is_some() {
+            self.uni.deadlock.progress.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Send a copy of a slice to communicator rank `dst`.
@@ -267,17 +369,162 @@ impl Comm {
         self.send_vec(dst, tag, data.to_vec());
     }
 
+    pub(crate) fn send_slice_raw<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: &[T],
+    ) {
+        self.send_vec_raw(dst, tag, data.to_vec());
+    }
+
     /// Send a single value.
     pub fn send_val<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, value: T) {
         self.send_vec(dst, tag, vec![value]);
     }
 
+    pub(crate) fn send_val_raw<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.send_vec_raw(dst, tag, vec![value]);
+    }
+
     fn take_envelope(&self, src: SrcSel, tag: u64) -> Envelope {
-        let mb = &self.uni.mailboxes[self.world_rank()];
-        match mb.take(self.ctx, src, tag, &self.uni.aborted) {
-            Some(env) => env,
-            None => std::panic::panic_any(AbortedPanic { rank: self.rank() }),
+        self.inject_op_stall();
+        self.blocking_take(&[(src, tag)])
+    }
+
+    /// Block until an envelope matching any of `specs` arrives. Registers
+    /// the wait with the deadlock watch when a collective timeout is
+    /// configured.
+    fn blocking_take(&self, specs: &[(SrcSel, u64)]) -> Envelope {
+        let me_w = self.world_rank();
+        let mb = &self.uni.mailboxes[me_w];
+        let dl = &self.uni.deadlock;
+        let result = match dl.timeout {
+            None => mb.take_any_of(self.ctx, specs, &self.uni.aborted, None),
+            Some(window) => {
+                {
+                    let (src, tag) = specs[0];
+                    *dl.waits[me_w].lock() = Some(WaitDesc {
+                        ctx: self.ctx,
+                        src: match src {
+                            SrcSel::Exact(s) => Some(s),
+                            SrcSel::Any => None,
+                        },
+                        tag,
+                    });
+                }
+                dl.blocked.fetch_add(1, Ordering::SeqCst);
+                let r = self.take_watched(specs, window);
+                dl.blocked.fetch_sub(1, Ordering::SeqCst);
+                *dl.waits[me_w].lock() = None;
+                r
+            }
+        };
+        match result {
+            TakeResult::Got(env) => {
+                if dl.timeout.is_some() {
+                    dl.progress.fetch_add(1, Ordering::SeqCst);
+                }
+                env
+            }
+            TakeResult::Aborted | TakeResult::TimedOut => {
+                std::panic::panic_any(AbortedPanic { rank: self.rank() })
+            }
         }
+    }
+
+    /// Deadline-probing take used by the collective-timeout detector: if
+    /// every rank in the world stays blocked in a receive and no envelope
+    /// is delivered or taken for a full `window`, the run is provably
+    /// deadlocked — raise a diagnostic instead of hanging forever.
+    fn take_watched(&self, specs: &[(SrcSel, u64)], window: Duration) -> TakeResult {
+        let mb = &self.uni.mailboxes[self.world_rank()];
+        let dl = &self.uni.deadlock;
+        let mut progress_snapshot = dl.progress.load(Ordering::SeqCst);
+        loop {
+            let deadline = Instant::now() + window;
+            match mb.take_any_of(self.ctx, specs, &self.uni.aborted, Some(deadline)) {
+                TakeResult::TimedOut => {
+                    let progress_now = dl.progress.load(Ordering::SeqCst);
+                    let all_blocked =
+                        dl.blocked.load(Ordering::SeqCst) == self.uni.topology().world_size();
+                    if all_blocked && progress_now == progress_snapshot {
+                        self.raise_deadlock(window);
+                    }
+                    progress_snapshot = progress_now;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Human-readable description of a tag: collective tags are decoded
+    /// into their operation sequence number and round.
+    fn describe_tag(tag: u64) -> String {
+        if tag >= Self::MAX_USER_TAG {
+            let seq = (tag - Self::MAX_USER_TAG) >> 12;
+            let round = tag & 0xFFF;
+            format!("collective #{seq} round {round}")
+        } else {
+            format!("user tag {tag}")
+        }
+    }
+
+    /// Build and raise the deadlock report. Only the first detecting rank
+    /// raises [`DeadlockError`]; the abort it triggers unwinds the rest
+    /// with [`AbortedPanic`], so the diagnostic surfaces from the runtime.
+    #[cold]
+    fn raise_deadlock(&self, window: Duration) -> ! {
+        use std::fmt::Write as _;
+        let dl = &self.uni.deadlock;
+        let mut slot = dl.report.lock();
+        if slot.is_some() {
+            drop(slot);
+            std::panic::panic_any(AbortedPanic { rank: self.rank() });
+        }
+        let p = self.uni.topology().world_size();
+        let mut rep = String::new();
+        let _ = writeln!(
+            rep,
+            "all {p} ranks blocked with no message progress for {window:?} \
+             (detected by world rank {})",
+            self.world_rank()
+        );
+        for r in 0..p {
+            let wait = dl.waits[r].lock().clone();
+            let phase = dl.last_phase[r].lock().clone();
+            let pending = self.uni.mailboxes[r].snapshot();
+            let wait_s = match wait {
+                Some(w) => format!(
+                    "waiting on ctx {} for {} from {}",
+                    w.ctx,
+                    Self::describe_tag(w.tag),
+                    w.src
+                        .map_or_else(|| "any source".to_string(), |s| format!("world rank {s}")),
+                ),
+                None => "not blocked in a receive (finished, or outside messaging)".to_string(),
+            };
+            let _ = writeln!(
+                rep,
+                "  rank {r}: {wait_s}; last phase: {}; {} pending envelope(s)",
+                if phase.is_empty() { "<none>" } else { &phase },
+                pending.len()
+            );
+            for &(ctx, src, tag, bytes) in pending.iter().take(8) {
+                let _ = writeln!(
+                    rep,
+                    "    pending: ctx {ctx} from rank {src}, {} ({bytes} B)",
+                    Self::describe_tag(tag)
+                );
+            }
+            if pending.len() > 8 {
+                let _ = writeln!(rep, "    ... and {} more", pending.len() - 8);
+            }
+        }
+        *slot = Some(rep.clone());
+        drop(slot);
+        self.uni.abort();
+        std::panic::panic_any(DeadlockError { report: rep });
     }
 
     fn open_envelope<T: Send + 'static>(&self, env: Envelope) -> (usize, Vec<T>) {
@@ -294,7 +541,14 @@ impl Comm {
     }
 
     /// Blocking receive of a vector from communicator rank `src` with `tag`.
+    ///
+    /// `tag` must be below [`Comm::MAX_USER_TAG`].
     pub fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        Self::assert_user_tag(tag);
+        self.recv_vec_raw(src, tag)
+    }
+
+    pub(crate) fn recv_vec_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
         self.check_alive();
         let env = self.take_envelope(SrcSel::Exact(self.members[src]), tag);
         self.open_envelope(env).1
@@ -302,6 +556,11 @@ impl Comm {
 
     /// Blocking receive from any source; returns `(src_comm_rank, data)`.
     pub fn recv_any<T: Send + 'static>(&self, tag: u64) -> (usize, Vec<T>) {
+        Self::assert_user_tag(tag);
+        self.recv_any_raw(tag)
+    }
+
+    pub(crate) fn recv_any_raw<T: Send + 'static>(&self, tag: u64) -> (usize, Vec<T>) {
         self.check_alive();
         // Any-source matching must only consider members of this
         // communicator; ctx filtering in the mailbox guarantees that.
@@ -309,8 +568,34 @@ impl Comm {
         self.open_envelope(env)
     }
 
+    /// Blocking receive of the first message matching any `(src, tag)` pair
+    /// in `specs` (communicator ranks). Returns `(src_comm_rank, tag, data)`.
+    /// This is a true blocking wait: idle time advances with the message
+    /// arrival, not with polling.
+    pub(crate) fn recv_any_of_raw<T: Send + 'static>(
+        &self,
+        specs: &[(usize, u64)],
+    ) -> (usize, u64, Vec<T>) {
+        assert!(!specs.is_empty(), "recv_any_of needs at least one request");
+        self.check_alive();
+        self.inject_op_stall();
+        let world_specs: Vec<(SrcSel, u64)> = specs
+            .iter()
+            .map(|&(s, t)| (SrcSel::Exact(self.members[s]), t))
+            .collect();
+        let env = self.blocking_take(&world_specs);
+        let tag = env.tag;
+        let (src, data) = self.open_envelope(env);
+        (src, tag, data)
+    }
+
     /// Non-blocking receive attempt from any source.
     pub fn try_recv_any<T: Send + 'static>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
+        Self::assert_user_tag(tag);
+        self.try_recv_any_raw(tag)
+    }
+
+    pub(crate) fn try_recv_any_raw<T: Send + 'static>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
         self.check_alive();
         let mb = &self.uni.mailboxes[self.world_rank()];
         mb.try_take(self.ctx, SrcSel::Any, tag)
@@ -319,6 +604,15 @@ impl Comm {
 
     /// Non-blocking receive attempt from a specific source rank.
     pub fn try_recv_from<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<Vec<T>> {
+        Self::assert_user_tag(tag);
+        self.try_recv_from_raw(src, tag)
+    }
+
+    pub(crate) fn try_recv_from_raw<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Option<Vec<T>> {
         self.check_alive();
         let mb = &self.uni.mailboxes[self.world_rank()];
         mb.try_take(self.ctx, SrcSel::Exact(self.members[src]), tag)
@@ -327,7 +621,12 @@ impl Comm {
 
     /// Blocking receive of a single value.
     pub fn recv_val<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        let v = self.recv_vec::<T>(src, tag);
+        Self::assert_user_tag(tag);
+        self.recv_val_raw(src, tag)
+    }
+
+    pub(crate) fn recv_val_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let v = self.recv_vec_raw::<T>(src, tag);
         debug_assert_eq!(v.len(), 1, "recv_val expects single-element message");
         v.into_iter().next().expect("non-empty message")
     }

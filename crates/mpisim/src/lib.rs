@@ -35,6 +35,7 @@ pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod faults;
 pub mod mailbox;
 pub mod memory;
 pub mod netmodel;
@@ -49,12 +50,13 @@ pub use async_a2a::AsyncAlltoallv;
 pub use clock::VirtualClock;
 pub use comm::Comm;
 pub use error::{CommError, OomError};
+pub use faults::FaultSpec;
 pub use netmodel::NetModel;
 pub use p2p::RecvRequest;
 pub use runtime::{World, WorldReport};
 pub use topology::Topology;
 pub use trace::{PhaseTraffic, Tracer};
-pub use universe::Universe;
+pub use universe::{DeadlockError, Universe};
 
 // Re-exported so downstream crates can name `WorldReport::telemetry` types
 // without a direct dependency.

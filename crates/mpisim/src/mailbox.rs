@@ -38,6 +38,16 @@ pub(crate) enum SrcSel {
     Any,
 }
 
+/// Outcome of a blocking take with a deadline.
+pub(crate) enum TakeResult {
+    /// A matching envelope was removed from the queue.
+    Got(Envelope),
+    /// The world aborted while waiting.
+    Aborted,
+    /// The deadline elapsed with no match (deadlock-detector probe).
+    TimedOut,
+}
+
 /// A single rank's incoming-message queue.
 pub(crate) struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
@@ -55,43 +65,110 @@ impl Default for Mailbox {
 
 impl Mailbox {
     /// Deposit an envelope and wake any waiting receiver.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn push(&self, env: Envelope) {
-        self.queue.lock().push_back(env);
+        self.push_reordered(env, 0);
+    }
+
+    /// Deposit an envelope, letting it overtake up to `depth` already-queued
+    /// envelopes. Messages from the same `(ctx, src)` are never overtaken —
+    /// MPI's non-overtaking guarantee holds under reordering faults too.
+    pub fn push_reordered(&self, env: Envelope, depth: usize) {
+        let mut q = self.queue.lock();
+        let mut pos = q.len();
+        let mut crossed = 0;
+        while pos > 0 && crossed < depth {
+            let behind = &q[pos - 1];
+            if behind.ctx == env.ctx && behind.src == env.src {
+                break;
+            }
+            pos -= 1;
+            crossed += 1;
+        }
+        q.insert(pos, env);
+        drop(q);
         self.cv.notify_all();
     }
 
-    fn match_pos(queue: &VecDeque<Envelope>, ctx: u64, src: SrcSel, tag: u64) -> Option<usize> {
+    fn matches(e: &Envelope, ctx: u64, src: SrcSel, tag: u64) -> bool {
+        e.ctx == ctx
+            && e.tag == tag
+            && match src {
+                SrcSel::Exact(s) => e.src == s,
+                SrcSel::Any => true,
+            }
+    }
+
+    /// Position of the first envelope matching ANY of `specs` (FIFO order).
+    fn match_pos_any(
+        queue: &VecDeque<Envelope>,
+        ctx: u64,
+        specs: &[(SrcSel, u64)],
+    ) -> Option<usize> {
         queue.iter().position(|e| {
-            e.ctx == ctx
-                && e.tag == tag
-                && match src {
-                    SrcSel::Exact(s) => e.src == s,
-                    SrcSel::Any => true,
-                }
+            specs
+                .iter()
+                .any(|&(src, tag)| Self::matches(e, ctx, src, tag))
         })
     }
 
     /// Non-blocking take of the first matching envelope.
     pub fn try_take(&self, ctx: u64, src: SrcSel, tag: u64) -> Option<Envelope> {
         let mut q = self.queue.lock();
-        Self::match_pos(&q, ctx, src, tag).and_then(|i| q.remove(i))
+        Self::match_pos_any(&q, ctx, &[(src, tag)]).and_then(|i| q.remove(i))
     }
 
     /// Blocking take. Returns `None` if `aborted` becomes set while waiting
     /// (another rank panicked and the world is shutting down).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn take(&self, ctx: u64, src: SrcSel, tag: u64, aborted: &AtomicBool) -> Option<Envelope> {
+        match self.take_any_of(ctx, &[(src, tag)], aborted, None) {
+            TakeResult::Got(e) => Some(e),
+            TakeResult::Aborted => None,
+            TakeResult::TimedOut => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// Blocking take of the first envelope matching any of `specs`,
+    /// optionally bounded by a wall-clock deadline (used by the deadlock
+    /// detector to probe for global stalls).
+    pub fn take_any_of(
+        &self,
+        ctx: u64,
+        specs: &[(SrcSel, u64)],
+        aborted: &AtomicBool,
+        deadline: Option<std::time::Instant>,
+    ) -> TakeResult {
         let mut q = self.queue.lock();
         loop {
-            if let Some(i) = Self::match_pos(&q, ctx, src, tag) {
-                return q.remove(i);
+            if let Some(i) = Self::match_pos_any(&q, ctx, specs) {
+                return TakeResult::Got(q.remove(i).expect("matched position exists"));
             }
             if aborted.load(Ordering::SeqCst) {
-                return None;
+                return TakeResult::Aborted;
             }
             // Timed wait so an abort raised while we hold no notification
             // still wakes us promptly.
-            self.cv.wait_for(&mut q, Duration::from_millis(25));
+            let mut wait = Duration::from_millis(25);
+            if let Some(d) = deadline {
+                let now = std::time::Instant::now();
+                if now >= d {
+                    return TakeResult::TimedOut;
+                }
+                wait = wait.min(d - now);
+            }
+            self.cv.wait_for(&mut q, wait);
         }
+    }
+
+    /// Metadata snapshot of every queued envelope: `(ctx, src, tag, bytes)`.
+    /// Used for deadlock diagnostics.
+    pub fn snapshot(&self) -> Vec<(u64, usize, u64, usize)> {
+        self.queue
+            .lock()
+            .iter()
+            .map(|e| (e.ctx, e.src, e.tag, e.bytes))
+            .collect()
     }
 
     /// Wake all waiters (used on world abort).
@@ -180,5 +257,67 @@ mod tests {
         mb.push(env(0, 0, 5, vec![1]));
         assert!(mb.try_take(0, SrcSel::Exact(0), 6).is_none());
         assert!(mb.try_take(0, SrcSel::Exact(0), 5).is_some());
+    }
+
+    #[test]
+    fn reordered_push_overtakes_other_sources_only() {
+        let mb = Mailbox::default();
+        mb.push(env(0, 1, 7, vec![1]));
+        mb.push(env(0, 2, 7, vec![2]));
+        // src 3 may overtake both queued envelopes (different sources)
+        mb.push_reordered(env(0, 3, 7, vec![3]), 8);
+        let e = mb.try_take(0, SrcSel::Any, 7).unwrap();
+        assert_eq!(e.src, 3, "reordered envelope jumped the queue");
+
+        // but a second message from src 1 must NOT overtake the first
+        mb.push_reordered(env(0, 1, 7, vec![11]), 8);
+        let a = mb.try_take(0, SrcSel::Exact(1), 7).unwrap();
+        assert_eq!(*a.data.downcast::<Vec<u32>>().unwrap(), vec![1]);
+        let b = mb.try_take(0, SrcSel::Exact(1), 7).unwrap();
+        assert_eq!(*b.data.downcast::<Vec<u32>>().unwrap(), vec![11]);
+    }
+
+    #[test]
+    fn reorder_depth_bounds_overtaking() {
+        let mb = Mailbox::default();
+        mb.push(env(0, 1, 7, vec![1]));
+        mb.push(env(0, 2, 7, vec![2]));
+        mb.push(env(0, 3, 7, vec![3]));
+        // depth 1: overtakes only the last envelope
+        mb.push_reordered(env(0, 4, 7, vec![4]), 1);
+        let order: Vec<usize> = (0..4)
+            .map(|_| mb.try_take(0, SrcSel::Any, 7).unwrap().src)
+            .collect();
+        assert_eq!(order, vec![1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn take_any_of_matches_multiple_specs() {
+        let mb = Mailbox::default();
+        let aborted = AtomicBool::new(false);
+        mb.push(env(0, 2, 9, vec![2]));
+        let specs = [(SrcSel::Exact(1), 8), (SrcSel::Exact(2), 9)];
+        match mb.take_any_of(0, &specs, &aborted, None) {
+            TakeResult::Got(e) => assert_eq!((e.src, e.tag), (2, 9)),
+            _ => panic!("expected envelope"),
+        }
+    }
+
+    #[test]
+    fn take_any_of_times_out() {
+        let mb = Mailbox::default();
+        let aborted = AtomicBool::new(false);
+        let deadline = std::time::Instant::now() + Duration::from_millis(30);
+        match mb.take_any_of(0, &[(SrcSel::Any, 1)], &aborted, Some(deadline)) {
+            TakeResult::TimedOut => {}
+            _ => panic!("expected timeout"),
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_queue_metadata() {
+        let mb = Mailbox::default();
+        mb.push(env(3, 1, 7, vec![1, 2]));
+        assert_eq!(mb.snapshot(), vec![(3, 1, 7, 8)]);
     }
 }

@@ -41,16 +41,33 @@ impl MemoryTracker {
     /// Attempt to charge `bytes` to `rank`. On success the caller owns the
     /// reservation and must release it with [`free`](Self::free).
     pub fn try_alloc(&self, rank: usize, bytes: usize) -> Result<(), OomError> {
+        self.try_alloc_reserved(rank, bytes, 0)
+    }
+
+    /// Like [`try_alloc`](Self::try_alloc) but with `withheld` bytes of the
+    /// budget temporarily unavailable (memory-pressure fault injection). An
+    /// unlimited budget is never reduced.
+    pub fn try_alloc_reserved(
+        &self,
+        rank: usize,
+        bytes: usize,
+        withheld: usize,
+    ) -> Result<(), OomError> {
+        let effective = if self.budget == usize::MAX {
+            usize::MAX
+        } else {
+            self.budget.saturating_sub(withheld)
+        };
         let used = &self.used[rank];
         let mut cur = used.load(Ordering::Relaxed);
         loop {
             let new = cur.saturating_add(bytes);
-            if new > self.budget {
+            if new > effective {
                 return Err(OomError {
                     rank,
                     requested: bytes,
-                    available: self.budget.saturating_sub(cur),
-                    budget: self.budget,
+                    available: effective.saturating_sub(cur),
+                    budget: effective,
                 });
             }
             match used.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
@@ -133,6 +150,18 @@ mod tests {
         assert_eq!(m.high_water(0), 700);
         assert_eq!(m.used(0), 100);
         assert_eq!(m.max_high_water(), 700);
+    }
+
+    #[test]
+    fn withheld_budget_shrinks_headroom() {
+        let m = MemoryTracker::new(1, Some(100));
+        let err = m.try_alloc_reserved(0, 60, 50).unwrap_err();
+        assert_eq!(err.budget, 50);
+        assert_eq!(err.available, 50);
+        assert!(m.try_alloc_reserved(0, 50, 50).is_ok());
+        // unlimited budgets ignore withholding
+        let u = MemoryTracker::new(1, None);
+        assert!(u.try_alloc_reserved(0, 1 << 40, usize::MAX).is_ok());
     }
 
     #[test]

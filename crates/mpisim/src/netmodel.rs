@@ -128,6 +128,25 @@ impl NetModel {
     pub fn message_time(&self, topo: &Topology, src: usize, dst: usize, bytes: usize) -> f64 {
         self.inject_time(topo, src, dst, bytes) + self.transit_time(topo, src, dst, bytes)
     }
+
+    /// Inject and transit times with a per-message fault decision folded in:
+    /// transient send-buffer exhaustion stalls the sender before injection
+    /// completes; delay jitter extends the in-flight time. Self-messages
+    /// remain free of the base cost but still suffer injected faults (a
+    /// stalled sender stalls regardless of destination).
+    pub(crate) fn perturbed_times(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        f: &crate::faults::MessageFaults,
+    ) -> (f64, f64) {
+        (
+            self.inject_time(topo, src, dst, bytes) + f.send_backoff_s,
+            self.transit_time(topo, src, dst, bytes) + f.extra_transit_s,
+        )
+    }
 }
 
 impl Default for NetModel {

@@ -29,7 +29,14 @@ impl Comm {
     }
 
     /// Post a nonblocking receive for a message from `src` with `tag`.
+    ///
+    /// `tag` must be below [`Comm::MAX_USER_TAG`].
     pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u64) -> RecvRequest<T> {
+        assert!(
+            tag < Self::MAX_USER_TAG,
+            "tag {tag} is outside the user tag space: tags at or above \
+             Comm::MAX_USER_TAG (2^48) are reserved for collective operations"
+        );
         RecvRequest {
             src,
             tag,
@@ -79,9 +86,11 @@ impl<T: Send + 'static> RecvRequest<T> {
 }
 
 /// Wait for any of the given requests to complete; returns its index and
-/// payload (`MPI_Waitany`). Polls round-robin, charging test overhead per
-/// poll, and parks briefly between sweeps so it composes with the virtual
-/// clock like the blocking receive does.
+/// payload (`MPI_Waitany`). Charges one round-robin test sweep, then — if
+/// nothing is ready — truly blocks until a matching message arrives, like
+/// the blocking receive. The virtual-time cost of an idle wait is therefore
+/// one sweep plus the arrival gap, independent of how long the OS schedules
+/// the receiver to sleep.
 pub fn wait_any<T: Send + 'static>(
     comm: &Comm,
     requests: &mut Vec<RecvRequest<T>>,
@@ -89,19 +98,32 @@ pub fn wait_any<T: Send + 'static>(
     if requests.is_empty() {
         return None;
     }
-    loop {
-        for i in 0..requests.len() {
-            if requests[i].test(comm) {
-                let req = requests.swap_remove(i);
-                let data = req.wait(comm);
-                return Some((i, data));
-            }
+    // One MPI_Test sweep over the outstanding requests.
+    comm.charge_comm(comm.universe().net().async_test_overhead * requests.len() as f64);
+    for i in 0..requests.len() {
+        let ready = requests[i].done.is_some()
+            || match comm.try_take_from::<T>(requests[i].src, requests[i].tag) {
+                Some(data) => {
+                    requests[i].done = Some(data);
+                    true
+                }
+                None => false,
+            };
+        if ready {
+            let req = requests.swap_remove(i);
+            let data = req.done.expect("request was completed above");
+            return Some((i, data));
         }
-        // Nothing ready: block on the first request's arrival rather than
-        // spinning (the mailbox condvar wakes us on any delivery; the
-        // round-robin sweep re-runs after).
-        std::thread::yield_now();
     }
+    // Nothing ready: block on the set of outstanding (src, tag) pairs.
+    let specs: Vec<(usize, u64)> = requests.iter().map(|r| (r.src, r.tag)).collect();
+    let (src, tag, data) = comm.recv_any_of_raw::<T>(&specs);
+    let i = requests
+        .iter()
+        .position(|r| r.src == src && r.tag == tag)
+        .expect("completed message matches a posted request");
+    requests.swap_remove(i);
+    Some((i, data))
 }
 
 #[cfg(test)]

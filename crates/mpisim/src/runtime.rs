@@ -8,6 +8,7 @@
 
 use crate::clock::VirtualClock;
 use crate::comm::Comm;
+use crate::faults::FaultSpec;
 use crate::netmodel::NetModel;
 use crate::topology::Topology;
 use crate::universe::Universe;
@@ -28,6 +29,8 @@ pub struct World {
     stack_size: usize,
     trace: bool,
     telemetry: bool,
+    faults: Option<FaultSpec>,
+    collective_timeout: Option<Duration>,
 }
 
 impl World {
@@ -46,6 +49,8 @@ impl World {
             stack_size: 1 << 21, // 2 MiB: worlds may have thousands of ranks
             trace: false,
             telemetry: false,
+            faults: None,
+            collective_timeout: None,
         }
     }
 
@@ -108,6 +113,27 @@ impl World {
         self
     }
 
+    /// Install a deterministic fault-injection policy (see
+    /// [`crate::faults`]). Like telemetry, the layer is a pure policy
+    /// object: an inert spec (or none at all) leaves every clock and result
+    /// bit-identical to a world built without it.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Enable the collective-timeout deadlock detector: if every rank stays
+    /// blocked in a receive with no message progress for `window` of wall
+    /// time, the run aborts with a [`crate::DeadlockError`] naming each
+    /// stuck rank, what it was waiting for, its pending mailbox contents,
+    /// and the last phase it entered — instead of hanging forever on a
+    /// mismatched collective or lost wakeup. Use a window comfortably above
+    /// scheduling noise (hundreds of milliseconds or more).
+    pub fn collective_timeout(mut self, window: Duration) -> Self {
+        self.collective_timeout = Some(window);
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -133,6 +159,8 @@ impl World {
             self.memory_budget,
             self.trace,
             self.telemetry,
+            self.faults,
+            self.collective_timeout,
         ));
         let members: Arc<[usize]> = (0..self.size).collect();
         let started = Instant::now();
@@ -158,6 +186,11 @@ impl World {
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                         match out {
                             Ok(r) => {
+                                // A finished rank can never make message
+                                // progress again: count it as permanently
+                                // blocked so the deadlock detector still
+                                // fires when the *other* ranks wait on it.
+                                uni.deadlock_mark_finished();
                                 *slot = Some((r, clock.now()));
                                 None
                             }

@@ -1,6 +1,7 @@
 //! Shared state of one simulated world: mailboxes, topology, network model,
 //! memory tracker, context-id registry, and abort flag.
 
+use crate::faults::{FaultSpec, Faults};
 use crate::mailbox::Mailbox;
 use crate::memory::MemoryTracker;
 use crate::netmodel::NetModel;
@@ -8,8 +9,71 @@ use crate::topology::Topology;
 use crate::trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 use telemetry::Recorder;
+
+/// What a blocked rank is waiting for (deadlock diagnostics).
+#[derive(Debug, Clone)]
+pub(crate) struct WaitDesc {
+    pub ctx: u64,
+    /// `None` = any source; `Some(w)` = world rank w (or several, for
+    /// multi-request waits — the first is recorded).
+    pub src: Option<usize>,
+    pub tag: u64,
+}
+
+/// Collective-timeout detector state. Tracks global delivery progress and
+/// how many ranks are blocked in a receive; when every rank is blocked and
+/// no envelope moves for a full timeout window, the world is provably
+/// deadlocked and a diagnostic report is raised instead of hanging forever.
+pub(crate) struct DeadlockWatch {
+    /// Wall-clock window; `None` disables the detector entirely.
+    pub timeout: Option<Duration>,
+    /// Bumped on every mailbox delivery and successful take.
+    pub progress: AtomicU64,
+    /// Ranks currently blocked in a receive.
+    pub blocked: AtomicUsize,
+    /// What each blocked rank is waiting for.
+    pub waits: Vec<Mutex<Option<WaitDesc>>>,
+    /// Last phase name each rank entered via `trace_phase`.
+    pub last_phase: Vec<Mutex<String>>,
+    /// The report, filled once by whichever rank detects the deadlock.
+    pub report: Mutex<Option<String>>,
+}
+
+impl DeadlockWatch {
+    fn new(size: usize, timeout: Option<Duration>) -> Self {
+        let tracked = if timeout.is_some() { size } else { 0 };
+        Self {
+            timeout,
+            progress: AtomicU64::new(0),
+            blocked: AtomicUsize::new(0),
+            waits: (0..tracked).map(|_| Mutex::new(None)).collect(),
+            last_phase: (0..tracked).map(|_| Mutex::new(String::new())).collect(),
+            report: Mutex::new(None),
+        }
+    }
+}
+
+/// Panic payload raised when the collective-timeout detector proves a
+/// deadlock. Carries a human-readable report naming the stuck ranks, what
+/// each is waiting for, its pending mailbox contents, and the last phase
+/// it completed.
+#[derive(Debug, Clone)]
+pub struct DeadlockError {
+    /// Multi-line diagnostic report.
+    pub report: String,
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated deadlock detected:\n{}", self.report)
+    }
+}
+
+impl std::error::Error for DeadlockError {}
 
 /// Statistics accumulated over a run (whole world, all communicators).
 #[derive(Debug, Default)]
@@ -45,6 +109,8 @@ pub struct Universe {
     pub(crate) stats: NetStats,
     pub(crate) tracer: Tracer,
     pub(crate) recorder: Recorder,
+    pub(crate) faults: Faults,
+    pub(crate) deadlock: DeadlockWatch,
     /// Deterministic context-id registry for communicator splits: all ranks
     /// performing the same (parent ctx, split sequence number, color) split
     /// must agree on the child context id, regardless of arrival order.
@@ -59,12 +125,16 @@ impl Universe {
         memory_budget: Option<usize>,
         trace: bool,
         telemetry: bool,
+        faults: Option<FaultSpec>,
+        collective_timeout: Option<Duration>,
     ) -> Self {
         let size = topology.world_size();
         Self {
             memory: MemoryTracker::new(size, memory_budget),
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             recorder: Recorder::new(topology.node_map(), telemetry),
+            faults: Faults::new(size, faults),
+            deadlock: DeadlockWatch::new(size, collective_timeout),
             topology,
             net,
             aborted: AtomicBool::new(false),
@@ -73,6 +143,19 @@ impl Universe {
             contexts: Mutex::new(HashMap::new()),
             // ctx 0 is the world communicator.
             next_ctx: AtomicU64::new(1),
+        }
+    }
+
+    /// The installed fault policy.
+    pub(crate) fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Count a rank whose closure returned as permanently blocked: it will
+    /// never take another envelope, so ranks still waiting on it deadlock.
+    pub(crate) fn deadlock_mark_finished(&self) {
+        if self.deadlock.timeout.is_some() {
+            self.deadlock.blocked.fetch_add(1, Ordering::SeqCst);
         }
     }
 
@@ -134,7 +217,15 @@ mod tests {
     use super::*;
 
     fn uni(p: usize) -> Universe {
-        Universe::new(Topology::new(p, 4), NetModel::zero(), None, false, false)
+        Universe::new(
+            Topology::new(p, 4),
+            NetModel::zero(),
+            None,
+            false,
+            false,
+            None,
+            None,
+        )
     }
 
     #[test]

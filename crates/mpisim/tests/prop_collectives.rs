@@ -134,4 +134,50 @@ proptest! {
             prop_assert_eq!(*sub_rank, my_pos);
         }
     }
+
+    #[test]
+    fn async_exchange_survives_interleaved_collectives(
+        p in 2usize..6,
+        seed in any::<u64>(),
+        rounds in 1usize..4,
+        tag_sel in any::<u64>(),
+    ) {
+        // The async exchange reserves its collective tag while user p2p
+        // traffic (arbitrary legal tags) and other collectives run through
+        // the same mailboxes. No chunk may be stolen or duplicated.
+        let user_tag = tag_sel % mpisim::Comm::MAX_USER_TAG;
+        let report = world(p).run(move |comm| {
+            let me = comm.rank();
+            let count = |src: usize, dst: usize| -> usize {
+                ((seed >> ((src * p + dst) % 48)) % 5) as usize
+            };
+            let counts: Vec<usize> = (0..p).map(|dst| count(me, dst)).collect();
+            let mut data = Vec::new();
+            for (dst, &c) in counts.iter().enumerate() {
+                data.extend(std::iter::repeat_n((me * 100 + dst) as u64, c));
+            }
+            let mut h = comm.alltoallv_async(&data, &counts);
+            // interleave collectives and user-tagged p2p while in flight
+            for r in 0..rounds {
+                comm.barrier();
+                let s = comm.allreduce(1u64, |a, b| a + b);
+                assert_eq!(s as usize, p);
+                let right = (me + 1) % p;
+                let left = (me + p - 1) % p;
+                comm.send_vec(right, user_tag, vec![(me * 7 + r) as u64]);
+                let got = comm.recv_vec::<u64>(left, user_tag);
+                assert_eq!(got, vec![(left * 7 + r) as u64]);
+            }
+            // drain: every expected chunk arrives intact, exactly once
+            let mut seen = vec![false; p];
+            while let Some((src, chunk)) = h.wait_any(comm) {
+                assert!(!seen[src], "duplicate chunk from {src}");
+                seen[src] = true;
+                assert_eq!(chunk, vec![(src * 100 + me) as u64; count(src, me)]);
+            }
+            let expect: Vec<bool> = (0..p).map(|src| count(src, me) > 0).collect();
+            seen == expect
+        });
+        prop_assert!(report.results.iter().all(|&ok| ok));
+    }
 }

@@ -139,6 +139,29 @@ pub fn write_sorted_runs<T: Sortable + PlainData>(
     Ok(runs)
 }
 
+/// Write one *already sorted* chunk as a run file at `path`. Unlike
+/// [`write_sorted_runs`] this never re-sorts, so a stably sorted chunk
+/// keeps its order on disk — the resilient exchange path relies on this to
+/// preserve stability when spilling received partitions.
+pub fn write_run<T: Sortable + PlainData>(records: &[T], path: &Path) -> io::Result<RunFile> {
+    debug_assert!(is_sorted_by_key(records), "run must be pre-sorted");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    write_records(&mut w, records)?;
+    w.flush()?;
+    Ok(RunFile {
+        path: path.to_path_buf(),
+        records: records.len(),
+    })
+}
+
+/// Remove a run's backing file (best effort).
+pub fn remove_run(run: &RunFile) {
+    let _ = std::fs::remove_file(&run.path);
+}
+
 struct HeapItem<T: Sortable> {
     record: T,
     run: usize,

@@ -41,6 +41,7 @@ pub mod node_merge;
 pub mod partition;
 pub mod pivots;
 pub mod record;
+pub mod resilience;
 pub mod sampling;
 pub mod search;
 pub mod selection;
@@ -52,6 +53,7 @@ pub use autotune::{autotune, AutotuneReport};
 pub use config::{ComputeCharge, ComputeModel, PartitionStrategy, PivotSource, SdsConfig};
 pub use local_sort::{local_sort, parallel_merge, MergeStrategy};
 pub use record::{OrderedF32, OrderedF64, Record, Sortable, Tagged};
+pub use resilience::{sds_sort_resilient, ResilienceConfig};
 pub use selection::{kth_smallest_key, top_k};
 pub use sort::{sds_sort, SortError, SortOutput};
 pub use stats::{rdfa, SortStats};

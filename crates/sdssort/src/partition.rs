@@ -154,20 +154,37 @@ fn skew_aware_cuts<T: Sortable>(
                 let dups = d_hi - d_lo;
                 match shares {
                     None => {
-                        // Fast: even split of the local duplicate run.
+                        // Fast: even split of the local duplicate run. The
+                        // product is widened — `dups × rs` can exceed usize
+                        // for adversarial (huge-duplicate-run) inputs.
                         for k in 0..rs {
-                            cuts[i + k + 1] = d_lo + dups * (k + 1) / rs;
+                            let split = (dups as u128 * (k as u128 + 1) / rs as u128) as usize;
+                            cuts[i + k + 1] = d_lo + split;
                         }
                     }
                     Some(shares) => {
                         // Stable: contiguous groups of the *global* stream.
                         let share = shares[run_idx];
-                        debug_assert!(share.before_me + dups <= share.total);
+                        assert!(
+                            share
+                                .before_me
+                                .checked_add(dups)
+                                .is_some_and(|s| s <= share.total),
+                            "DupShare inconsistent with local data: {} before + {dups} here \
+                             exceeds total {}",
+                            share.before_me,
+                            share.total
+                        );
                         let sa = share.total.div_ceil(rs).max(1);
                         for k in 0..rs {
-                            let group_end = (k + 1) * sa;
-                            let local = group_end.saturating_sub(share.before_me).min(dups);
-                            cuts[i + k + 1] = d_lo + local;
+                            // Widened: `sa × rs` brackets `total` but the
+                            // ceil rounding can push `sa × rs` past usize
+                            // when total is near usize::MAX.
+                            let group_end = (k as u128 + 1) * sa as u128;
+                            let local = group_end
+                                .saturating_sub(share.before_me as u128)
+                                .min(dups as u128);
+                            cuts[i + k + 1] = d_lo + local as usize;
                         }
                         // Last owner takes any rounding remainder.
                         cuts[i + rs] = d_hi;
@@ -181,9 +198,12 @@ fn skew_aware_cuts<T: Sortable>(
         cuts[i + 1] = ub(data, index, pivots[i]);
         i += 1;
     }
-    debug_assert!(
+    // Hard invariant, not a debug assert: non-monotone cuts would produce
+    // a negative send count and corrupt the exchange displacements. The
+    // O(p) scan is negligible next to the boundary searches above.
+    assert!(
         cuts.windows(2).all(|w| w[0] <= w[1]),
-        "cuts must be monotone"
+        "partition cuts must be monotone: {cuts:?}"
     );
     cuts
 }
@@ -387,6 +407,64 @@ mod tests {
             assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "monotone: {cuts:?}");
             assert_eq!(cuts.len(), pivots.len() + 2);
         }
+    }
+
+    #[test]
+    fn empty_rank_inputs_produce_all_zero_counts() {
+        // A rank can end up with no data (e.g. a non-leader after node
+        // merging, or a degenerate workload). Every strategy must hand
+        // back p zero counts, not panic.
+        let data: [u32; 0] = [];
+        let pivots = [5u32, 5, 9];
+        assert_eq!(cuts_to_counts(&classic_cuts(&data, &pivots)), vec![0; 4]);
+        assert_eq!(cuts_to_counts(&fast_cuts(&data, &pivots, None)), vec![0; 4]);
+        let shares = [DupShare {
+            total: 10,
+            before_me: 0,
+        }];
+        assert_eq!(
+            cuts_to_counts(&stable_cuts(&data, &pivots, None, &shares)),
+            vec![0; 4]
+        );
+    }
+
+    #[test]
+    fn no_pivots_single_destination() {
+        // p = 1: no pivots at all; everything stays local.
+        let data = [3u32, 3, 8];
+        assert_eq!(cuts_to_counts(&fast_cuts(&data, &[], None)), vec![3]);
+        assert_eq!(cuts_to_counts(&stable_cuts(&data, &[], None, &[])), vec![3]);
+    }
+
+    #[test]
+    fn huge_duplicate_shares_do_not_overflow() {
+        // total near usize::MAX: group_end arithmetic must not wrap. This
+        // models a (contrived) global stream of ~usize::MAX duplicates of
+        // which this source holds 4.
+        let data = vec![5u32; 4];
+        let pivots = [5u32, 5, 5];
+        let total = usize::MAX - 2;
+        let shares = [DupShare {
+            total,
+            before_me: total - 4,
+        }];
+        let cuts = stable_cuts(&data, &pivots, None, &shares);
+        let counts = cuts_to_counts(&cuts);
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        // this source sits at the very end of the stream: last group owns it
+        assert_eq!(counts[2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "DupShare inconsistent")]
+    fn inconsistent_share_is_rejected() {
+        let data = vec![5u32; 8];
+        let pivots = [5u32, 5];
+        let shares = [DupShare {
+            total: 4, // fewer than this source alone holds
+            before_me: 0,
+        }];
+        let _ = stable_cuts(&data, &pivots, None, &shares);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub enum SortError {
     /// Another rank hit its memory budget; the collective sort was
     /// abandoned everywhere (the paper's whole-job crash).
     PeerOom,
+    /// A disk error on the resilient spill path.
+    Io(String),
 }
 
 impl std::fmt::Display for SortError {
@@ -48,6 +50,7 @@ impl std::fmt::Display for SortError {
         match self {
             SortError::Oom(e) => write!(f, "{e}"),
             SortError::PeerOom => write!(f, "sort aborted: a peer rank ran out of memory"),
+            SortError::Io(e) => write!(f, "sort spill i/o failed: {e}"),
         }
     }
 }
@@ -73,7 +76,7 @@ fn model_of(cfg: &SdsConfig) -> Option<ComputeModel> {
 
 /// Run `f`, charging compute either by measurement or by the model cost
 /// returned from `cost`.
-fn charged<R>(
+pub(crate) fn charged<R>(
     comm: &Comm,
     cfg: &SdsConfig,
     cost: impl FnOnce(&ComputeModel) -> f64,
@@ -89,6 +92,29 @@ fn charged<R>(
     }
 }
 
+/// Policy object for steps 5–7 of the pipeline: the collective memory
+/// check, the all-to-all exchange, and the final local ordering. The
+/// default [`InMemoryExchange`] is the paper's behaviour (whole-job OOM
+/// crash when any receive buffer does not fit); the resilient backend in
+/// [`crate::resilience`] degrades to disk spilling instead.
+pub(crate) trait ExchangeBackend<T: Sortable> {
+    /// Exchange `data` according to `scounts` and return this rank's
+    /// locally ordered slice. Called with the "exchange" phase/span open;
+    /// implementations must close `sp_ex` and account `stats.exchange_s` /
+    /// `stats.local_order_s` / `stats.recv_count` themselves.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange(
+        &self,
+        comm: &Comm,
+        data: Vec<T>,
+        scounts: &[usize],
+        cfg: &SdsConfig,
+        stats: &mut SortStats,
+        t1: f64,
+        sp_ex: mpisim::telemetry::SpanId,
+    ) -> Result<Vec<T>, SortError>;
+}
+
 /// Sort `data` (one rank's share) across all ranks of `comm` by key.
 ///
 /// On success every rank holds a sorted slice, slices ascend with rank,
@@ -96,8 +122,18 @@ fn charged<R>(
 /// keys appear in their global input order (rank, then local position).
 pub fn sds_sort<T: Sortable>(
     comm: &Comm,
+    data: Vec<T>,
+    cfg: &SdsConfig,
+) -> Result<SortOutput<T>, SortError> {
+    sds_sort_impl(comm, data, cfg, &InMemoryExchange)
+}
+
+/// Full pipeline, generic over the exchange backend.
+pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
+    comm: &Comm,
     mut data: Vec<T>,
     cfg: &SdsConfig,
+    backend: &B,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
     let mut stats = SortStats {
@@ -151,7 +187,7 @@ pub fn sds_sort<T: Sortable>(
         drop(data);
         comm.span_end(sp_nm);
         return match (cg, merged) {
-            (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0, sp_pivot),
+            (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0, sp_pivot, backend),
             (None, None) => {
                 // Non-leader: its data now lives on the node leader.
                 stats.pivot_s = comm.clock().now() - t0;
@@ -165,17 +201,18 @@ pub fn sds_sort<T: Sortable>(
         };
     }
 
-    inner_sort(comm, data, cfg, stats, t0, sp_pivot)
+    inner_sort(comm, data, cfg, stats, t0, sp_pivot, backend)
 }
 
 /// Steps 3–7 on the (possibly refined) communicator. `data` is sorted.
-fn inner_sort<T: Sortable>(
+fn inner_sort<T: Sortable, B: ExchangeBackend<T>>(
     comm: &Comm,
     data: Vec<T>,
     cfg: &SdsConfig,
     mut stats: SortStats,
     t0: f64,
     sp_pivot: mpisim::telemetry::SpanId,
+    backend: &B,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
     if p == 1 {
@@ -257,139 +294,162 @@ fn inner_sort<T: Sortable>(
     stats.pivot_s = comm.clock().now() - t0;
     comm.span_end(sp_pivot);
 
-    // Step 5: exchange counts and collectively check the receive buffer
-    // against the simulated memory budget.
+    // Steps 5–7 are the backend's: collective memory check, exchange,
+    // final local ordering.
     comm.trace_phase("exchange");
     let sp_ex = comm.span_begin("exchange");
     let t1 = comm.clock().now();
-    let rcounts = comm.alltoall(&scounts);
-    let m: usize = rcounts.iter().sum();
-    let bytes = m * std::mem::size_of::<T>();
-    let my_alloc = comm.try_alloc(bytes);
-    let any_oom = comm.allreduce(my_alloc.is_err() as u8, |a, b| a.max(b)) > 0;
-    if any_oom {
-        if my_alloc.is_ok() {
-            comm.free(bytes);
-        }
-        // stats are discarded on the error path: the paper treats this as a
-        // whole-job crash.
-        comm.span_end(sp_ex);
-        return Err(match my_alloc {
-            Err(e) => SortError::Oom(e),
-            Ok(()) => SortError::PeerOom,
-        });
-    }
-    stats.recv_count = m;
+    let out = backend.exchange(comm, data, &scounts, cfg, &mut stats, t1, sp_ex)?;
+    Ok(SortOutput { data: out, stats })
+}
 
-    // Steps 6–7: exchange + final local ordering.
-    let out = if !cfg.should_overlap(p) {
-        // Synchronous exchange...
-        let buf = comm.alltoallv_given_counts(&data, &scounts, &rcounts);
-        drop(data);
-        stats.exchange_s = comm.clock().now() - t1;
-        comm.span_end(sp_ex);
-        // ...then ordering: merge below τs, adaptive re-sort above.
-        comm.trace_phase("local-order");
-        let sp_lo = comm.span_begin("local-order");
-        let t2 = comm.clock().now();
-        let mut disp = Vec::with_capacity(p + 1);
-        disp.push(0usize);
-        for &rc in &rcounts {
-            disp.push(disp.last().copied().expect("non-empty") + rc);
+/// The paper's exchange behaviour: allocate the whole receive buffer up
+/// front; if any rank cannot, the collective sort fails everywhere.
+pub(crate) struct InMemoryExchange;
+
+impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
+    fn exchange(
+        &self,
+        comm: &Comm,
+        data: Vec<T>,
+        scounts: &[usize],
+        cfg: &SdsConfig,
+        stats: &mut SortStats,
+        t1: f64,
+        sp_ex: mpisim::telemetry::SpanId,
+    ) -> Result<Vec<T>, SortError> {
+        let p = comm.size();
+        // Step 5: exchange counts and collectively check the receive buffer
+        // against the simulated memory budget.
+        let rcounts = comm.alltoall(scounts);
+        let m: usize = rcounts.iter().sum();
+        let bytes = m * std::mem::size_of::<T>();
+        let my_alloc = comm.try_alloc(bytes);
+        let any_oom = comm.allreduce(my_alloc.is_err() as u8, |a, b| a.max(b)) > 0;
+        if any_oom {
+            if my_alloc.is_ok() {
+                comm.free(bytes);
+            }
+            // stats are discarded on the error path: the paper treats this
+            // as a whole-job crash.
+            comm.span_end(sp_ex);
+            return Err(match my_alloc {
+                Err(e) => SortError::Oom(e),
+                Ok(()) => SortError::PeerOom,
+            });
         }
-        let sorted = if cfg.should_merge_local(p) {
-            charged(
-                comm,
-                cfg,
-                |mo| mo.kway_merge_cost(m, p),
-                || kway_merge_offsets(&buf, &disp),
-            )
-        } else {
-            let mut buf = buf;
-            charged(
-                comm,
-                cfg,
-                |mo| {
-                    let base = mo.adaptive_sort_cost(m, p);
-                    if cfg.stable {
-                        base * mo.stable_factor
-                    } else {
-                        base
-                    }
-                },
-                || local_sort(&mut buf, cfg.local_threads, cfg.stable),
-            );
-            buf
-        };
-        stats.local_order_s = comm.clock().now() - t2;
-        comm.span_end(sp_lo);
-        sorted
-    } else {
-        // Asynchronous exchange overlapped with incremental merging
-        // (SdssAlltoallvAsync + SdssFinished + SdssMergeTwo).
-        stats.overlapped = true;
-        if comm.recorder().enabled() && comm.rank() == 0 {
-            comm.event(
-                "decision.overlap",
-                &format!("p {p} below tau_o {}", cfg.tau_o),
-            );
-        }
-        let mut pending = comm.alltoallv_async_given_counts(&data, &scounts, rcounts.clone());
-        drop(data);
-        let mut merge_s = 0.0;
-        // Binomial-counter progressive merging: every incoming chunk is a
-        // level-0 run; two runs merge only when they are at the same
-        // level. Total merged volume is then exactly the balanced
-        // cascade's (m·⌈log2 p⌉), independent of chunk-size variance and
-        // arrival order — overlapping adds no merge work over the
-        // synchronous path, it only moves it earlier.
-        let mut runs: Vec<(u32, Vec<T>)> = Vec::new();
-        while let Some((_src, chunk)) = pending.wait_any(comm) {
-            runs.push((0, chunk));
-            while runs.len() >= 2 && runs[runs.len() - 1].0 == runs[runs.len() - 2].0 {
-                let (lvl, hi) = runs.pop().expect("len>=2");
-                let (_, lo) = runs.pop().expect("len>=2");
-                let tm = comm.clock().now();
-                let merged = charged(
+        stats.recv_count = m;
+
+        // Steps 6–7: exchange + final local ordering.
+        let out = if !cfg.should_overlap(p) {
+            // Synchronous exchange...
+            let buf = comm.alltoallv_given_counts(&data, scounts, &rcounts);
+            drop(data);
+            stats.exchange_s = comm.clock().now() - t1;
+            comm.span_end(sp_ex);
+            // ...then ordering: merge below τs, adaptive re-sort above.
+            comm.trace_phase("local-order");
+            let sp_lo = comm.span_begin("local-order");
+            let t2 = comm.clock().now();
+            let mut disp = Vec::with_capacity(p + 1);
+            disp.push(0usize);
+            for &rc in &rcounts {
+                disp.push(disp.last().copied().expect("non-empty") + rc);
+            }
+            let sorted = if cfg.should_merge_local(p) {
+                charged(
                     comm,
                     cfg,
-                    |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2),
-                    || merge_two(&lo, &hi),
+                    |mo| mo.kway_merge_cost(m, p),
+                    || kway_merge_offsets(&buf, &disp),
+                )
+            } else {
+                let mut buf = buf;
+                charged(
+                    comm,
+                    cfg,
+                    |mo| {
+                        let base = mo.adaptive_sort_cost(m, p);
+                        if cfg.stable {
+                            base * mo.stable_factor
+                        } else {
+                            base
+                        }
+                    },
+                    || local_sort(&mut buf, cfg.local_threads, cfg.stable),
+                );
+                buf
+            };
+            stats.local_order_s = comm.clock().now() - t2;
+            comm.span_end(sp_lo);
+            sorted
+        } else {
+            // Asynchronous exchange overlapped with incremental merging
+            // (SdssAlltoallvAsync + SdssFinished + SdssMergeTwo).
+            stats.overlapped = true;
+            if comm.recorder().enabled() && comm.rank() == 0 {
+                comm.event(
+                    "decision.overlap",
+                    &format!("p {p} below tau_o {}", cfg.tau_o),
+                );
+            }
+            let mut pending = comm.alltoallv_async_given_counts(&data, scounts, rcounts.clone());
+            drop(data);
+            let mut merge_s = 0.0;
+            // Binomial-counter progressive merging: every incoming chunk is a
+            // level-0 run; two runs merge only when they are at the same
+            // level. Total merged volume is then exactly the balanced
+            // cascade's (m·⌈log2 p⌉), independent of chunk-size variance and
+            // arrival order — overlapping adds no merge work over the
+            // synchronous path, it only moves it earlier.
+            let mut runs: Vec<(u32, Vec<T>)> = Vec::new();
+            while let Some((_src, chunk)) = pending.wait_any(comm) {
+                runs.push((0, chunk));
+                while runs.len() >= 2 && runs[runs.len() - 1].0 == runs[runs.len() - 2].0 {
+                    let (lvl, hi) = runs.pop().expect("len>=2");
+                    let (_, lo) = runs.pop().expect("len>=2");
+                    let tm = comm.clock().now();
+                    let merged = charged(
+                        comm,
+                        cfg,
+                        |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2),
+                        || merge_two(&lo, &hi),
+                    );
+                    merge_s += comm.clock().now() - tm;
+                    runs.push((lvl + 1, merged));
+                }
+            }
+            // Overlap makes exchange and merge inseparable in wall order; the
+            // "exchange" span covers the overlapped region, "local-order" the
+            // final cascade. stats still split the virtual time exactly.
+            comm.span_end(sp_ex);
+            let sp_lo = comm.span_begin("local-order");
+            // Balanced cascade over whatever the stack still holds (free when
+            // the counter already collapsed everything into one run).
+            let acc = if runs.len() == 1 {
+                runs.pop().expect("len==1").1
+            } else {
+                let tm = comm.clock().now();
+                let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
+                let left: usize = refs.iter().map(|r| r.len()).sum();
+                let k_left = refs.len();
+                let acc = charged(
+                    comm,
+                    cfg,
+                    |mo| mo.kway_merge_cost(left, k_left),
+                    || crate::merge::kway_merge(&refs),
                 );
                 merge_s += comm.clock().now() - tm;
-                runs.push((lvl + 1, merged));
-            }
-        }
-        // Overlap makes exchange and merge inseparable in wall order; the
-        // "exchange" span covers the overlapped region, "local-order" the
-        // final cascade. stats still split the virtual time exactly.
-        comm.span_end(sp_ex);
-        let sp_lo = comm.span_begin("local-order");
-        // Balanced cascade over whatever the stack still holds (free when
-        // the counter already collapsed everything into one run).
-        let acc = if runs.len() == 1 {
-            runs.pop().expect("len==1").1
-        } else {
-            let tm = comm.clock().now();
-            let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
-            let left: usize = refs.iter().map(|r| r.len()).sum();
-            let k_left = refs.len();
-            let acc = charged(
-                comm,
-                cfg,
-                |mo| mo.kway_merge_cost(left, k_left),
-                || crate::merge::kway_merge(&refs),
-            );
-            merge_s += comm.clock().now() - tm;
+                acc
+            };
+            let elapsed = comm.clock().now() - t1;
+            stats.local_order_s = merge_s;
+            stats.exchange_s = (elapsed - merge_s).max(0.0);
+            comm.span_end(sp_lo);
             acc
         };
-        let elapsed = comm.clock().now() - t1;
-        stats.local_order_s = merge_s;
-        stats.exchange_s = (elapsed - merge_s).max(0.0);
-        comm.span_end(sp_lo);
-        acc
-    };
-    comm.free(bytes);
-    debug_assert_eq!(out.len(), m);
-    Ok(SortOutput { data: out, stats })
+        comm.free(bytes);
+        debug_assert_eq!(out.len(), m);
+        Ok(out)
+    }
 }

@@ -25,6 +25,11 @@ pub struct SortStats {
     pub node_merged: bool,
     /// Whether exchange and local ordering were overlapped.
     pub overlapped: bool,
+    /// Whether this rank degraded to spilling received chunks to disk
+    /// under memory pressure (resilient driver only).
+    pub spilled: bool,
+    /// Records routed through the on-disk spill path on this rank.
+    pub spill_records: usize,
 }
 
 impl SortStats {
@@ -56,6 +61,8 @@ pub fn phase_maxima(all: &[SortStats]) -> SortStats {
         out.input_count = out.input_count.max(s.input_count);
         out.node_merged |= s.node_merged;
         out.overlapped |= s.overlapped;
+        out.spilled |= s.spilled;
+        out.spill_records = out.spill_records.max(s.spill_records);
     }
     out
 }

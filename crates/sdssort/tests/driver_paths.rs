@@ -32,6 +32,7 @@ fn oom_and_peer_oom_are_distinguished() {
                 direct += 1;
             }
             Err(SortError::PeerOom) => peer += 1,
+            Err(other) => panic!("unexpected error: {other}"),
             Ok(_) => panic!("no rank may succeed once any rank OOMs"),
         }
     }

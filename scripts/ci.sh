@@ -41,4 +41,17 @@ test -s "$tmp/BENCH_sortcli.json" || {
 run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
     --validate-metrics "$tmp/BENCH_sortcli.json"
 
+# Faults smoke: the sort must survive heavy deterministic fault injection,
+# and graceful degradation must complete (spilling) where the plain driver
+# would OOM under the memory-pressure ramp.
+run cargo test -q "${CARGO_OPTS[@]}" -p mpisim --test faults_and_deadlock
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --sorter sds --workload zipf:1.2 --ranks 8 --records 3000 \
+    --faults seed=7,delay=0.5:1e-4,reorder=0.3:8,stall=2:0.3:1e-4 \
+    --collective-timeout 60
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --sorter sds --workload adversarial --ranks 6 --cores 1 \
+    --records 4000 --budget 60000 --faults seed=7,ramp=0:0:0.5 \
+    --resilient "$tmp/spill"
+
 echo "ci: all checks passed"
