@@ -20,6 +20,7 @@
 //! simulated per-rank memory budget, reproducing the paper's observed OOM
 //! crashes on highly skewed inputs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitonic;

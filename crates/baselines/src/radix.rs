@@ -87,7 +87,7 @@ where
     // Find the key width actually in use so the histogram covers the top
     // HIST_BITS of the *occupied* range (fixed shift would waste buckets
     // on narrow keys).
-    let local_max = data.last().map(|r| r.key().radix_u64()).unwrap_or(0);
+    let local_max = data.last().map_or(0, |r| r.key().radix_u64());
     let global_max = comm.allreduce(local_max, u64::max);
     let used_bits = 64 - global_max.leading_zeros();
     let shift = used_bits.saturating_sub(HIST_BITS);

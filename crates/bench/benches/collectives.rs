@@ -18,7 +18,7 @@ fn bench_barrier(c: &mut Criterion) {
                     comm.barrier();
                 }
             })
-        })
+        });
     });
 }
 
@@ -29,7 +29,7 @@ fn bench_allgather(c: &mut Criterion) {
                 let data = vec![comm.rank() as u64; 1024];
                 comm.allgather(&data).len()
             })
-        })
+        });
     });
 }
 
@@ -44,7 +44,7 @@ fn bench_alltoallv(c: &mut Criterion) {
                     let counts = vec![n; P];
                     comm.alltoallv(&data, &counts).0.len()
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("async", per_peer), &per_peer, |b, &n| {
             b.iter(|| {
@@ -58,7 +58,7 @@ fn bench_alltoallv(c: &mut Criterion) {
                     }
                     total
                 })
-            })
+            });
         });
     }
     group.finish();

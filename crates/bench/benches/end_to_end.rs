@@ -35,7 +35,7 @@ fn bench_sorters(c: &mut Criterion) {
                         .data
                         .len()
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("sds_stable", workload), &(), |b, ()| {
             let mut cfg = SdsConfig::stable();
@@ -47,7 +47,7 @@ fn bench_sorters(c: &mut Criterion) {
                         .data
                         .len()
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("hyksort", workload), &(), |b, ()| {
             let cfg = HykSortConfig::default();
@@ -58,7 +58,7 @@ fn bench_sorters(c: &mut Criterion) {
                         .data
                         .len()
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("samplesort", workload), &(), |b, ()| {
             let cfg = SampleSortConfig::default();
@@ -69,10 +69,10 @@ fn bench_sorters(c: &mut Criterion) {
                         .data
                         .len()
                 })
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("bitonic", workload), &(), |b, ()| {
-            b.iter(|| world().run(|comm| bitonic_sort(comm, gen(comm.rank())).len()))
+            b.iter(|| world().run(|comm| bitonic_sort(comm, gen(comm.rank())).len()));
         });
     }
     group.finish();

@@ -23,7 +23,7 @@ fn bench_local_sort(c: &mut Criterion) {
                         let mut buf = data.clone();
                         local_sort(&mut buf, t, false);
                         buf
-                    })
+                    });
                 },
             );
         }
@@ -35,7 +35,7 @@ fn bench_local_sort(c: &mut Criterion) {
                     let mut buf = data.clone();
                     local_sort(&mut buf, t, true);
                     buf
-                })
+                });
             },
         );
     }

@@ -32,10 +32,10 @@ fn bench_kway(c: &mut Criterion) {
         let runs = sorted_runs(n, k, 11);
         let refs: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
         group.bench_with_input(BenchmarkId::new("cascade", k), &k, |b, _| {
-            b.iter(|| kway_merge(&refs))
+            b.iter(|| kway_merge(&refs));
         });
         group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, _| {
-            b.iter(|| kway_merge_heap(&refs))
+            b.iter(|| kway_merge_heap(&refs));
         });
     }
     group.finish();

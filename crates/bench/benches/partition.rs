@@ -17,13 +17,13 @@ fn bench_cut_methods(c: &mut Criterion) {
         let pivots = regular_sample(&data, p - 1);
         let index = LocalPivotIndex::build(&data, p - 1);
         group.bench_with_input(BenchmarkId::new("full_scan", p), &p, |b, _| {
-            b.iter(|| full_scan_cuts(&data, &pivots))
+            b.iter(|| full_scan_cuts(&data, &pivots));
         });
         group.bench_with_input(BenchmarkId::new("binary", p), &p, |b, _| {
-            b.iter(|| binary_cuts(&data, &pivots))
+            b.iter(|| binary_cuts(&data, &pivots));
         });
         group.bench_with_input(BenchmarkId::new("local_pivot", p), &p, |b, _| {
-            b.iter(|| fast_cuts(&data, &pivots, Some(&index)))
+            b.iter(|| fast_cuts(&data, &pivots, Some(&index)));
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_skew_aware(c: &mut Criterion) {
     group.bench_function("replicated_runs", |b| b.iter(|| replicated_runs(&pivots)));
     group.bench_function("fast", |b| b.iter(|| fast_cuts(&data, &pivots, None)));
     group.bench_function("stable", |b| {
-        b.iter(|| stable_cuts(&data, &pivots, None, &shares))
+        b.iter(|| stable_cuts(&data, &pivots, None, &shares));
     });
     group.finish();
 }

@@ -55,12 +55,13 @@ fn main() {
         }
         // The paper's headline metric: bytes sorted per minute (it reports
         // 111-117 TB/min at 128K cores on 52.4 TB).
-        let throughput = sds
-            .map(|t| {
+        let throughput = sds.map_or_else(
+            || "-".into(),
+            |t| {
                 let bytes = (p * n_rank * 8) as f64;
                 format!("{:.2} GB/min", bytes / t * 60.0 / 1e9)
-            })
-            .unwrap_or_else(|| "-".into());
+            },
+        );
         table.row([
             p.to_string(),
             fmt_opt_time(hyk),

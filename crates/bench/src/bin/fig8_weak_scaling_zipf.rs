@@ -55,12 +55,13 @@ fn main() {
         if sds.is_none() || stb.is_none() {
             sds_all_ok = false;
         }
-        let throughput = sds
-            .map(|t| {
+        let throughput = sds.map_or_else(
+            || "-".into(),
+            |t| {
                 let bytes = (p * n_rank * 8) as f64;
                 format!("{:.2} GB/min", bytes / t * 60.0 / 1e9)
-            })
-            .unwrap_or_else(|| "-".into());
+            },
+        );
         table.row([
             p.to_string(),
             fmt_opt_time(hyk),

@@ -97,7 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--records" => {
                 args.records = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--records: {e}"))?
+                    .map_err(|e| format!("--records: {e}"))?;
             }
             "--cores" => args.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
             "--budget" => {
@@ -105,12 +105,12 @@ fn parse_args() -> Result<Args, String> {
                     take(&mut i)?
                         .parse()
                         .map_err(|e| format!("--budget: {e}"))?,
-                )
+                );
             }
             "--oversample" => {
                 args.oversample = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--oversample: {e}"))?
+                    .map_err(|e| format!("--oversample: {e}"))?;
             }
             "--trace" => args.trace = true,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -448,10 +448,10 @@ fn write_metrics<R>(
     };
     let cfg = sds_cfg(args);
     run.decisions = Decisions {
-        tau_m_bytes: cfg.as_ref().map(|c| c.tau_m_bytes as u64).unwrap_or(0),
-        tau_o: cfg.as_ref().map(|c| c.tau_o as u64).unwrap_or(0),
-        tau_s: cfg.as_ref().map(|c| c.tau_s as u64).unwrap_or(0),
-        stable: cfg.as_ref().map(|c| c.stable).unwrap_or(false),
+        tau_m_bytes: cfg.as_ref().map_or(0, |c| c.tau_m_bytes as u64),
+        tau_o: cfg.as_ref().map_or(0, |c| c.tau_o as u64),
+        tau_s: cfg.as_ref().map_or(0, |c| c.tau_s as u64),
+        stable: cfg.as_ref().is_some_and(|c| c.stable),
         node_merged: stats.node_merged,
         overlapped: stats.overlapped,
     };

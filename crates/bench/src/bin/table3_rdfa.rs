@@ -21,8 +21,7 @@ fn print_block(name: &str, ps: &[usize], cells: &[ScalingCell]) -> (bool, Vec<f6
             cells
                 .iter()
                 .find(|c| c.p == p && c.sorter == s)
-                .map(|c| c.outcome.rdfa())
-                .unwrap_or(f64::NAN)
+                .map_or(f64::NAN, |c| c.outcome.rdfa())
         };
         let (h, s, st) = (
             get(Sorter::HykSort),

@@ -77,8 +77,7 @@ fn main() {
     let inter_of = |rows: &[(String, u64, u64, u64)], phase: &str| {
         rows.iter()
             .find(|(n, ..)| n == phase)
-            .map(|&(_, _, i, _)| i)
-            .unwrap_or(0)
+            .map_or(0, |&(_, _, i, _)| i)
     };
     let exch_merged = inter_of(&merged, "exchange");
     let exch_direct = inter_of(&direct, "exchange");

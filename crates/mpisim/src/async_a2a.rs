@@ -124,9 +124,13 @@ impl<T: Send + 'static> AsyncAlltoallv<T> {
             return Some((comm.rank(), chunk));
         }
         // Prefer a chunk that already arrived; otherwise block for any.
-        let (src, data) = match comm.try_recv_any_raw::<T>(self.tag) {
+        // The *_unordered variants tell the happens-before checker this
+        // any-source matching is order-insensitive by protocol: chunks are
+        // keyed by source rank and the assert below rejects duplicates, so
+        // arrival order cannot change the result.
+        let (src, data) = match comm.try_recv_any_unordered_raw::<T>(self.tag) {
             Some(hit) => hit,
-            None => comm.recv_any_raw::<T>(self.tag),
+            None => comm.recv_any_unordered_raw::<T>(self.tag),
         };
         // A hard check, not a debug assert: a duplicate or foreign chunk
         // here means the exchange protocol was violated (e.g. a tag

@@ -22,6 +22,19 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Human-readable description of a tag: collective tags are decoded into
+/// their operation sequence number and round. Shared by the deadlock
+/// detector and the happens-before checker's reports.
+pub(crate) fn describe_tag(tag: u64) -> String {
+    if tag >= Comm::MAX_USER_TAG {
+        let seq = (tag - Comm::MAX_USER_TAG) >> 12;
+        let round = tag & 0xFFF;
+        format!("collective #{seq} round {round}")
+    } else {
+        format!("user tag {tag}")
+    }
+}
+
 /// Panic payload used when a rank unwinds *because another rank panicked*
 /// (the world was aborted). The runtime filters these out so the original
 /// failure is the one re-raised to the caller.
@@ -160,6 +173,22 @@ impl Comm {
         if self.uni.deadlock.timeout.is_some() {
             *self.uni.deadlock.last_phase[self.world_rank()].lock() = name.to_string();
         }
+        self.uni.checker().on_phase(self.world_rank(), name);
+    }
+
+    /// Declare a read of rank-shared host state named `key` to the
+    /// happens-before checker (see [`crate::check`]): two ranks touching the
+    /// same key with no synchronization edge between them (a message path or
+    /// collective) are reported as a race at world exit. No-op unless the
+    /// world was built with [`crate::World::check`].
+    pub fn check_shared_read(&self, key: &str) {
+        self.uni.checker().on_shared_read(self.world_rank(), key);
+    }
+
+    /// Declare a write of rank-shared host state named `key` to the
+    /// happens-before checker. See [`Comm::check_shared_read`].
+    pub fn check_shared_write(&self, key: &str) {
+        self.uni.checker().on_shared_write(self.world_rank(), key);
     }
 
     /// The world's telemetry recorder (disabled unless the world was built
@@ -348,6 +377,7 @@ impl Comm {
         self.uni.stats().record(bytes);
         self.uni.tracer.record(src_w, dst_w, bytes);
         self.uni.recorder.on_send(src_w, dst_w, bytes);
+        let stamp = self.uni.checker().on_send(src_w, dst_w, self.ctx, tag);
         self.uni.mailboxes[dst_w].push_reordered(
             Envelope {
                 ctx: self.ctx,
@@ -356,6 +386,7 @@ impl Comm {
                 data: Box::new(data),
                 bytes,
                 arrival,
+                stamp,
             },
             reorder_depth,
         );
@@ -458,16 +489,18 @@ impl Comm {
         }
     }
 
-    /// Human-readable description of a tag: collective tags are decoded
-    /// into their operation sequence number and round.
-    fn describe_tag(tag: u64) -> String {
-        if tag >= Self::MAX_USER_TAG {
-            let seq = (tag - Self::MAX_USER_TAG) >> 12;
-            let round = tag & 0xFFF;
-            format!("collective #{seq} round {round}")
-        } else {
-            format!("user tag {tag}")
-        }
+    /// Record a completed receive with the happens-before checker.
+    /// `wildcard` marks any-source matching whose order nondeterminism is a
+    /// real program property (see [`crate::check`]).
+    fn note_recv(&self, env: &Envelope, wildcard: bool) {
+        self.uni.checker().on_recv(
+            self.world_rank(),
+            env.ctx,
+            env.tag,
+            env.src,
+            env.stamp.as_ref(),
+            wildcard,
+        );
     }
 
     /// Build and raise the deadlock report. Only the first detecting rank
@@ -498,7 +531,7 @@ impl Comm {
                 Some(w) => format!(
                     "waiting on ctx {} for {} from {}",
                     w.ctx,
-                    Self::describe_tag(w.tag),
+                    describe_tag(w.tag),
                     w.src
                         .map_or_else(|| "any source".to_string(), |s| format!("world rank {s}")),
                 ),
@@ -514,7 +547,7 @@ impl Comm {
                 let _ = writeln!(
                     rep,
                     "    pending: ctx {ctx} from rank {src}, {} ({bytes} B)",
-                    Self::describe_tag(tag)
+                    describe_tag(tag)
                 );
             }
             if pending.len() > 8 {
@@ -551,6 +584,7 @@ impl Comm {
     pub(crate) fn recv_vec_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
         self.check_alive();
         let env = self.take_envelope(SrcSel::Exact(self.members[src]), tag);
+        self.note_recv(&env, false);
         self.open_envelope(env).1
     }
 
@@ -565,6 +599,18 @@ impl Comm {
         // Any-source matching must only consider members of this
         // communicator; ctx filtering in the mailbox guarantees that.
         let env = self.take_envelope(SrcSel::Any, tag);
+        self.note_recv(&env, true);
+        self.open_envelope(env)
+    }
+
+    /// Any-source receive whose match order is insensitive *by protocol*:
+    /// the caller keys chunks by source and hard-asserts against duplicates
+    /// (see [`crate::async_a2a`]). The happens-before edges are still
+    /// recorded; only the wildcard-nondeterminism finding is suppressed.
+    pub(crate) fn recv_any_unordered_raw<T: Send + 'static>(&self, tag: u64) -> (usize, Vec<T>) {
+        self.check_alive();
+        let env = self.take_envelope(SrcSel::Any, tag);
+        self.note_recv(&env, false);
         self.open_envelope(env)
     }
 
@@ -584,6 +630,7 @@ impl Comm {
             .map(|&(s, t)| (SrcSel::Exact(self.members[s]), t))
             .collect();
         let env = self.blocking_take(&world_specs);
+        self.note_recv(&env, false);
         let tag = env.tag;
         let (src, data) = self.open_envelope(env);
         (src, tag, data)
@@ -598,8 +645,23 @@ impl Comm {
     pub(crate) fn try_recv_any_raw<T: Send + 'static>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
         self.check_alive();
         let mb = &self.uni.mailboxes[self.world_rank()];
-        mb.try_take(self.ctx, SrcSel::Any, tag)
-            .map(|env| self.open_envelope(env))
+        mb.try_take(self.ctx, SrcSel::Any, tag).map(|env| {
+            self.note_recv(&env, true);
+            self.open_envelope(env)
+        })
+    }
+
+    /// Non-blocking variant of [`Comm::recv_any_unordered_raw`].
+    pub(crate) fn try_recv_any_unordered_raw<T: Send + 'static>(
+        &self,
+        tag: u64,
+    ) -> Option<(usize, Vec<T>)> {
+        self.check_alive();
+        let mb = &self.uni.mailboxes[self.world_rank()];
+        mb.try_take(self.ctx, SrcSel::Any, tag).map(|env| {
+            self.note_recv(&env, false);
+            self.open_envelope(env)
+        })
     }
 
     /// Non-blocking receive attempt from a specific source rank.
@@ -616,7 +678,10 @@ impl Comm {
         self.check_alive();
         let mb = &self.uni.mailboxes[self.world_rank()];
         mb.try_take(self.ctx, SrcSel::Exact(self.members[src]), tag)
-            .map(|env| self.open_envelope(env).1)
+            .map(|env| {
+                self.note_recv(&env, false);
+                self.open_envelope(env).1
+            })
     }
 
     /// Blocking receive of a single value.

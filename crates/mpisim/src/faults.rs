@@ -449,8 +449,6 @@ mod tests {
         assert!(FaultSpec::parse("delay").is_err());
         assert!(FaultSpec::parse("delay=x:y").is_err());
         assert!(FaultSpec::parse("delay=0.5").is_err(), "missing field");
-        assert!(FaultSpec::parse("")
-            .map(|s| !s.is_active())
-            .unwrap_or(false));
+        assert!(FaultSpec::parse("").is_ok_and(|s| !s.is_active()));
     }
 }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod async_a2a;
+pub mod check;
 pub mod clock;
 pub mod collectives;
 pub mod comm;
@@ -47,6 +48,7 @@ pub mod trace;
 pub mod universe;
 
 pub use async_a2a::AsyncAlltoallv;
+pub use check::RaceError;
 pub use clock::VirtualClock;
 pub use comm::Comm;
 pub use error::{CommError, OomError};

@@ -27,6 +27,9 @@ pub(crate) struct Envelope {
     pub bytes: usize,
     /// Virtual time at which the message is available to the receiver.
     pub arrival: f64,
+    /// Sender's vector clock when the happens-before checker is on
+    /// (`None` otherwise; see [`crate::check`]).
+    pub stamp: Option<crate::check::Stamp>,
 }
 
 /// Source selector for a receive.
@@ -198,6 +201,7 @@ mod tests {
             data: Box::new(payload),
             bytes,
             arrival: 0.0,
+            stamp: None,
         }
     }
 

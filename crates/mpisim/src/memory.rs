@@ -59,7 +59,7 @@ impl MemoryTracker {
             self.budget.saturating_sub(withheld)
         };
         let used = &self.used[rank];
-        let mut cur = used.load(Ordering::Relaxed);
+        let mut cur = used.load(Ordering::SeqCst);
         loop {
             let new = cur.saturating_add(bytes);
             if new > effective {
@@ -70,9 +70,9 @@ impl MemoryTracker {
                     budget: effective,
                 });
             }
-            match used.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            match used.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => {
-                    self.high_water[rank].fetch_max(new, Ordering::Relaxed);
+                    self.high_water[rank].fetch_max(new, Ordering::SeqCst);
                     return Ok(());
                 }
                 Err(actual) => cur = actual,
@@ -82,7 +82,7 @@ impl MemoryTracker {
 
     /// Release a previous reservation.
     pub fn free(&self, rank: usize, bytes: usize) {
-        let prev = self.used[rank].fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self.used[rank].fetch_sub(bytes, Ordering::SeqCst);
         debug_assert!(
             prev >= bytes,
             "free of {bytes} B exceeds {prev} B in use on rank {rank}"
@@ -91,19 +91,19 @@ impl MemoryTracker {
 
     /// Bytes currently charged to `rank`.
     pub fn used(&self, rank: usize) -> usize {
-        self.used[rank].load(Ordering::Relaxed)
+        self.used[rank].load(Ordering::SeqCst)
     }
 
     /// Highest simultaneous usage observed on `rank`.
     pub fn high_water(&self, rank: usize) -> usize {
-        self.high_water[rank].load(Ordering::Relaxed)
+        self.high_water[rank].load(Ordering::SeqCst)
     }
 
     /// Highest simultaneous usage observed on any rank.
     pub fn max_high_water(&self) -> usize {
         self.high_water
             .iter()
-            .map(|h| h.load(Ordering::Relaxed))
+            .map(|h| h.load(Ordering::SeqCst))
             .max()
             .unwrap_or(0)
     }

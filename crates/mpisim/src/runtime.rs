@@ -31,6 +31,7 @@ pub struct World {
     telemetry: bool,
     faults: Option<FaultSpec>,
     collective_timeout: Option<Duration>,
+    check: bool,
 }
 
 impl World {
@@ -51,6 +52,7 @@ impl World {
             telemetry: false,
             faults: None,
             collective_timeout: None,
+            check: cfg!(feature = "check"),
         }
     }
 
@@ -134,6 +136,18 @@ impl World {
         self
     }
 
+    /// Enable the happens-before determinism/race checker (see
+    /// [`crate::check`]): vector clocks track send/receive/collective
+    /// edges, and wildcard-receive nondeterminism, tag reuse in flight, and
+    /// declared shared-state races are reported at exit by raising
+    /// [`crate::RaceError`] from [`World::run`]. Defaults to on when the
+    /// crate is built with the `check` cargo feature, off otherwise. Like
+    /// the faults layer, the checker never alters results or clocks.
+    pub fn check(mut self, on: bool) -> Self {
+        self.check = on;
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -161,6 +175,7 @@ impl World {
             self.telemetry,
             self.faults,
             self.collective_timeout,
+            self.check,
         ));
         let members: Arc<[usize]> = (0..self.size).collect();
         let started = Instant::now();
@@ -221,6 +236,12 @@ impl World {
                 .position(|p| !p.is::<crate::comm::AbortedPanic>())
                 .unwrap_or(0);
             std::panic::resume_unwind(panics.swap_remove(original));
+        }
+
+        // All ranks completed: surface any races the happens-before checker
+        // recorded, the same way the deadlock detector surfaces hangs.
+        if let Some(report) = uni.checker().take_report() {
+            std::panic::panic_any(crate::check::RaceError { report });
         }
 
         let mut results = Vec::with_capacity(self.size);

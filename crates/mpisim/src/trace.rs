@@ -97,7 +97,7 @@ impl Tracer {
 
     /// Whether tracing is active.
     pub fn enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::SeqCst)
     }
 
     pub(crate) fn record(&self, src: usize, dst: usize, bytes: usize) {

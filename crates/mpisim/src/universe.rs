@@ -1,6 +1,7 @@
 //! Shared state of one simulated world: mailboxes, topology, network model,
 //! memory tracker, context-id registry, and abort flag.
 
+use crate::check::Checker;
 use crate::faults::{FaultSpec, Faults};
 use crate::mailbox::Mailbox;
 use crate::memory::MemoryTracker;
@@ -84,18 +85,18 @@ pub struct NetStats {
 
 impl NetStats {
     pub(crate) fn record(&self, bytes: usize) {
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(bytes as u64, Ordering::SeqCst);
     }
 
     /// Total point-to-point messages sent (self-sends included).
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.load(Ordering::SeqCst)
     }
 
     /// Total payload bytes sent.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.load(Ordering::SeqCst)
     }
 }
 
@@ -111,6 +112,7 @@ pub struct Universe {
     pub(crate) recorder: Recorder,
     pub(crate) faults: Faults,
     pub(crate) deadlock: DeadlockWatch,
+    pub(crate) checker: Checker,
     /// Deterministic context-id registry for communicator splits: all ranks
     /// performing the same (parent ctx, split sequence number, color) split
     /// must agree on the child context id, regardless of arrival order.
@@ -119,6 +121,9 @@ pub struct Universe {
 }
 
 impl Universe {
+    // Crate-internal constructor called from exactly one place
+    // (`World::run`), which forwards the builder's knobs one-to-one.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         topology: Topology,
         net: NetModel,
@@ -127,6 +132,7 @@ impl Universe {
         telemetry: bool,
         faults: Option<FaultSpec>,
         collective_timeout: Option<Duration>,
+        check: bool,
     ) -> Self {
         let size = topology.world_size();
         Self {
@@ -135,6 +141,7 @@ impl Universe {
             recorder: Recorder::new(topology.node_map(), telemetry),
             faults: Faults::new(size, faults),
             deadlock: DeadlockWatch::new(size, collective_timeout),
+            checker: Checker::new(size, check),
             topology,
             net,
             aborted: AtomicBool::new(false),
@@ -151,6 +158,11 @@ impl Universe {
         &self.faults
     }
 
+    /// The happens-before checker (inert unless the world enabled it).
+    pub(crate) fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
     /// Count a rank whose closure returned as permanently blocked: it will
     /// never take another envelope, so ranks still waiting on it deadlock.
     pub(crate) fn deadlock_mark_finished(&self) {
@@ -165,7 +177,7 @@ impl Universe {
     pub(crate) fn context_for_split(&self, parent_ctx: u64, split_seq: u64, color: i64) -> u64 {
         let mut map = self.contexts.lock();
         *map.entry((parent_ctx, split_seq, color))
-            .or_insert_with(|| self.next_ctx.fetch_add(1, Ordering::Relaxed))
+            .or_insert_with(|| self.next_ctx.fetch_add(1, Ordering::SeqCst))
     }
 
     /// Mark the world as aborted and wake every blocked receiver.
@@ -225,6 +237,7 @@ mod tests {
             false,
             None,
             None,
+            false,
         )
     }
 

@@ -29,29 +29,33 @@ use std::path::{Path, PathBuf};
 /// bit pattern of `size_of::<Self>()` bytes is a valid `Self`.
 pub unsafe trait PlainData: Copy {}
 
-// SAFETY: primitive integers satisfy both properties.
-unsafe impl PlainData for u8 {}
-unsafe impl PlainData for u16 {}
-unsafe impl PlainData for u32 {}
-unsafe impl PlainData for u64 {}
-unsafe impl PlainData for u128 {}
-unsafe impl PlainData for usize {}
-unsafe impl PlainData for i8 {}
-unsafe impl PlainData for i16 {}
-unsafe impl PlainData for i32 {}
-unsafe impl PlainData for i64 {}
-unsafe impl PlainData for i128 {}
-unsafe impl PlainData for isize {}
-// SAFETY: newtypes over u32/u64.
-unsafe impl PlainData for OrderedF32 {}
-unsafe impl PlainData for OrderedF64 {}
-// SAFETY: equal-size key/payload pairs have no padding; both halves accept
-// any bits. (Records mixing sizes, e.g. Record<u32, u64>, have padding and
-// intentionally do NOT get an impl.)
-unsafe impl PlainData for Record<u64, u64> {}
-unsafe impl PlainData for Record<u32, u32> {}
-unsafe impl PlainData for Record<OrderedF32, u32> {}
-unsafe impl PlainData for Record<OrderedF64, u64> {}
+/// Implements [`PlainData`] for primitives / single-field newtypes of
+/// primitives (no padding by construction) and for `Record<K, P>` pairs,
+/// where padding-freedom is proved by a compile-time size assertion.
+macro_rules! plain_data {
+    (prim: $($ty:ty),+ $(,)?) => {$(
+        // SAFETY: `$ty` is a primitive integer or a single-field newtype of
+        // one: it has no padding bytes and every bit pattern is a valid
+        // value.
+        unsafe impl PlainData for $ty {}
+    )+};
+    (record: $(($k:ty, $p:ty)),+ $(,)?) => {$(
+        const _: () = assert!(
+            std::mem::size_of::<Record<$k, $p>>()
+                == std::mem::size_of::<$k>() + std::mem::size_of::<$p>(),
+            "Record<K, P> must have no padding bytes to be PlainData"
+        );
+        // SAFETY: both halves are PlainData (any bit pattern valid), and
+        // the size assertion above proves the pair introduces no padding.
+        unsafe impl PlainData for Record<$k, $p> {}
+    )+};
+}
+
+plain_data!(prim: u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+plain_data!(prim: OrderedF32, OrderedF64);
+// Records mixing sizes, e.g. Record<u32, u64>, have padding and intentionally
+// do NOT get an impl — the const assertion would reject them at compile time.
+plain_data!(record: (u64, u64), (u32, u32), (OrderedF32, u32), (OrderedF64, u64));
 
 fn write_records<T: PlainData>(w: &mut impl Write, records: &[T]) -> io::Result<()> {
     // SAFETY: PlainData guarantees no padding, so every byte is

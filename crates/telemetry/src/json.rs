@@ -211,7 +211,7 @@ fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) 
         Json::F64(f) => write_f64(out, *f),
         Json::Str(s) => write_string(out, s),
         Json::Arr(items) => write_seq(out, items.len(), indent, depth, '[', ']', |out, i, d| {
-            write_value(out, &items[i], indent, d)
+            write_value(out, &items[i], indent, d);
         }),
         Json::Obj(pairs) => write_seq(out, pairs.len(), indent, depth, '{', '}', |out, i, d| {
             write_string(out, &pairs[i].0);

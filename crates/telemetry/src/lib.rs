@@ -18,6 +18,8 @@
 //! serde_json); the dialect is standard JSON plus bare `NaN`/`Infinity`
 //! tokens so floats round-trip bit-exactly.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod metrics;
 pub mod recorder;

@@ -14,11 +14,11 @@ pub struct Counter(AtomicU64);
 
 impl Counter {
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::SeqCst);
     }
 
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::SeqCst)
     }
 }
 
@@ -34,11 +34,11 @@ impl Gauge {
             "gauge values are non-negative finite"
         );
         // Non-negative IEEE-754 floats order like their bit patterns.
-        self.0.fetch_max(v.to_bits(), Ordering::Relaxed);
+        self.0.fetch_max(v.to_bits(), Ordering::SeqCst);
     }
 
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::SeqCst))
     }
 }
 
@@ -83,17 +83,17 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::SeqCst);
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.sum.fetch_add(v, Ordering::SeqCst);
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::SeqCst)
     }
 
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::SeqCst)
     }
 
     /// Sparse snapshot: `(bucket_index, count)` for non-empty buckets.
@@ -102,7 +102,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                let c = b.load(Ordering::Relaxed);
+                let c = b.load(Ordering::SeqCst);
                 (c > 0).then_some((i, c))
             })
             .collect()

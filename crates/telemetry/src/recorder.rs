@@ -98,8 +98,8 @@ pub struct Recorder {
 }
 
 fn f64_slot_add(slot: &AtomicU64, dv: f64) {
-    let cur = f64::from_bits(slot.load(Ordering::Relaxed));
-    slot.store((cur + dv).to_bits(), Ordering::Relaxed);
+    let cur = f64::from_bits(slot.load(Ordering::SeqCst));
+    slot.store((cur + dv).to_bits(), Ordering::SeqCst);
 }
 
 impl Recorder {
@@ -123,7 +123,7 @@ impl Recorder {
 
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::SeqCst)
     }
 
     pub fn ranks(&self) -> usize {
@@ -265,12 +265,12 @@ impl Recorder {
             compute_v: self
                 .compute_v
                 .iter()
-                .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+                .map(|s| f64::from_bits(s.load(Ordering::SeqCst)))
                 .collect(),
             comm_v: self
                 .comm_v
                 .iter()
-                .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+                .map(|s| f64::from_bits(s.load(Ordering::SeqCst)))
                 .collect(),
         }
     }

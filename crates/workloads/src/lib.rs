@@ -23,6 +23,7 @@
 //! All generators are deterministic in `(seed, rank)` so simulated ranks
 //! can generate their shares independently and reproducibly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversarial;

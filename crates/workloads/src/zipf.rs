@@ -137,8 +137,10 @@ pub fn zipf_keys(n: usize, alpha: f64, seed: u64, rank: usize) -> Vec<u64> {
     let gen = PAPER_ALPHA_DELTA_TABLE2
         .iter()
         .find(|(a, _)| (*a - alpha).abs() < 1e-9)
-        .map(|&(a, d)| ZipfGen::with_delta_target(a, d))
-        .unwrap_or_else(|| ZipfGen::new(alpha, 1 << 20));
+        .map_or_else(
+            || ZipfGen::new(alpha, 1 << 20),
+            |&(a, d)| ZipfGen::with_delta_target(a, d),
+        );
     gen.keys(n, seed, rank)
 }
 

@@ -7,6 +7,11 @@
 
 use mpisim::{NetModel, World};
 
+/// Tag for the point-to-point ring exchange below. Tags are named constants
+/// by convention (enforced by `tools/xlint`) so every tag assignment in the
+/// workspace is searchable and collision-auditable.
+const RING_TAG: u64 = 1;
+
 fn main() {
     println!("mpisim primer: 8 ranks on 2 simulated 4-core nodes (Edison network model)\n");
     let world = World::new(8)
@@ -20,8 +25,8 @@ fn main() {
 
         // -- point-to-point ring ------------------------------------------
         comm.trace_phase("ring");
-        comm.send_val((rank + 1) % p, 1, rank as u64);
-        let from_left: u64 = comm.recv_val((rank + p - 1) % p, 1);
+        comm.send_val((rank + 1) % p, RING_TAG, rank as u64);
+        let from_left: u64 = comm.recv_val((rank + p - 1) % p, RING_TAG);
         assert_eq!(from_left as usize, (rank + p - 1) % p);
 
         // -- collectives ---------------------------------------------------

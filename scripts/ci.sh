@@ -28,6 +28,24 @@ run cargo clippy --workspace --all-targets "${CARGO_OPTS[@]}" -- -D warnings
 run cargo build --release --workspace "${CARGO_OPTS[@]}"
 run cargo test -q --workspace "${CARGO_OPTS[@]}"
 
+# Workspace source lint: dependency-free lexer-based rules (wall-clock and
+# Relaxed-ordering bans, SAFETY comments, unwrap discipline, tag literals,
+# workload determinism). Exceptions live in xlint.allow with justifications.
+run cargo run --release -q "${CARGO_OPTS[@]}" -p xlint
+
+# Happens-before determinism/race checker: re-run the runtime and sorter
+# suites with vector-clock checking enabled for every simulated world.
+run cargo test -q "${CARGO_OPTS[@]}" -p mpisim -p sdssort --features mpisim/check
+
+# Miri over the unsafe-bearing modules (PlainData codecs, merge internals,
+# pivot sampling). Best effort: needs a nightly toolchain with the miri
+# component, which sealed containers may not have.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    run cargo +nightly miri test "${CARGO_OPTS[@]}" -p sdssort --lib -- external merge pivot
+else
+    echo "ci: miri unavailable (no nightly toolchain with miri component); skipping"
+fi
+
 # Smoke: sortcli must emit a metrics report that it can itself validate.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

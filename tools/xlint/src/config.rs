@@ -1,0 +1,104 @@
+//! `xlint.allow` parsing: the allowlist that scopes rule exemptions.
+//!
+//! Format (one entry per line):
+//!
+//! ```text
+//! # comment
+//! <rule> <path-prefix> <justification...>
+//! ```
+//!
+//! An entry suppresses violations of `<rule>` in any file whose
+//! workspace-relative path starts with `<path-prefix>`. The justification is
+//! mandatory — an exemption without a stated reason is a parse error — and
+//! entries that suppress nothing are *stale* and fail the run, so the
+//! allowlist can only shrink as violations are fixed.
+
+use crate::rules::RULES;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_prefix: String,
+    pub reason: String,
+    /// 1-based line in `xlint.allow`, for stale-entry reports.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, rule: &str, path: &str) -> bool {
+        self.rule == rule && path.starts_with(&self.path_prefix)
+    }
+}
+
+/// Parse the allowlist text. Returns entries or a list of diagnostics.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule = parts.next().unwrap_or_default().to_string();
+        let path_prefix = parts.next().unwrap_or_default().to_string();
+        let reason = parts.next().unwrap_or_default().trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            errors.push(format!(
+                "xlint.allow:{line_no}: unknown rule `{rule}` (known: {})",
+                RULES.join(", ")
+            ));
+            continue;
+        }
+        if path_prefix.is_empty() {
+            errors.push(format!("xlint.allow:{line_no}: missing path prefix"));
+            continue;
+        }
+        if reason.is_empty() {
+            errors.push(format!(
+                "xlint.allow:{line_no}: exemption for `{rule}` on `{path_prefix}` \
+                 has no justification — state why the rule does not apply"
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule,
+            path_prefix,
+            reason,
+            line: line_no,
+        });
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let text = "# header\n\nwallclock crates/mpisim/src/clock.rs measures host time to charge virtual compute\n";
+        let entries = parse_allowlist(text).expect("valid allowlist parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "wallclock");
+        assert!(entries[0].matches("wallclock", "crates/mpisim/src/clock.rs"));
+        assert!(!entries[0].matches("wallclock", "crates/mpisim/src/comm.rs"));
+        assert!(!entries[0].matches("no-unwrap", "crates/mpisim/src/clock.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_missing_reasons() {
+        let errs = parse_allowlist("nosuchrule src/ because\n").expect_err("unknown rule");
+        assert!(errs[0].contains("unknown rule"));
+        let errs = parse_allowlist("wallclock src/lib.rs\n").expect_err("no reason");
+        assert!(errs[0].contains("no justification"));
+        let errs = parse_allowlist("wallclock\n").expect_err("no path");
+        assert!(errs[0].contains("missing path prefix"));
+    }
+}

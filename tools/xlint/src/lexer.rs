@@ -1,0 +1,472 @@
+//! A minimal Rust lexer: just enough to tell code from trivia.
+//!
+//! The linter's rules match identifier and punctuation *tokens*, never raw
+//! text, so banned names appearing inside string literals, comments, or doc
+//! examples are not flagged. The lexer handles line and (nested) block
+//! comments, plain/byte/raw strings, character literals vs. lifetimes, and
+//! numeric literals with radix prefixes, underscores, and type suffixes.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Instant`, ...).
+    Ident(String),
+    /// Integer literal; the value when it fits in u128 and parses cleanly.
+    Int(Option<u128>),
+    /// Float literal.
+    Float,
+    /// String or byte-string literal (plain or raw).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token kind.
+    pub kind: TokKind,
+}
+
+/// Output of [`lex`]: the token stream plus comment text for rules that
+/// inspect comments (the SAFETY rule).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments as `(line, text)`. Line comments carry their own line;
+    /// every line of a block comment is recorded separately so proximity
+    /// checks see each line of a multi-line comment.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated constructs
+/// consume to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |s: &[u8]| s.iter().filter(|&&c| c == b'\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments
+                    .push((line, String::from_utf8_lossy(&b[start..i]).into_owned()));
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                for (k, l) in text.lines().enumerate() {
+                    out.comments.push((line + k as u32, l.to_string()));
+                }
+                line += count_lines(&b[start..i]);
+            }
+            b'"' => {
+                let tline = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i = (i + 2).min(b.len()),
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    line: tline,
+                    kind: TokKind::Str,
+                });
+            }
+            b'\'' => {
+                // Distinguish 'a' (char) from 'a (lifetime).
+                let tline = line;
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal: consume to the closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += if b[i] == b'\\' { 2 } else { 1 };
+                    }
+                    i = (i + 1).min(b.len());
+                    out.toks.push(Tok {
+                        line: tline,
+                        kind: TokKind::Char,
+                    });
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    i += 3;
+                    out.toks.push(Tok {
+                        line: tline,
+                        kind: TokKind::Char,
+                    });
+                } else {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        line: tline,
+                        kind: TokKind::Lifetime,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let tline = line;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        // Exponent sign: 1e-4 / 2E+9.
+                        if (d == b'e' || d == b'E')
+                            && i + 1 < b.len()
+                            && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                            && i + 2 < b.len()
+                            && b[i + 2].is_ascii_digit()
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = std::str::from_utf8(&b[start..i])
+                    .unwrap_or("")
+                    .chars()
+                    .filter(|&ch| ch != '_')
+                    .collect();
+                out.toks.push(Tok {
+                    line: tline,
+                    kind: classify_number(&text),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let tline = line;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = std::str::from_utf8(&b[start..i]).unwrap_or("").to_string();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if matches!(ident.as_str(), "r" | "b" | "br" | "rb")
+                    && i < b.len()
+                    && (b[i] == b'"' || b[i] == b'#')
+                {
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j < b.len() && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'"' {
+                        // Raw string: scan for `"` followed by `hashes` #s.
+                        j += 1;
+                        let is_raw = ident.contains('r');
+                        loop {
+                            if j >= b.len() {
+                                break;
+                            }
+                            if b[j] == b'\n' {
+                                line += 1;
+                                j += 1;
+                                continue;
+                            }
+                            if !is_raw && b[j] == b'\\' {
+                                j = (j + 2).min(b.len());
+                                continue;
+                            }
+                            if b[j] == b'"' {
+                                let close = &b[j + 1..(j + 1 + hashes).min(b.len())];
+                                if close.len() == hashes && close.iter().all(|&h| h == b'#') {
+                                    j += 1 + hashes;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                        out.toks.push(Tok {
+                            line: tline,
+                            kind: TokKind::Str,
+                        });
+                        continue;
+                    }
+                    // `b'x'` byte literal: fall through to normal handling —
+                    // the `'` branch above will classify it next iteration.
+                }
+                out.toks.push(Tok {
+                    line: tline,
+                    kind: TokKind::Ident(ident),
+                });
+            }
+            other => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(other as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Classify a (underscore-stripped) numeric literal and parse its value.
+fn classify_number(text: &str) -> TokKind {
+    let (radix, digits) = if let Some(rest) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+        (16, rest)
+    } else if let Some(rest) = text.strip_prefix("0o") {
+        (8, rest)
+    } else if let Some(rest) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+        (2, rest)
+    } else {
+        (10, text)
+    };
+    if radix == 10 && (digits.contains('.') || digits.contains('e') || digits.contains('E')) {
+        return TokKind::Float;
+    }
+    // Strip a trailing type suffix (u8..=usize / i8..=isize / f32 / f64).
+    let body = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    let (val, suffix) = digits.split_at(body);
+    if suffix.starts_with('f') {
+        return TokKind::Float;
+    }
+    TokKind::Int(u128::from_str_radix(val, radix).ok())
+}
+
+/// Strip tokens belonging to `#[cfg(test)]` items (test modules and
+/// functions): returns the token stream with those spans removed. The
+/// scan recognizes the attribute token sequence and then skips either to
+/// the end of a `{...}` body or to a terminating `;`.
+pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_at(toks, i) {
+            // Skip the attribute itself (to its closing `]`).
+            i += 7;
+            // Skip any further attributes.
+            while matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct('#'))) {
+                let mut depth = 0usize;
+                i += 1;
+                while let Some(t) = toks.get(i) {
+                    match t.kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Skip the item: up to a top-level `;` or a balanced `{...}`.
+            let mut brace = 0usize;
+            while let Some(t) = toks.get(i) {
+                match t.kind {
+                    TokKind::Punct('{') => brace += 1,
+                    TokKind::Punct('}') => {
+                        brace = brace.saturating_sub(1);
+                        if brace == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if brace == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_at(toks: &[Tok], i: usize) -> bool {
+    let kinds: Vec<&TokKind> = toks[i..].iter().take(7).map(|t| &t.kind).collect();
+    matches!(
+        kinds.as_slice(),
+        [
+            TokKind::Punct('#'),
+            TokKind::Punct('['),
+            TokKind::Ident(cfg),
+            TokKind::Punct('('),
+            TokKind::Ident(test),
+            TokKind::Punct(')'),
+            TokKind::Punct(']'),
+        ] if cfg == "cfg" && test == "test"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let src = r##"
+            // Instant in a comment
+            /* SystemTime in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"SystemTime"#;
+            let c = 'I';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let l = lex(src);
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_parse_with_radix_and_suffix() {
+        let l = lex("let x = 0xFF_u64 + 1_000 + 1e-4 + 2.5f32 + 0b101;");
+        let ints: Vec<Option<u128>> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![Some(255), Some(1000), Some(5)]);
+        let floats = l.toks.iter().filter(|t| t.kind == TokKind::Float).count();
+        assert_eq!(floats, 2);
+    }
+
+    #[test]
+    fn comment_lines_recorded() {
+        let src = "// SAFETY: fine\nlet x = 1;\n/* multi\nline */\n";
+        let l = lex(src);
+        assert!(l
+            .comments
+            .iter()
+            .any(|(ln, t)| *ln == 1 && t.contains("SAFETY")));
+        assert!(l
+            .comments
+            .iter()
+            .any(|(ln, t)| *ln == 3 && t.contains("multi")));
+        assert!(l
+            .comments
+            .iter()
+            .any(|(ln, t)| *ln == 4 && t.contains("line")));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap() } }\nfn tail() {}";
+        let l = lex(src);
+        let kept = strip_cfg_test(&l.toks);
+        let ids: Vec<String> = kept
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"lib".to_string()));
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_stripped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { bad() }\nfn keep() {}";
+        let l = lex(src);
+        let kept = strip_cfg_test(&l.toks);
+        let ids: Vec<String> = kept
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["fn", "keep"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nlet b = 1;";
+        let l = lex(src);
+        let b_tok = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .expect("b token");
+        assert_eq!(b_tok.line, 4);
+    }
+}

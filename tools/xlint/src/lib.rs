@@ -1,0 +1,122 @@
+//! xlint: a dependency-free, lexer-based linter for this workspace's
+//! simulation invariants.
+//!
+//! Rules operate on a real token stream (comments, strings, and `#[cfg(test)]`
+//! items are handled by the lexer), not on text matching, so `// unsafe` in a
+//! comment or `"Instant"` in a string never trips a rule. See
+//! [`rules`] for the catalog and [`config`] for the `xlint.allow` format.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::AllowEntry;
+use rules::Violation;
+
+/// Result of scanning a workspace root.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by any allowlist entry, sorted by path/line.
+    pub violations: Vec<Violation>,
+    /// Count of violations suppressed by the allowlist.
+    pub suppressed: usize,
+    /// Allowlist entries that suppressed nothing (each is an error: the
+    /// allowlist may only shrink).
+    pub stale: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Allowlist parse diagnostics (fatal).
+    pub config_errors: Vec<String>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty() && self.config_errors.is_empty()
+    }
+}
+
+/// Directories never descended into, relative to the workspace root.
+const SKIP_DIRS: [&str; 4] = ["target", "devstubs", ".git", "tools/xlint/fixtures"];
+
+/// Lint a single file's contents under its workspace-relative path.
+/// Applies rule scopes but no allowlist — used by rule tests and fixtures.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    rules::check_file(rel_path, src)
+}
+
+/// Walk the workspace at `root`, lint every `.rs` file, and apply the
+/// allowlist at `<root>/xlint.allow` (absence means an empty allowlist).
+pub fn scan_root(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    let allow = match fs::read_to_string(root.join("xlint.allow")) {
+        Ok(text) => match config::parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(errors) => {
+                report.config_errors = errors;
+                return Ok(report);
+            }
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut used = vec![false; allow.len()];
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("collect_rs_files yields paths under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        for v in rules::check_file(&rel, &src) {
+            let hit = allow
+                .iter()
+                .position(|entry| entry.matches(v.rule, &v.path));
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    report.suppressed += 1;
+                }
+                None => report.violations.push(v),
+            }
+        }
+    }
+
+    report.stale = allow
+        .into_iter()
+        .zip(used)
+        .filter_map(|(entry, was_used)| if was_used { None } else { Some(entry) })
+        .collect();
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .expect("walk stays under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&rel.as_str()) || entry.file_name().to_string_lossy() == ".git" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

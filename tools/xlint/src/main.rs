@@ -1,0 +1,60 @@
+//! CLI entry point: `cargo run -p xlint [--] [ROOT]`.
+//!
+//! Exit codes: 0 clean, 1 violations/stale allowlist entries, 2 usage or I/O
+//! error. Output is one `path:line: [rule] message` per violation, so editors
+//! and CI logs can jump straight to the site.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("usage: xlint [ROOT]\n\nLints every .rs file under ROOT (default: .) against the workspace rule\ncatalog; exemptions come from ROOT/xlint.allow. See tools/xlint/src/rules.rs.");
+                return ExitCode::SUCCESS;
+            }
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let report = match xlint::scan_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for err in &report.config_errors {
+        eprintln!("{err}");
+    }
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
+    }
+    for entry in &report.stale {
+        eprintln!(
+            "xlint.allow:{}: stale entry `{} {}` suppresses nothing — remove it",
+            entry.line, entry.rule, entry.path_prefix
+        );
+    }
+
+    if report.is_clean() {
+        println!(
+            "xlint: {} files clean ({} allowlisted suppressions)",
+            report.files_scanned, report.suppressed
+        );
+        ExitCode::SUCCESS
+    } else if report.config_errors.is_empty() {
+        eprintln!(
+            "xlint: {} violation(s), {} stale allowlist entr(ies) across {} files",
+            report.violations.len(),
+            report.stale.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::from(2)
+    }
+}

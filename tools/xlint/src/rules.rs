@@ -1,0 +1,492 @@
+//! The rule catalog. Every rule is named; names appear in violation output
+//! and in the `xlint.allow` allowlist.
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `wallclock` | `mpisim`/`sdssort` lib code | no `Instant`/`SystemTime`/`thread::sleep`: simulation code runs on virtual clocks |
+//! | `relaxed-ordering` | all lib code | no `Ordering::Relaxed` outside allowlisted fast paths: cross-rank state uses `SeqCst` |
+//! | `safety-comment` | everywhere | every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) |
+//! | `no-unwrap` | library crates | no bare `.unwrap()`; `.expect()` must carry a string-literal invariant message |
+//! | `tag-discipline` | everything outside `mpisim` | message tags are named constants, not integer literals, and stay out of the reserved collective space |
+//! | `workload-determinism` | `workloads` crate | generators are seeded: no `thread_rng`/`from_entropy`/entropy sources |
+
+use crate::lexer::{lex, strip_cfg_test, Tok, TokKind};
+
+/// Stable names of every rule, in catalog order. `xlint.allow` entries must
+/// name one of these.
+pub const RULES: [&str; 6] = [
+    "wallclock",
+    "relaxed-ordering",
+    "safety-comment",
+    "no-unwrap",
+    "tag-discipline",
+    "workload-determinism",
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (stable, used in the allowlist).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Library crates covered by the `no-unwrap` rule.
+const LIB_CRATE_SRC: [&str; 5] = [
+    "crates/mpisim/src/",
+    "crates/sdssort/src/",
+    "crates/telemetry/src/",
+    "crates/workloads/src/",
+    "crates/baselines/src/",
+];
+
+/// Comm methods whose tag argument must be a named constant, with the
+/// zero-based position of the tag argument.
+const TAGGED_METHODS: [(&str, usize); 10] = [
+    ("send_vec", 1),
+    ("send_slice", 1),
+    ("send_val", 1),
+    ("isend", 1),
+    ("recv_vec", 1),
+    ("recv_val", 1),
+    ("irecv", 1),
+    ("try_recv_from", 1),
+    ("recv_any", 0),
+    ("try_recv_any", 0),
+];
+
+/// Tags at or above this value are reserved for collectives
+/// (`Comm::MAX_USER_TAG`).
+const MAX_USER_TAG: u128 = 1 << 48;
+
+/// Run every applicable rule over one file. `path` must be
+/// workspace-relative with forward slashes.
+pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let code = strip_cfg_test(&lexed.toks);
+    let mut out = Vec::new();
+
+    let is_test_path = path.contains("/tests/") || path.starts_with("tests/");
+    let in_lib = |prefixes: &[&str]| prefixes.iter().any(|p| path.starts_with(p)) && !is_test_path;
+
+    if in_lib(&["crates/mpisim/src/", "crates/sdssort/src/"]) {
+        rule_wallclock(path, &code, &mut out);
+    }
+    if (path.starts_with("crates/") && path.contains("/src/") || path.starts_with("src/"))
+        && !path.starts_with("tools/")
+        && !is_test_path
+    {
+        rule_relaxed(path, &code, &mut out);
+    }
+    rule_safety_comment(path, &lexed.toks, &lexed.comments, &mut out);
+    if in_lib(&LIB_CRATE_SRC) {
+        rule_no_unwrap(path, &code, &mut out);
+    }
+    if !path.starts_with("crates/mpisim/") && !path.starts_with("tools/") {
+        rule_tag_discipline(path, &code, &mut out);
+    }
+    if path.starts_with("crates/workloads/") {
+        rule_workload_determinism(path, &lexed.toks, &mut out);
+    }
+    out
+}
+
+fn ident(t: &Tok) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Tok>, c: char) -> bool {
+    matches!(t.map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// `wallclock`: virtual-time code must not read host clocks or sleep.
+fn rule_wallclock(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        match ident(t) {
+            Some(name @ ("Instant" | "SystemTime")) => out.push(Violation {
+                path: path.to_string(),
+                line: t.line,
+                rule: "wallclock",
+                msg: format!(
+                    "`{name}` in simulation code: use the rank's VirtualClock \
+                     (wall time breaks virtual-time determinism)"
+                ),
+            }),
+            Some("sleep")
+                if i >= 2
+                    && is_punct(toks.get(i - 1), ':')
+                    && is_punct(toks.get(i - 2), ':')
+                    && toks[..i - 2]
+                        .iter()
+                        .rev()
+                        .find_map(ident)
+                        .is_some_and(|p| p == "thread") =>
+            {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: "wallclock",
+                    msg: "`thread::sleep` in simulation code: charge virtual seconds \
+                          with `clock.charge(..)` instead"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `relaxed-ordering`: `Ordering::Relaxed` only in allowlisted fast paths.
+fn rule_relaxed(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for t in toks {
+        if ident(t) == Some("Relaxed") {
+            out.push(Violation {
+                path: path.to_string(),
+                line: t.line,
+                rule: "relaxed-ordering",
+                msg: "`Ordering::Relaxed` outside an allowlisted fast path: \
+                      cross-rank shared state uses `SeqCst` (allowlist the file in \
+                      xlint.allow with a justification if this is a measured hot path)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `safety-comment`: `unsafe` needs a nearby `// SAFETY:` (or `# Safety`
+/// doc section for `unsafe fn`/`unsafe trait` declarations).
+fn rule_safety_comment(
+    path: &str,
+    toks: &[Tok],
+    comments: &[(u32, String)],
+    out: &mut Vec<Violation>,
+) {
+    const WINDOW: u32 = 6;
+    for t in toks {
+        if ident(t) != Some("unsafe") {
+            continue;
+        }
+        let documented = comments.iter().any(|(line, text)| {
+            *line <= t.line
+                && t.line - *line <= WINDOW
+                && (text.contains("SAFETY:") || text.contains("# Safety"))
+        });
+        if !documented {
+            out.push(Violation {
+                path: path.to_string(),
+                line: t.line,
+                rule: "safety-comment",
+                msg: "`unsafe` without a `// SAFETY:` comment in the preceding lines: \
+                      state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `no-unwrap`: library code panics only on documented invariants.
+fn rule_no_unwrap(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !is_punct(toks.get(i.wrapping_sub(1)), '.') {
+            continue;
+        }
+        match ident(t) {
+            Some("unwrap") if is_punct(toks.get(i + 1), '(') && is_punct(toks.get(i + 2), ')') => {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: "no-unwrap",
+                    msg: "bare `.unwrap()` in library code: use `.expect(\"<invariant>\")`, \
+                          or return an error"
+                        .to_string(),
+                });
+            }
+            Some("expect")
+                if is_punct(toks.get(i + 1), '(')
+                    && !matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Str)) =>
+            {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: "no-unwrap",
+                    msg: "`.expect()` without a string-literal message in library code: \
+                          the message documents the invariant being relied on"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `tag-discipline`: tags passed to comm methods must be named constants
+/// (searchable, collision-auditable), and no literal may fall in the
+/// reserved collective tag space at or above `Comm::MAX_USER_TAG` (2^48).
+fn rule_tag_discipline(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        let Some(&(_, tag_idx)) = TAGGED_METHODS.iter().find(|(m, _)| *m == name) else {
+            continue;
+        };
+        if !is_punct(toks.get(i.wrapping_sub(1)), '.') {
+            continue;
+        }
+        // Skip an optional turbofish `::<...>`.
+        let mut j = i + 1;
+        if is_punct(toks.get(j), ':')
+            && is_punct(toks.get(j + 1), ':')
+            && is_punct(toks.get(j + 2), '<')
+        {
+            let mut depth = 0i32;
+            j += 2;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !is_punct(toks.get(j), '(') {
+            continue;
+        }
+        // Split the argument list at top-level commas.
+        let mut args: Vec<Vec<&Tok>> = vec![Vec::new()];
+        let mut depth = 1i32;
+        j += 1;
+        while let Some(t) = toks.get(j) {
+            match t.kind {
+                TokKind::Punct('(' | '[' | '{') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct(',') if depth == 1 => {
+                    args.push(Vec::new());
+                    j += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            args.last_mut().expect("args starts non-empty").push(t);
+            j += 1;
+        }
+        if let Some(arg) = args.get(tag_idx) {
+            if let [only] = arg.as_slice() {
+                if let TokKind::Int(v) = only.kind {
+                    let msg = match v {
+                        Some(v) if v >= MAX_USER_TAG => format!(
+                            "literal tag {v} passed to `{name}` is in the reserved collective \
+                             tag space (>= Comm::MAX_USER_TAG = 2^48): user tags must stay below it"
+                        ),
+                        _ => format!(
+                            "literal tag passed to `{name}`: define a named `const ..._TAG: u64` \
+                             so tag assignments are searchable and collision-free"
+                        ),
+                    };
+                    out.push(Violation {
+                        path: path.to_string(),
+                        line: t.line,
+                        rule: "tag-discipline",
+                        msg,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `workload-determinism`: workload generators draw only from seeded RNGs.
+fn rule_workload_determinism(path: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident(t) else { continue };
+        let banned = match name {
+            "thread_rng" | "from_entropy" | "OsRng" | "SystemTime" | "Instant" => true,
+            "random" => {
+                i >= 3
+                    && is_punct(toks.get(i - 1), ':')
+                    && is_punct(toks.get(i - 2), ':')
+                    && ident(&toks[i - 3]) == Some("rand")
+            }
+            _ => false,
+        };
+        if banned {
+            out.push(Violation {
+                path: path.to_string(),
+                line: t.line,
+                rule: "workload-determinism",
+                msg: format!(
+                    "`{name}` in a workload generator: datasets must be reproducible \
+                     from an explicit seed (accept a `u64` seed and use `StdRng::seed_from_u64`)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn wallclock_flags_instant_in_sim_code_only() {
+        let bad = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_hit("crates/mpisim/src/foo.rs", bad),
+            vec!["wallclock", "wallclock"]
+        );
+        // Same source in a non-simulation crate: no violation.
+        assert!(rules_hit("crates/telemetry/src/foo.rs", bad).is_empty());
+        // Comments and strings never trigger.
+        let trivia = "// Instant\nfn f() { let s = \"SystemTime\"; }";
+        assert!(rules_hit("crates/mpisim/src/foo.rs", trivia).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flags_thread_sleep() {
+        let bad = "fn f() { std::thread::sleep(d); }";
+        assert_eq!(
+            rules_hit("crates/sdssort/src/foo.rs", bad),
+            vec!["wallclock"]
+        );
+        // A method merely named sleep on some object is fine.
+        let ok = "fn f() { pool.sleep(); }";
+        assert!(rules_hit("crates/sdssort/src/foo.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn relaxed_flagged_outside_allowlist_scope() {
+        let bad = "fn f() { x.load(Ordering::Relaxed); }";
+        assert_eq!(
+            rules_hit("crates/telemetry/src/metrics.rs", bad),
+            vec!["relaxed-ordering"]
+        );
+        assert_eq!(rules_hit("src/lib.rs", bad), vec!["relaxed-ordering"]);
+        // Test modules are exempt.
+        let in_test = "#[cfg(test)]\nmod tests { fn f() { x.load(Ordering::Relaxed); } }";
+        assert!(rules_hit("crates/telemetry/src/metrics.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_for_unsafe() {
+        let bad = "fn f() { unsafe { do_it() } }";
+        assert_eq!(
+            rules_hit("crates/sdssort/src/m.rs", bad),
+            vec!["safety-comment"]
+        );
+        let ok = "fn f() {\n    // SAFETY: buffer has capacity n.\n    unsafe { do_it() }\n}";
+        assert!(rules_hit("crates/sdssort/src/m.rs", ok).is_empty());
+        let doc_ok =
+            "/// Does things.\n///\n/// # Safety\n/// Caller upholds X.\npub unsafe fn g() {}";
+        assert!(rules_hit("crates/sdssort/src/m.rs", doc_ok).is_empty());
+        // The word unsafe inside a string or comment never needs one.
+        let trivia = "fn f() { let s = \"only unsafe when paired\"; } // unsafe";
+        assert!(rules_hit("crates/bench/src/bin/x.rs", trivia).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_in_library_code() {
+        let bad = "fn f() { x.unwrap(); }";
+        assert_eq!(
+            rules_hit("crates/mpisim/src/comm.rs", bad),
+            vec!["no-unwrap"]
+        );
+        // expect with a literal message is the sanctioned form.
+        let ok = "fn f() { x.expect(\"queue is non-empty: pushed above\"); }";
+        assert!(rules_hit("crates/mpisim/src/comm.rs", ok).is_empty());
+        // expect with a computed message does not document an invariant.
+        let bad2 = "fn f() { x.expect(&msg); }";
+        assert_eq!(
+            rules_hit("crates/mpisim/src/comm.rs", bad2),
+            vec!["no-unwrap"]
+        );
+        // unwrap_or_default and friends are fine; binaries are out of scope.
+        assert!(rules_hit(
+            "crates/mpisim/src/comm.rs",
+            "fn f() { x.unwrap_or_default(); }"
+        )
+        .is_empty());
+        assert!(rules_hit("crates/bench/src/bin/cli.rs", bad).is_empty());
+        // Test modules in library crates are exempt.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(rules_hit("crates/mpisim/src/comm.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn tag_discipline_flags_literal_tags() {
+        let bad = "fn f(comm: &Comm) { comm.send_val(1, 7, x); }";
+        assert_eq!(
+            rules_hit("crates/sdssort/src/p.rs", bad),
+            vec!["tag-discipline"]
+        );
+        let bad_turbofish = "fn f(comm: &Comm) { let v = comm.recv_vec::<Vec<u64>>(0, 3); }";
+        assert_eq!(
+            rules_hit("examples/demo.rs", bad_turbofish),
+            vec!["tag-discipline"]
+        );
+        let ok = "const PIVOT_TAG: u64 = 7;\nfn f(comm: &Comm) { comm.send_val(1, PIVOT_TAG, x); }";
+        assert!(rules_hit("crates/sdssort/src/p.rs", ok).is_empty());
+        let expr_ok = "fn f(comm: &Comm, base: u64) { comm.send_val(1, base + 3, x); }";
+        assert!(rules_hit("crates/sdssort/src/p.rs", expr_ok).is_empty());
+        // mpisim itself owns the tag machinery and is exempt.
+        assert!(rules_hit("crates/mpisim/src/collectives.rs", bad).is_empty());
+        // Destination argument may be a literal; only the tag is checked.
+        let dst_ok = "fn f(comm: &Comm) { comm.send_val(0, TAG, x); }";
+        assert!(rules_hit("crates/sdssort/src/p.rs", dst_ok).is_empty());
+    }
+
+    #[test]
+    fn tag_discipline_flags_reserved_space_literals() {
+        // 2^48 passed in tag position: flagged with the reserved-space message.
+        let bad = "fn f(comm: &Comm) { comm.send_val(1, 281474976710656, x); }";
+        let v = check_file("crates/sdssort/src/p.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].msg.contains("reserved collective tag space"),
+            "{}",
+            v[0].msg
+        );
+        // Large constants outside tag position (hash mixers, sign masks) are fine.
+        let ok = "const M: u64 = 0x9E37_79B9_7F4A_7C15;\nconst S: u64 = 0x8000_0000_0000_0000;";
+        assert!(rules_hit("crates/sdssort/src/p.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn workload_determinism_bans_entropy() {
+        let bad = "fn gen() { let mut rng = rand::thread_rng(); }";
+        assert_eq!(
+            rules_hit("crates/workloads/src/zipf.rs", bad),
+            vec!["workload-determinism"]
+        );
+        let bad2 = "fn gen() { let x: f64 = rand::random(); }";
+        assert_eq!(
+            rules_hit("crates/workloads/src/zipf.rs", bad2),
+            vec!["workload-determinism"]
+        );
+        let ok = "fn gen(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); }";
+        assert!(rules_hit("crates/workloads/src/zipf.rs", ok).is_empty());
+        // A field or method called random elsewhere is fine.
+        assert!(rules_hit("crates/workloads/src/zipf.rs", "fn f() { self.random(); }").is_empty());
+    }
+}

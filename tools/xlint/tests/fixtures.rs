@@ -1,0 +1,119 @@
+//! Proves the linter fails on seeded violations (fixtures/banned_patterns.rs),
+//! accepts the sanctioned spellings (fixtures/clean.rs), detects stale
+//! allowlist entries, and — the real gate — that the workspace tree itself
+//! scans clean.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).expect("fixture file is committed next to this test")
+}
+
+/// Fake scoped paths that together activate every rule for the fixtures.
+const SCOPED_PATHS: [&str; 2] = [
+    "crates/mpisim/src/fixture.rs", // wallclock, relaxed-ordering, safety-comment, no-unwrap
+    "crates/workloads/src/fixture.rs", // workload-determinism, tag-discipline (+ the above three)
+];
+
+#[test]
+fn banned_fixture_trips_every_rule() {
+    let src = fixture("banned_patterns.rs");
+    let mut hit = BTreeSet::new();
+    for path in SCOPED_PATHS {
+        for v in xlint::scan_source(path, &src) {
+            hit.insert(v.rule);
+        }
+    }
+    for rule in xlint::rules::RULES {
+        assert!(
+            hit.contains(rule),
+            "rule `{rule}` did not fire on the seeded fixture"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_passes_every_scope() {
+    let src = fixture("clean.rs");
+    for path in SCOPED_PATHS {
+        let violations = xlint::scan_source(path, &src);
+        assert!(
+            violations.is_empty(),
+            "clean fixture flagged under {path}: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn stale_allowlist_entries_are_reported() {
+    let dir = scratch_dir("xlint-stale-test");
+    fs::create_dir_all(dir.join("src")).expect("create scratch src dir");
+    // A file with one real violation, plus an allowlist with one live and one
+    // stale entry.
+    fs::write(
+        dir.join("src/lib.rs"),
+        "fn f(x: &std::sync::atomic::AtomicU64) { x.load(std::sync::atomic::Ordering::Relaxed); }\n",
+    )
+    .expect("write scratch source");
+    fs::write(
+        dir.join("xlint.allow"),
+        "relaxed-ordering src/lib.rs scratch test exemption\n\
+         wallclock src/lib.rs stale: nothing here uses Instant\n",
+    )
+    .expect("write scratch allowlist");
+
+    let report = xlint::scan_root(&dir).expect("scan scratch dir");
+    assert!(
+        report.violations.is_empty(),
+        "live entry should suppress: {report:?}"
+    );
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(
+        report.stale.len(),
+        1,
+        "stale wallclock entry must be reported"
+    );
+    assert_eq!(report.stale[0].rule, "wallclock");
+    assert!(!report.is_clean(), "stale entries fail the run");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn workspace_tree_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    if !root.join("Cargo.toml").exists() {
+        return; // not running inside the workspace checkout
+    }
+    let report = xlint::scan_root(&root).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg))
+            .chain(report.stale.iter().map(|e| format!(
+                "xlint.allow:{}: stale entry `{} {}`",
+                e.line, e.rule, e.path_prefix
+            )))
+            .chain(report.config_errors.iter().cloned())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "walker found too few files");
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
