@@ -1,0 +1,30 @@
+//! `bench_quick` — a fast real-execution sanity sweep.
+//!
+//! Runs a small threads-backend (`crates/shmem`) weak-scaling sweep of
+//! both SDS variants on the Uniform workload and emits the wall-clock
+//! numbers as `BENCH_pr5.json` (honouring `BENCH_METRICS_OUT`, or
+//! `--metrics-out <dir>`). Unlike the figure harnesses this never touches
+//! the simulator: every time in the output is a measured second. Intended
+//! for `scripts/bench_quick.sh` and CI smoke.
+
+use bench::experiments::{emit_scaling_cells, print_threads_scaling, weak_scaling_uniform_threads};
+use bench::{header, verdict, Emitter};
+
+fn main() {
+    header(
+        "Quick threads-backend weak scaling (real wall-clock)",
+        "both SDS variants sort, validate, and scale on OS threads",
+    );
+    let ps = [1usize, 2, 4, 8];
+    let n_rank = 20_000;
+    println!("records/rank: {n_rank} u64, uniform, backend: threads\n");
+    let cells = weak_scaling_uniform_threads(&ps, n_rank);
+    let mut em = Emitter::from_env("pr5");
+    em.meta("workload", "uniform_u64");
+    em.meta("n_rank", n_rank as u64);
+    em.meta("backend", "threads");
+    emit_scaling_cells(&mut em, &cells, &[]);
+    let all_ok = print_threads_scaling(&ps, n_rank, &cells);
+    verdict(all_ok, "both SDS variants complete at every p (wall-clock)");
+    em.finish().expect("write metrics");
+}

@@ -5,8 +5,12 @@
 //! is ~51 % faster than HykSort at the top end; SDS-Sort/stable is the
 //! slowest of the three (extra pivot-selection and ordering work).
 
-use bench::experiments::{emit_scaling_cells, weak_scaling_uniform};
-use bench::{by_scale, fmt_opt_time, header, model, verdict, Emitter, Sorter, Table};
+use bench::experiments::{
+    emit_scaling_cells, print_threads_scaling, weak_scaling_uniform, weak_scaling_uniform_threads,
+};
+use bench::{
+    backend, by_scale, fmt_opt_time, header, model, verdict, Backend, Emitter, Sorter, Table,
+};
 
 fn main() {
     header(
@@ -16,10 +20,27 @@ fn main() {
     let ps: Vec<usize> = by_scale(vec![8, 16, 32, 64, 128], vec![8, 16, 32, 64, 128, 256, 512]);
     let n_rank: usize = by_scale(20_000, 50_000);
     println!("records/rank: {n_rank} u64 (paper: 100M = 400 MB)\n");
+    if backend() == Backend::Threads {
+        // Real execution: wall-clock seconds from crates/shmem, SDS
+        // variants only (the baselines are simulator-only).
+        println!("backend: threads — measured wall-clock, sds variants only\n");
+        let ps: Vec<usize> = ps.into_iter().filter(|&p| p <= 64).collect();
+        let cells = weak_scaling_uniform_threads(&ps, n_rank);
+        let mut em = Emitter::from_env("fig7");
+        em.meta("workload", "uniform_u64");
+        em.meta("n_rank", n_rank as u64);
+        em.meta("backend", "threads");
+        emit_scaling_cells(&mut em, &cells, &[]);
+        let all_ok = print_threads_scaling(&ps, n_rank, &cells);
+        verdict(all_ok, "both SDS variants complete at every p (wall-clock)");
+        em.finish().expect("write metrics");
+        return;
+    }
     let cells = weak_scaling_uniform(&ps, n_rank, model());
     let mut em = Emitter::from_env("fig7");
     em.meta("workload", "uniform_u64");
     em.meta("n_rank", n_rank as u64);
+    em.meta("backend", "sim");
     emit_scaling_cells(&mut em, &cells, &[]);
 
     let mut table = Table::new([

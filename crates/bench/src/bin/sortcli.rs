@@ -5,6 +5,14 @@
 //!
 //!   --sorter   sds | sds-stable | hyksort | samplesort | bitonic | radix
 //!   --workload uniform | zipf:<alpha> | ptf-like | adversarial
+//!   --backend  sim | threads       (default sim). `sim` runs on the
+//!                                  deterministic virtual-time simulator;
+//!                                  `threads` runs each rank on a real OS
+//!                                  thread (crates/shmem) and reports
+//!                                  wall-clock times. The threads backend
+//!                                  supports the sds sorters; fault
+//!                                  injection, memory budgets, tracing and
+//!                                  resilience are simulator-only
 //!   --ranks    <p>                 (default 8)
 //!   --records  <n per rank>        (default 20000)
 //!   --cores    <cores per node>    (default 24)
@@ -48,6 +56,7 @@ use workloads::{heavy_hitters, ptf_scores, uniform_u64, zipf_keys};
 struct Args {
     sorter: String,
     workload: String,
+    backend: String,
     ranks: usize,
     records: usize,
     cores: usize,
@@ -67,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         sorter: "sds".into(),
         workload: "uniform".into(),
+        backend: "sim".into(),
         ranks: 8,
         records: 20_000,
         cores: 24,
@@ -93,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--sorter" => args.sorter = take(&mut i)?,
             "--workload" => args.workload = take(&mut i)?,
+            "--backend" => args.backend = take(&mut i)?,
             "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("--ranks: {e}"))?,
             "--records" => {
                 args.records = take(&mut i)?
@@ -176,16 +187,31 @@ fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>
     Err(format!("unknown workload {workload}"))
 }
 
+/// Per-rank outcome: (globally sorted, permutation, output length, stats).
+type RankResult = Result<(bool, bool, usize, sdssort::SortStats), SortError>;
+
+/// Run the sds sorter for real on the threads backend (one OS thread per
+/// rank, wall-clock timing). Only the sds sorters are generic over the
+/// transport; baselines stay simulator-only.
+fn run_sorter_threads(a: &Args) -> shmem::ThreadReport<RankResult> {
+    use comm::Communicator;
+    let a2 = a.clone();
+    shmem::ThreadWorld::new(a.ranks)
+        .cores_per_node(a.cores)
+        .telemetry(a.metrics_out.is_some())
+        .run(move |comm| -> RankResult {
+            let input = gen_keys(&a2.workload, a2.records, a2.seed, comm.rank())
+                .expect("workload validated before launch");
+            let cfg = sds_cfg(&a2).expect("sds sorter validated before launch");
+            let o = sds_sort(comm, input.clone(), &cfg)?;
+            let sorted = is_globally_sorted(comm, &o.data);
+            let permutation = is_permutation_of(comm, &input, &o.data, |&k| k);
+            Ok((sorted, permutation, o.data.len(), o.stats))
+        })
+}
+
 #[allow(clippy::type_complexity)]
-fn run_sorter(
-    a: &Args,
-) -> Result<
-    (
-        Result<(bool, bool, usize, sdssort::SortStats), SortError>,
-        mpisim::runtime::WorldReport<Result<(bool, bool, usize, sdssort::SortStats), SortError>>,
-    ),
-    String,
-> {
+fn run_sorter(a: &Args) -> Result<(RankResult, mpisim::runtime::WorldReport<RankResult>), String> {
     let mut world = World::new(a.ranks)
         .cores_per_node(a.cores)
         .net(NetModel::edison())
@@ -298,20 +324,54 @@ fn main() -> ExitCode {
         eprintln!("error: --resilient applies to the sds sorters only");
         return ExitCode::from(2);
     }
+    match args.backend.as_str() {
+        "sim" | "threads" => {}
+        other => {
+            eprintln!("error: unknown backend {other} (expected sim or threads)");
+            return ExitCode::from(2);
+        }
+    }
+    if args.backend == "threads" {
+        if sds_cfg(&args).is_none() {
+            eprintln!(
+                "error: the threads backend supports the sds sorters only \
+                 (the baselines run on the simulator; drop --backend threads)"
+            );
+            return ExitCode::from(2);
+        }
+        let simulator_only = [
+            (args.faults.is_some(), "--faults"),
+            (args.collective_timeout.is_some(), "--collective-timeout"),
+            (args.budget.is_some(), "--budget"),
+            (args.trace, "--trace"),
+            (args.resilient.is_some(), "--resilient"),
+        ];
+        for (set, flag) in simulator_only {
+            if set {
+                eprintln!("error: {flag} is simulator-only (remove --backend threads)");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     println!(
-        "sortcli: {} on {} | p = {}, {} records/rank, {} cores/node{}",
+        "sortcli: {} on {} | p = {}, {} records/rank, {} cores/node, {} backend{}",
         args.sorter,
         args.workload,
         args.ranks,
         args.records,
         args.cores,
+        args.backend,
         args.budget
             .map(|b| format!(", budget {}", fmt_bytes(b)))
             .unwrap_or_default()
     );
     if let Some(spec) = &args.faults_text {
         println!("faults: {spec}");
+    }
+
+    if args.backend == "threads" {
+        return threads_main(&args);
     }
 
     let (first, report) = run_sorter(&args).expect("validated");
@@ -408,17 +468,88 @@ fn main() -> ExitCode {
     }
 }
 
-/// Assemble and write the telemetry [`RunReport`] for a successful run. A
-/// `.json` path is written as-is; any other path is treated as a directory
-/// receiving `BENCH_sortcli.json`.
-fn write_metrics<R>(
-    out: &Path,
+/// Run, validate, report, and optionally emit metrics on the threads
+/// backend. Times printed here are real wall-clock seconds.
+fn threads_main(args: &Args) -> ExitCode {
+    let report = run_sorter_threads(args);
+    match &report.results[0] {
+        Err(e) => {
+            println!("\nresult: FAILED — {e}");
+            ExitCode::from(1)
+        }
+        Ok(_) => {
+            let all_ok = report
+                .results
+                .iter()
+                .all(|r| matches!(r, Ok((sorted, perm, _, _)) if *sorted && *perm));
+            let loads: Vec<usize> = report
+                .results
+                .iter()
+                .map(|r| r.as_ref().expect("checked ok").2)
+                .collect();
+            let stats = report.results[0].as_ref().expect("checked ok").3;
+            println!(
+                "\nresult: {}",
+                if all_ok {
+                    "OK (sorted, permutation)"
+                } else {
+                    "CORRUPT"
+                }
+            );
+            let mut t = Table::new(["metric", "value"]);
+            t.row(["wall clock".to_string(), fmt_time(report.wall_s)]);
+            t.row([
+                "slowest rank".to_string(),
+                fmt_time(report.per_rank_wall.iter().copied().fold(0.0, f64::max)),
+            ]);
+            t.row(["pivot phase (rank 0)".to_string(), fmt_time(stats.pivot_s)]);
+            t.row([
+                "exchange phase (rank 0)".to_string(),
+                fmt_time(stats.exchange_s),
+            ]);
+            t.row([
+                "ordering phase (rank 0)".to_string(),
+                fmt_time(stats.local_order_s),
+            ]);
+            t.row([
+                "node merged (τm)".to_string(),
+                stats.node_merged.to_string(),
+            ]);
+            t.row(["RDFA".to_string(), format!("{:.4}", rdfa(&loads))]);
+            t.row(["messages".to_string(), report.messages.to_string()]);
+            t.row(["bytes".to_string(), fmt_bytes(report.bytes as usize)]);
+            t.print();
+            if stats.node_merged {
+                println!(
+                    "note: node-level merging ran (avg message below τm), so output\n\
+                     concentrates on node leaders — RDFA counts the empty non-leaders."
+                );
+            }
+            if let Some(out) = &args.metrics_out {
+                match write_metrics_threads(out, args, &report, &loads, &stats) {
+                    Ok(path) => println!("metrics: wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing metrics: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            if all_ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
+/// The config and decision fields shared by both backends' RunReports.
+fn base_run_report(
     args: &Args,
-    report: &mpisim::WorldReport<R>,
+    snapshot: mpisim::telemetry::Snapshot,
     loads: &[usize],
     stats: &sdssort::SortStats,
-) -> std::io::Result<PathBuf> {
-    let snapshot = report.telemetry.clone().unwrap_or_default();
+) -> RunReport {
     let mut run = RunReport::from_snapshot(
         "sortcli",
         snapshot,
@@ -427,6 +558,7 @@ fn write_metrics<R>(
     run.config = [
         ("sorter", Json::from(args.sorter.clone())),
         ("workload", Json::from(args.workload.clone())),
+        ("backend", Json::from(args.backend.clone())),
         ("ranks", Json::from(args.ranks)),
         ("records_per_rank", Json::from(args.records)),
         ("cores_per_node", Json::from(args.cores)),
@@ -441,11 +573,6 @@ fn write_metrics<R>(
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
     .collect();
-    run.world = WorldMeta {
-        ranks: args.ranks,
-        cores_per_node: report.topology.cores_per_node(),
-        nodes: report.topology.num_nodes(),
-    };
     let cfg = sds_cfg(args);
     run.decisions = Decisions {
         tau_m_bytes: cfg.as_ref().map_or(0, |c| c.tau_m_bytes as u64),
@@ -454,6 +581,73 @@ fn write_metrics<R>(
         stable: cfg.as_ref().is_some_and(|c| c.stable),
         node_merged: stats.node_merged,
         overlapped: stats.overlapped,
+    };
+    run
+}
+
+/// Resolve the output path: a `.json` path is written as-is; any other
+/// path is treated as a directory receiving `BENCH_sortcli.json`.
+fn metrics_path(out: &Path) -> std::io::Result<PathBuf> {
+    let path = if out.extension().is_some_and(|e| e == "json") {
+        out.to_path_buf()
+    } else {
+        out.join("BENCH_sortcli.json")
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(path)
+}
+
+/// Write the [`RunReport`] for a threads-backend run. Every duration in
+/// the report — spans, phase times, makespan — is wall-clock seconds.
+fn write_metrics_threads<R>(
+    out: &Path,
+    args: &Args,
+    report: &shmem::ThreadReport<R>,
+    loads: &[usize],
+    stats: &sdssort::SortStats,
+) -> std::io::Result<PathBuf> {
+    let snapshot = report.telemetry.clone().unwrap_or_default();
+    let mut run = base_run_report(args, snapshot, loads, stats);
+    run.world = WorldMeta {
+        ranks: args.ranks,
+        cores_per_node: args.cores,
+        nodes: args.ranks.div_ceil(args.cores),
+    };
+    run.memory = MemoryReport {
+        budget: None,
+        max_high_water: 0,
+        per_rank_high_water: Vec::new(),
+    };
+    // On this backend virtual time IS wall time: the makespan is the
+    // world's measured wall clock.
+    run.makespan_v = report.wall_s;
+    run.wall_s = report.wall_s;
+
+    let path = metrics_path(out)?;
+    std::fs::write(&path, run.to_json_string() + "\n")?;
+    Ok(path)
+}
+
+/// Assemble and write the telemetry [`RunReport`] for a successful run. A
+/// `.json` path is written as-is; any other path is treated as a directory
+/// receiving `BENCH_sortcli.json`.
+fn write_metrics<R>(
+    out: &Path,
+    args: &Args,
+    report: &mpisim::WorldReport<R>,
+    loads: &[usize],
+    stats: &sdssort::SortStats,
+) -> std::io::Result<PathBuf> {
+    let snapshot = report.telemetry.clone().unwrap_or_default();
+    let mut run = base_run_report(args, snapshot, loads, stats);
+    run.world = WorldMeta {
+        ranks: args.ranks,
+        cores_per_node: report.topology.cores_per_node(),
+        nodes: report.topology.num_nodes(),
     };
     run.memory = MemoryReport {
         budget: report.memory_budget.map(|b| b as u64),
@@ -467,16 +661,7 @@ fn write_metrics<R>(
     run.makespan_v = report.makespan;
     run.wall_s = report.wall.as_secs_f64();
 
-    let path = if out.extension().is_some_and(|e| e == "json") {
-        out.to_path_buf()
-    } else {
-        out.join("BENCH_sortcli.json")
-    };
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
+    let path = metrics_path(out)?;
     std::fs::write(&path, run.to_json_string() + "\n")?;
     Ok(path)
 }

@@ -42,6 +42,70 @@ pub fn weak_scaling_zipf(ps: &[usize], n_rank: usize, model: ComputeModel) -> Ve
     })
 }
 
+/// Weak-scaling sweep on the real threads backend with `n_rank` uniform
+/// `u64` keys per rank: `time_s` is measured wall clock, not a model. SDS
+/// variants only — the baselines are simulator-only.
+pub fn weak_scaling_uniform_threads(ps: &[usize], n_rank: usize) -> Vec<ScalingCell> {
+    sweep_threads(ps, move |r| uniform_u64(n_rank, 0xF167, r))
+}
+
+/// Threads-backend weak scaling with Zipf(1.4) keys (same workload as
+/// [`weak_scaling_zipf`], same seed). No memory budget: the simulator's
+/// budget is a *model*; on the real backend host RAM is the budget.
+pub fn weak_scaling_zipf_threads(ps: &[usize], n_rank: usize) -> Vec<ScalingCell> {
+    sweep_threads(ps, move |r| zipf_keys(n_rank, 1.4, 0xF168, r))
+}
+
+fn sweep_threads<T, G>(ps: &[usize], gen: G) -> Vec<ScalingCell>
+where
+    T: sdssort::Sortable,
+    G: Fn(usize) -> Vec<T> + Send + Sync + Copy,
+{
+    let mut cells = Vec::new();
+    for &p in ps {
+        for sorter in [Sorter::Sds, Sorter::SdsStable] {
+            let outcome = crate::run_sorter_threads(sorter, p, gen);
+            cells.push(ScalingCell { p, sorter, outcome });
+        }
+    }
+    cells
+}
+
+/// Print a threads-backend weak-scaling table (wall-clock seconds, SDS
+/// variants only) and return whether every cell completed — the harness
+/// verdict for real-execution sweeps.
+pub fn print_threads_scaling(ps: &[usize], n_rank: usize, cells: &[ScalingCell]) -> bool {
+    let mut table = crate::Table::new(["p", "SDS-Sort", "SDS-Sort/stable", "SDS throughput"]);
+    let mut all_ok = true;
+    for &p in ps {
+        let get = |s: Sorter| {
+            cells
+                .iter()
+                .find(|c| c.p == p && c.sorter == s)
+                .and_then(|c| c.outcome.time_s)
+        };
+        let (sds, stb) = (get(Sorter::Sds), get(Sorter::SdsStable));
+        if sds.is_none() || stb.is_none() {
+            all_ok = false;
+        }
+        let throughput = sds.map_or_else(
+            || "-".into(),
+            |t| {
+                let bytes = (p * n_rank * 8) as f64;
+                format!("{:.2} GB/min", bytes / t * 60.0 / 1e9)
+            },
+        );
+        table.row([
+            p.to_string(),
+            crate::fmt_opt_time(sds),
+            crate::fmt_opt_time(stb),
+            throughput,
+        ]);
+    }
+    table.print();
+    all_ok
+}
+
 fn sweep<T, G>(ps: &[usize], model: ComputeModel, budget: Option<usize>, gen: G) -> Vec<ScalingCell>
 where
     T: sdssort::Sortable,

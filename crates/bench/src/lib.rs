@@ -84,6 +84,25 @@ impl Sorter {
     }
 }
 
+/// Which execution backend a harness runs on, from the `BENCH_BACKEND`
+/// env var: the deterministic virtual-time simulator (default) or the real
+/// OS-thread backend (`crates/shmem`), which reports wall-clock seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `mpisim`: modeled network, virtual time, deterministic.
+    Sim,
+    /// `shmem`: one OS thread per rank, measured wall-clock time.
+    Threads,
+}
+
+/// Read the backend from the environment (`BENCH_BACKEND=threads`).
+pub fn backend() -> Backend {
+    match std::env::var("BENCH_BACKEND").as_deref() {
+        Ok("threads") | Ok("THREADS") => Backend::Threads,
+        _ => Backend::Sim,
+    }
+}
+
 /// Outcome of one distributed-sort run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -153,6 +172,59 @@ where
         loads,
         phases: sdssort::stats::phase_maxima(&stats),
         wall_s,
+    }
+}
+
+/// Run an SDS sorter for real on the threads backend (`crates/shmem`):
+/// one OS thread per rank, wall-clock timing. `time_s` in the outcome is
+/// the measured wall clock of the whole world, so weak-scaling sweeps
+/// report real seconds. Only [`Sorter::Sds`] and [`Sorter::SdsStable`]
+/// are transport-generic; the baselines are simulator-only.
+///
+/// The τ knobs match the simulator harnesses (`τm = 0`, `τo = 16`,
+/// `τs = 8`) so cross-backend sweeps compare the same algorithm
+/// configuration; compute is measured, not modeled.
+pub fn run_sorter_threads<T, G>(sorter: Sorter, p: usize, gen: G) -> RunOutcome
+where
+    T: Sortable,
+    G: Fn(usize) -> Vec<T> + Send + Sync,
+{
+    let mut cfg = match sorter {
+        Sorter::Sds => SdsConfig::default(),
+        Sorter::SdsStable => SdsConfig::stable(),
+        Sorter::HykSort => panic!("the threads backend runs the sds sorters only"),
+    };
+    cfg.tau_m_bytes = 0;
+    cfg.tau_o = 16;
+    cfg.tau_s = 8;
+    let report = shmem::ThreadWorld::new(p).cores_per_node(24).run(|comm| {
+        use comm::Communicator;
+        sds_sort(comm, gen(comm.rank()), &cfg)
+    });
+    let ok = report.results.iter().all(Result::is_ok);
+    if !ok {
+        return RunOutcome {
+            time_s: None,
+            loads: Vec::new(),
+            phases: sdssort::SortStats::default(),
+            wall_s: report.wall_s,
+        };
+    }
+    let stats: Vec<sdssort::SortStats> = report
+        .results
+        .iter()
+        .map(|r| r.as_ref().expect("checked ok").stats)
+        .collect();
+    let loads = report
+        .results
+        .iter()
+        .map(|r| r.as_ref().expect("checked ok").data.len())
+        .collect();
+    RunOutcome {
+        time_s: Some(report.wall_s),
+        loads,
+        phases: sdssort::stats::phase_maxima(&stats),
+        wall_s: report.wall_s,
     }
 }
 

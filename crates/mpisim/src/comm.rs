@@ -66,8 +66,9 @@ pub struct Comm {
 }
 
 impl Comm {
-    /// Largest tag value available to user point-to-point messages.
-    pub const MAX_USER_TAG: u64 = 1 << 48;
+    /// Largest tag value available to user point-to-point messages
+    /// (defined once in the backend-neutral `comm` crate).
+    pub const MAX_USER_TAG: u64 = ::comm::MAX_USER_TAG;
 
     pub(crate) fn new(
         uni: Arc<Universe>,

@@ -9,29 +9,11 @@ use std::fmt;
 /// few ranks. We reproduce that failure mode with a per-rank byte budget
 /// (see [`crate::memory`]); an allocation request that would exceed the
 /// budget yields this error instead of actually exhausting host RAM.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OomError {
-    /// Rank (in the world communicator) whose budget was exceeded.
-    pub rank: usize,
-    /// Bytes the allocation requested.
-    pub requested: usize,
-    /// Bytes that were still available under the budget.
-    pub available: usize,
-    /// Total per-rank budget in bytes.
-    pub budget: usize,
-}
-
-impl fmt::Display for OomError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "simulated OOM on rank {}: requested {} B, {} B available of {} B budget",
-            self.rank, self.requested, self.available, self.budget
-        )
-    }
-}
-
-impl std::error::Error for OomError {}
+///
+/// The type itself lives in the backend-neutral `comm` crate so algorithm
+/// code generic over [`::comm::Communicator`] can name it without depending
+/// on this simulator.
+pub use ::comm::OomError;
 
 /// Errors surfaced by communicator operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abstraction;
 pub mod async_a2a;
 pub mod check;
 pub mod clock;
@@ -63,3 +64,7 @@ pub use universe::{DeadlockError, Universe};
 // Re-exported so downstream crates can name `WorldReport::telemetry` types
 // without a direct dependency.
 pub use telemetry;
+
+// The backend-neutral trait this simulator implements (see `abstraction`),
+// re-exported so tests and drivers can bring it into scope from here.
+pub use ::comm::{AsyncExchange, Communicator};

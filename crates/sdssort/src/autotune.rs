@@ -22,7 +22,7 @@ use crate::config::SdsConfig;
 use crate::merge::{kway_merge, merge_two};
 use crate::node_merge::node_merge;
 use crate::record::Sortable;
-use mpisim::Comm;
+use comm::{AsyncExchange, Communicator};
 
 /// What the probes measured, alongside the tuned configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,8 +62,8 @@ fn probe_keys(n: usize, rank: usize) -> Vec<u64> {
 /// Tune τm, τo, τs for the upcoming sort of `local_n` records of `T` on
 /// this communicator, starting from `base` (whose `stable`,
 /// `local_threads`, and charge mode are preserved). Collective.
-pub fn autotune<T: Sortable>(
-    comm: &Comm,
+pub fn autotune<T: Sortable, C: Communicator>(
+    comm: &C,
     local_n: usize,
     base: &SdsConfig,
 ) -> (SdsConfig, AutotuneReport) {
@@ -82,11 +82,11 @@ pub fn autotune<T: Sortable>(
 
     // --- τm probe: direct vs node-merged exchange -----------------------
     comm.barrier();
-    let t0 = comm.clock().now();
+    let t0 = comm.now();
     let _ = comm.alltoallv(&data, &even_counts);
-    let t_direct = max_across(comm, comm.clock().now() - t0);
+    let t_direct = max_across(comm, comm.now() - t0);
 
-    let t1 = comm.clock().now();
+    let t1 = comm.now();
     {
         let (cg, cl) = comm.refine_comm();
         let merged = comm.compute(|| node_merge(&cl, &data));
@@ -99,7 +99,7 @@ pub fn autotune<T: Sortable>(
             let _ = cg.alltoallv(&merged, &counts);
         }
     }
-    let t_node_merge = max_across(comm, comm.clock().now() - t1);
+    let t_node_merge = max_across(comm, comm.now() - t1);
 
     // The probe compares at the *probe* message size; extrapolate the τm
     // byte threshold: if merging won the probe, merge anything up to twice
@@ -113,15 +113,15 @@ pub fn autotune<T: Sortable>(
 
     // --- τo probe: sync vs overlapped exchange+order --------------------
     comm.barrier();
-    let t2 = comm.clock().now();
+    let t2 = comm.now();
     {
         let buf = comm.alltoallv(&data, &even_counts).0;
         let runs: Vec<&[u64]> = buf.chunks(n.div_ceil(p).max(1)).collect();
         let _ = comm.compute(|| kway_merge(&runs));
     }
-    let t_sync = max_across(comm, comm.clock().now() - t2);
+    let t_sync = max_across(comm, comm.now() - t2);
 
-    let t3 = comm.clock().now();
+    let t3 = comm.now();
     {
         let mut pending = comm.alltoallv_async(&data, &even_counts);
         let mut acc: Vec<u64> = Vec::new();
@@ -129,7 +129,7 @@ pub fn autotune<T: Sortable>(
             acc = comm.compute(|| merge_two(&acc, &chunk));
         }
     }
-    let t_overlap = max_across(comm, comm.clock().now() - t3);
+    let t_overlap = max_across(comm, comm.now() - t3);
     cfg.tau_o = if t_overlap < t_sync && !cfg.stable {
         p + 1
     } else {
@@ -140,18 +140,18 @@ pub fn autotune<T: Sortable>(
     let chunk_len = n.div_ceil(p).max(1);
     let probe_runs: Vec<Vec<u64>> = data.chunks(chunk_len).map(<[u64]>::to_vec).collect();
     let refs: Vec<&[u64]> = probe_runs.iter().map(Vec::as_slice).collect();
-    let t4 = comm.clock().now();
+    let t4 = comm.now();
     let merged = comm.compute(|| kway_merge(&refs));
-    let t_merge_order = max_across(comm, comm.clock().now() - t4);
+    let t_merge_order = max_across(comm, comm.now() - t4);
     std::hint::black_box(merged.len());
 
-    let t5 = comm.clock().now();
+    let t5 = comm.now();
     comm.compute(|| {
         let mut buf: Vec<u64> = probe_runs.iter().flatten().copied().collect();
         buf.sort_unstable();
         std::hint::black_box(buf.len());
     });
-    let t_sort_order = max_across(comm, comm.clock().now() - t5);
+    let t_sort_order = max_across(comm, comm.now() - t5);
     cfg.tau_s = if t_merge_order < t_sort_order {
         p + 1
     } else {
@@ -173,7 +173,7 @@ pub fn autotune<T: Sortable>(
 
 /// Reduce a probe time with max so every rank compares the same values
 /// (f64 max is commutative/associative enough for identical inputs).
-fn max_across(comm: &Comm, t: f64) -> f64 {
+fn max_across<C: Communicator>(comm: &C, t: f64) -> f64 {
     let bits = comm.allreduce(t.to_bits(), |a, b| {
         if f64::from_bits(a) >= f64::from_bits(b) {
             a
@@ -196,7 +196,7 @@ mod tests {
             .cores_per_node(3)
             .net(NetModel::edison())
             .run(|comm| {
-                let (cfg, _) = autotune::<u64>(comm, 5000, &SdsConfig::default());
+                let (cfg, _) = autotune::<u64, _>(comm, 5000, &SdsConfig::default());
                 (cfg.tau_m_bytes, cfg.tau_o, cfg.tau_s)
             });
         let first = report.results[0];
@@ -212,7 +212,7 @@ mod tests {
             .net(NetModel::edison())
             .run(|comm| {
                 let input = probe_keys(3000, comm.rank() + 100);
-                let (cfg, _) = autotune::<u64>(comm, input.len(), &SdsConfig::default());
+                let (cfg, _) = autotune::<u64, _>(comm, input.len(), &SdsConfig::default());
                 let out = sds_sort(comm, input.clone(), &cfg).expect("no budget");
                 (input, out.data)
             });
@@ -231,7 +231,7 @@ mod tests {
             .cores_per_node(2)
             .net(NetModel::edison())
             .run(|comm| {
-                let (cfg, _) = autotune::<u64>(comm, 4000, &SdsConfig::stable());
+                let (cfg, _) = autotune::<u64, _>(comm, 4000, &SdsConfig::stable());
                 (cfg.stable, cfg.should_overlap(comm.size()))
             });
         for (stable, overlap) in report.results {
@@ -246,7 +246,7 @@ mod tests {
             .cores_per_node(2)
             .net(NetModel::edison())
             .run(|comm| {
-                let (_, rep) = autotune::<u64>(comm, 4000, &SdsConfig::default());
+                let (_, rep) = autotune::<u64, _>(comm, 4000, &SdsConfig::default());
                 rep
             });
         for rep in report.results {

@@ -17,7 +17,7 @@
 
 use crate::record::Sortable;
 use crate::search::upper_bound;
-use mpisim::Comm;
+use comm::Communicator;
 
 /// Configuration for the iterative refinement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,8 +54,8 @@ fn xorshift(state: &mut u64) -> u64 {
 
 /// Select `k-1` splitters over the distributed (locally sorted) `data`
 /// using iterative histogramming. Returns the same splitters on all ranks.
-pub fn histogram_splitters<T: Sortable>(
-    comm: &Comm,
+pub fn histogram_splitters<T: Sortable, C: Communicator>(
+    comm: &C,
     data: &[T],
     k: usize,
     cfg: &HistogramConfig,

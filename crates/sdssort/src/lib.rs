@@ -8,9 +8,11 @@
 //! at runtime to the machine: node-level merging (`τm`), exchange/compute
 //! overlap (`τo`), and merge-vs-sort final ordering (`τs`).
 //!
-//! It runs on [`mpisim`], a thread-based message-passing runtime standing
-//! in for MPI on a Cray XC30 (see that crate's docs for the substitution
-//! rationale).
+//! The algorithms are generic over the [`comm::Communicator`] transport
+//! trait, with two backends: `mpisim`, a deterministic virtual-time
+//! message-passing runtime standing in for MPI on a Cray XC30 (see that
+//! crate's docs for the substitution rationale), and `shmem`, a real
+//! OS-thread backend that measures wall-clock time.
 //!
 //! ## Quick example
 //!

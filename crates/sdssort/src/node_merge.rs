@@ -12,15 +12,15 @@
 
 use crate::merge::kway_merge;
 use crate::record::Sortable;
-use mpisim::Comm;
+use comm::Communicator;
 
 /// Merge each node's sorted per-rank data onto the node's leader using the
-/// node-local communicator `cl` (from [`Comm::refine_comm`]).
+/// node-local communicator `cl` (from [`Communicator::refine_comm`]).
 ///
 /// Returns `Some(merged)` on the leader (rank 0 of `cl`), `None` elsewhere.
 /// Gathering in `cl` rank order and merging with run-order-stable k-way
 /// merge preserves global stability.
-pub fn node_merge<T: Sortable>(cl: &Comm, data: &[T]) -> Option<Vec<T>> {
+pub fn node_merge<T: Sortable, C: Communicator>(cl: &C, data: &[T]) -> Option<Vec<T>> {
     debug_assert!(
         crate::merge::is_sorted_by_key(data),
         "node_merge expects sorted input"

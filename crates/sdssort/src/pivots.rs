@@ -14,7 +14,7 @@
 //!
 //! All three produce identical pivot vectors.
 
-use mpisim::Comm;
+use comm::Communicator;
 
 /// Which parallel sorter orders the pooled samples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,8 +31,8 @@ pub enum PivotMethod {
 ///
 /// `local_pivots` must be sorted (they are regular samples of sorted local
 /// data). Returns the same pivot vector on every rank.
-pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static>(
-    comm: &Comm,
+pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+    comm: &C,
     local_pivots: &[K],
     method: PivotMethod,
 ) -> Vec<K> {
@@ -82,7 +82,10 @@ pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static>(
     flat.into_iter().map(|(_, k)| k).collect()
 }
 
-fn gather_select<K: Ord + Copy + Send + Sync + 'static>(comm: &Comm, local: &[K]) -> Vec<K> {
+fn gather_select<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+    comm: &C,
+    local: &[K],
+) -> Vec<K> {
     let p = comm.size();
     let (mut all, _) = comm.allgatherv(local);
     all.sort_unstable();
@@ -95,8 +98,8 @@ fn gather_select<K: Ord + Copy + Send + Sync + 'static>(comm: &Comm, local: &[K]
 /// One merge-split step: exchange blocks with `partner`, merge, keep the
 /// low or high half. Blocks must be sorted and equal-length; the kept half
 /// has the caller's original block length.
-fn merge_split<K: Ord + Copy + Send + Sync + 'static>(
-    comm: &Comm,
+fn merge_split<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+    comm: &C,
     block: &mut Vec<K>,
     partner: usize,
     keep_low: bool,
@@ -134,8 +137,8 @@ fn merge_two_keys<K: Ord + Copy>(a: &[K], b: &[K]) -> Vec<K> {
 
 /// Block bitonic sort across a power-of-two number of ranks. On return,
 /// every rank's block is sorted and blocks ascend with rank.
-pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static>(
-    comm: &Comm,
+pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+    comm: &C,
     mut block: Vec<K>,
 ) -> Vec<K> {
     let p = comm.size();
@@ -168,8 +171,8 @@ pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static>(
 
 /// Block odd-even transposition sort across any number of ranks. `p`
 /// rounds of pairwise merge-splits.
-pub fn odd_even_block_sort<K: Ord + Copy + Send + Sync + 'static>(
-    comm: &Comm,
+pub fn odd_even_block_sort<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+    comm: &C,
     mut block: Vec<K>,
 ) -> Vec<K> {
     let p = comm.size();

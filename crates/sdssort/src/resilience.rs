@@ -30,7 +30,7 @@ use crate::merge::kway_merge;
 use crate::record::Sortable;
 use crate::sort::{charged, sds_sort_impl, ExchangeBackend, SortError, SortOutput};
 use crate::stats::SortStats;
-use mpisim::Comm;
+use comm::{AsyncExchange, Communicator};
 use std::io;
 use std::path::PathBuf;
 
@@ -73,8 +73,8 @@ impl ResilienceConfig {
 /// Requires [`PlainData`] records (they round-trip through disk). Output
 /// and stability guarantees are identical to `sds_sort`; ranks that
 /// degraded report it in [`SortStats::spilled`] / `spill_records`.
-pub fn sds_sort_resilient<T: Sortable + PlainData>(
-    comm: &Comm,
+pub fn sds_sort_resilient<T: Sortable + PlainData, C: Communicator>(
+    comm: &C,
     data: Vec<T>,
     cfg: &SdsConfig,
     rcfg: &ResilienceConfig,
@@ -92,16 +92,16 @@ const IN_MEMORY: u8 = 0;
 const SPILL: u8 = 1;
 const HARD_OOM: u8 = 2;
 
-impl<T: Sortable + PlainData> ExchangeBackend<T> for SpillExchange<'_> {
+impl<T: Sortable + PlainData, C: Communicator> ExchangeBackend<T, C> for SpillExchange<'_> {
     fn exchange(
         &self,
-        comm: &Comm,
+        comm: &C,
         data: Vec<T>,
         scounts: &[usize],
         cfg: &SdsConfig,
         stats: &mut SortStats,
         t1: f64,
-        sp_ex: mpisim::telemetry::SpanId,
+        sp_ex: telemetry::SpanId,
     ) -> Result<Vec<T>, SortError> {
         let p = comm.size();
         let rec = std::mem::size_of::<T>();
@@ -154,11 +154,11 @@ impl<T: Sortable + PlainData> ExchangeBackend<T> for SpillExchange<'_> {
             while let Some((src, chunk)) = pending.wait_any(comm) {
                 chunks[src] = chunk;
             }
-            stats.exchange_s = comm.clock().now() - t1;
+            stats.exchange_s = comm.now() - t1;
             comm.span_end(sp_ex);
             comm.trace_phase("local-order");
             let sp_lo = comm.span_begin("local-order");
-            let t2 = comm.clock().now();
+            let t2 = comm.now();
             // Source-rank order with a stable k-way merge (ties to the
             // lowest run index) preserves global stability.
             let refs: Vec<&[T]> = chunks.iter().map(|c| c.as_slice()).collect();
@@ -168,7 +168,7 @@ impl<T: Sortable + PlainData> ExchangeBackend<T> for SpillExchange<'_> {
                 |mo| mo.kway_merge_cost(m, p),
                 || kway_merge(&refs),
             );
-            stats.local_order_s = comm.clock().now() - t2;
+            stats.local_order_s = comm.now() - t2;
             comm.span_end(sp_lo);
             Ok(out)
         } else {
@@ -205,15 +205,15 @@ impl SpillExchange<'_> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn spill_and_merge<T: Sortable + PlainData>(
+    fn spill_and_merge<T: Sortable + PlainData, C: Communicator>(
         &self,
-        comm: &Comm,
+        comm: &C,
         cfg: &SdsConfig,
         stats: &mut SortStats,
-        pending: &mut mpisim::AsyncAlltoallv<T>,
+        pending: &mut C::Async<T>,
         m: usize,
         t1: f64,
-        sp_ex: mpisim::telemetry::SpanId,
+        sp_ex: telemetry::SpanId,
     ) -> Result<Vec<T>, SortError> {
         let rec = std::mem::size_of::<T>();
         let dir = self
@@ -261,12 +261,12 @@ impl SpillExchange<'_> {
             comm.span_end(sp_ex);
             return Err(e);
         }
-        stats.exchange_s = comm.clock().now() - t1;
+        stats.exchange_s = comm.now() - t1;
         comm.span_end(sp_ex);
 
         comm.trace_phase("local-order");
         let sp_lo = comm.span_begin("local-order");
-        let t2 = comm.clock().now();
+        let t2 = comm.now();
         runs.sort_by_key(|&(src, part, _)| (src, part));
         let run_files: Vec<RunFile> = runs.into_iter().map(|(_, _, rf)| rf).collect();
         // Read-back: one seek per run plus a full streaming pass.
@@ -290,7 +290,7 @@ impl SpillExchange<'_> {
                 return Err(io_err(e));
             }
         };
-        stats.local_order_s = comm.clock().now() - t2;
+        stats.local_order_s = comm.now() - t2;
         comm.span_end(sp_lo);
         Ok(out)
     }

@@ -12,7 +12,7 @@
 
 use crate::record::Sortable;
 use crate::search::{lower_bound, upper_bound};
-use mpisim::Comm;
+use comm::Communicator;
 
 /// Find the key of the `k`-th smallest record globally (`k` is 0-based;
 /// `k = 0` is the minimum). `data` must be sorted locally. Collective:
@@ -20,7 +20,7 @@ use mpisim::Comm;
 ///
 /// # Panics
 /// Panics if `k >=` total record count (checked collectively).
-pub fn kth_smallest_key<T: Sortable>(comm: &Comm, data: &[T], k: u64) -> T::Key {
+pub fn kth_smallest_key<T: Sortable, C: Communicator>(comm: &C, data: &[T], k: u64) -> T::Key {
     debug_assert!(crate::merge::is_sorted_by_key(data));
     let total = comm.allreduce(data.len() as u64, |a, b| a + b);
     assert!(k < total, "k = {k} out of range (N = {total})");
@@ -90,7 +90,7 @@ pub fn kth_smallest_key<T: Sortable>(comm: &Comm, data: &[T], k: u64) -> T::Key 
 /// The `k` globally largest records, gathered on every rank in descending
 /// key order. Equal-key records needed to fill exactly `k` slots are taken
 /// from lower ranks first (deterministic). `data` must be sorted locally.
-pub fn top_k<T: Sortable>(comm: &Comm, data: &[T], k: usize) -> Vec<T> {
+pub fn top_k<T: Sortable, C: Communicator>(comm: &C, data: &[T], k: usize) -> Vec<T> {
     let total = comm.allreduce(data.len() as u64, |a, b| a + b);
     let k = (k as u64).min(total) as usize;
     if k == 0 {

@@ -30,7 +30,7 @@ use crate::pivots::{select_global_pivots, PivotMethod};
 use crate::record::Sortable;
 use crate::search::LocalPivotIndex;
 use crate::stats::SortStats;
-use mpisim::{Comm, OomError};
+use comm::{AsyncExchange, Communicator, OomError};
 
 /// Errors from a distributed sort.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,8 +76,8 @@ fn model_of(cfg: &SdsConfig) -> Option<ComputeModel> {
 
 /// Run `f`, charging compute either by measurement or by the model cost
 /// returned from `cost`.
-pub(crate) fn charged<R>(
-    comm: &Comm,
+pub(crate) fn charged<R, C: Communicator>(
+    comm: &C,
     cfg: &SdsConfig,
     cost: impl FnOnce(&ComputeModel) -> f64,
     f: impl FnOnce() -> R,
@@ -97,7 +97,7 @@ pub(crate) fn charged<R>(
 /// default [`InMemoryExchange`] is the paper's behaviour (whole-job OOM
 /// crash when any receive buffer does not fit); the resilient backend in
 /// [`crate::resilience`] degrades to disk spilling instead.
-pub(crate) trait ExchangeBackend<T: Sortable> {
+pub(crate) trait ExchangeBackend<T: Sortable, C: Communicator> {
     /// Exchange `data` according to `scounts` and return this rank's
     /// locally ordered slice. Called with the "exchange" phase/span open;
     /// implementations must close `sp_ex` and account `stats.exchange_s` /
@@ -105,13 +105,13 @@ pub(crate) trait ExchangeBackend<T: Sortable> {
     #[allow(clippy::too_many_arguments)]
     fn exchange(
         &self,
-        comm: &Comm,
+        comm: &C,
         data: Vec<T>,
         scounts: &[usize],
         cfg: &SdsConfig,
         stats: &mut SortStats,
         t1: f64,
-        sp_ex: mpisim::telemetry::SpanId,
+        sp_ex: telemetry::SpanId,
     ) -> Result<Vec<T>, SortError>;
 }
 
@@ -120,8 +120,8 @@ pub(crate) trait ExchangeBackend<T: Sortable> {
 /// On success every rank holds a sorted slice, slices ascend with rank,
 /// and the multiset union equals the input union. With `cfg.stable`, equal
 /// keys appear in their global input order (rank, then local position).
-pub fn sds_sort<T: Sortable>(
-    comm: &Comm,
+pub fn sds_sort<T: Sortable, C: Communicator>(
+    comm: &C,
     data: Vec<T>,
     cfg: &SdsConfig,
 ) -> Result<SortOutput<T>, SortError> {
@@ -129,8 +129,8 @@ pub fn sds_sort<T: Sortable>(
 }
 
 /// Full pipeline, generic over the exchange backend.
-pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
-    comm: &Comm,
+pub(crate) fn sds_sort_impl<T: Sortable, C: Communicator, B: ExchangeBackend<T, C>>(
+    comm: &C,
     mut data: Vec<T>,
     cfg: &SdsConfig,
     backend: &B,
@@ -140,7 +140,7 @@ pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
         input_count: data.len(),
         ..SortStats::default()
     };
-    let t0 = comm.clock().now();
+    let t0 = comm.now();
 
     // Step 1: initial local sort (pivot-selection phase per the paper's
     // "initial ordering" footnote).
@@ -155,7 +155,7 @@ pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
     );
 
     if p == 1 {
-        stats.pivot_s = comm.clock().now() - t0;
+        stats.pivot_s = comm.now() - t0;
         stats.recv_count = data.len();
         comm.span_end(sp_pivot);
         return Ok(SortOutput { data, stats });
@@ -190,7 +190,7 @@ pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
             (Some(cg), Some(merged)) => inner_sort(&cg, merged, cfg, stats, t0, sp_pivot, backend),
             (None, None) => {
                 // Non-leader: its data now lives on the node leader.
-                stats.pivot_s = comm.clock().now() - t0;
+                stats.pivot_s = comm.now() - t0;
                 comm.span_end(sp_pivot);
                 Ok(SortOutput {
                     data: Vec::new(),
@@ -205,18 +205,18 @@ pub(crate) fn sds_sort_impl<T: Sortable, B: ExchangeBackend<T>>(
 }
 
 /// Steps 3–7 on the (possibly refined) communicator. `data` is sorted.
-fn inner_sort<T: Sortable, B: ExchangeBackend<T>>(
-    comm: &Comm,
+fn inner_sort<T: Sortable, C: Communicator, B: ExchangeBackend<T, C>>(
+    comm: &C,
     data: Vec<T>,
     cfg: &SdsConfig,
     mut stats: SortStats,
     t0: f64,
-    sp_pivot: mpisim::telemetry::SpanId,
+    sp_pivot: telemetry::SpanId,
     backend: &B,
 ) -> Result<SortOutput<T>, SortError> {
     let p = comm.size();
     if p == 1 {
-        stats.pivot_s = comm.clock().now() - t0;
+        stats.pivot_s = comm.now() - t0;
         stats.recv_count = data.len();
         comm.span_end(sp_pivot);
         return Ok(SortOutput { data, stats });
@@ -291,14 +291,14 @@ fn inner_sort<T: Sortable, B: ExchangeBackend<T>>(
     };
     let scounts = cuts_to_counts(&cuts);
     debug_assert_eq!(scounts.len(), p);
-    stats.pivot_s = comm.clock().now() - t0;
+    stats.pivot_s = comm.now() - t0;
     comm.span_end(sp_pivot);
 
     // Steps 5–7 are the backend's: collective memory check, exchange,
     // final local ordering.
     comm.trace_phase("exchange");
     let sp_ex = comm.span_begin("exchange");
-    let t1 = comm.clock().now();
+    let t1 = comm.now();
     let out = backend.exchange(comm, data, &scounts, cfg, &mut stats, t1, sp_ex)?;
     Ok(SortOutput { data: out, stats })
 }
@@ -307,16 +307,16 @@ fn inner_sort<T: Sortable, B: ExchangeBackend<T>>(
 /// front; if any rank cannot, the collective sort fails everywhere.
 pub(crate) struct InMemoryExchange;
 
-impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
+impl<T: Sortable, C: Communicator> ExchangeBackend<T, C> for InMemoryExchange {
     fn exchange(
         &self,
-        comm: &Comm,
+        comm: &C,
         data: Vec<T>,
         scounts: &[usize],
         cfg: &SdsConfig,
         stats: &mut SortStats,
         t1: f64,
-        sp_ex: mpisim::telemetry::SpanId,
+        sp_ex: telemetry::SpanId,
     ) -> Result<Vec<T>, SortError> {
         let p = comm.size();
         // Step 5: exchange counts and collectively check the receive buffer
@@ -345,12 +345,12 @@ impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
             // Synchronous exchange...
             let buf = comm.alltoallv_given_counts(&data, scounts, &rcounts);
             drop(data);
-            stats.exchange_s = comm.clock().now() - t1;
+            stats.exchange_s = comm.now() - t1;
             comm.span_end(sp_ex);
             // ...then ordering: merge below τs, adaptive re-sort above.
             comm.trace_phase("local-order");
             let sp_lo = comm.span_begin("local-order");
-            let t2 = comm.clock().now();
+            let t2 = comm.now();
             let mut disp = Vec::with_capacity(p + 1);
             disp.push(0usize);
             for &rc in &rcounts {
@@ -380,7 +380,7 @@ impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
                 );
                 buf
             };
-            stats.local_order_s = comm.clock().now() - t2;
+            stats.local_order_s = comm.now() - t2;
             comm.span_end(sp_lo);
             sorted
         } else {
@@ -408,14 +408,14 @@ impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
                 while runs.len() >= 2 && runs[runs.len() - 1].0 == runs[runs.len() - 2].0 {
                     let (lvl, hi) = runs.pop().expect("len>=2");
                     let (_, lo) = runs.pop().expect("len>=2");
-                    let tm = comm.clock().now();
+                    let tm = comm.now();
                     let merged = charged(
                         comm,
                         cfg,
                         |mo| mo.kway_merge_cost(hi.len() + lo.len(), 2),
                         || merge_two(&lo, &hi),
                     );
-                    merge_s += comm.clock().now() - tm;
+                    merge_s += comm.now() - tm;
                     runs.push((lvl + 1, merged));
                 }
             }
@@ -429,7 +429,7 @@ impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
             let acc = if runs.len() == 1 {
                 runs.pop().expect("len==1").1
             } else {
-                let tm = comm.clock().now();
+                let tm = comm.now();
                 let refs: Vec<&[T]> = runs.iter().map(|(_, r)| r.as_slice()).collect();
                 let left: usize = refs.iter().map(|r| r.len()).sum();
                 let k_left = refs.len();
@@ -439,10 +439,10 @@ impl<T: Sortable> ExchangeBackend<T> for InMemoryExchange {
                     |mo| mo.kway_merge_cost(left, k_left),
                     || crate::merge::kway_merge(&refs),
                 );
-                merge_s += comm.clock().now() - tm;
+                merge_s += comm.now() - tm;
                 acc
             };
-            let elapsed = comm.clock().now() - t1;
+            let elapsed = comm.now() - t1;
             stats.local_order_s = merge_s;
             stats.exchange_s = (elapsed - merge_s).max(0.0);
             comm.span_end(sp_lo);

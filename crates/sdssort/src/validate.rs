@@ -13,11 +13,11 @@
 
 use crate::record::Sortable;
 use crate::stats::rdfa;
-use mpisim::Comm;
+use comm::Communicator;
 
 /// True iff the concatenation of all ranks' `data` (in rank order) is
 /// sorted by key. Collective: every rank returns the same answer.
-pub fn is_globally_sorted<T: Sortable>(comm: &Comm, data: &[T]) -> bool {
+pub fn is_globally_sorted<T: Sortable, C: Communicator>(comm: &C, data: &[T]) -> bool {
     comm.trace_phase("validate");
     let sp = comm.span_begin("validate");
     let locally = data.windows(2).all(|w| w[0].key() <= w[1].key());
@@ -72,8 +72,8 @@ fn mix(x: u64) -> u64 {
 /// (probabilistically, via reduced content checksums and an exact count).
 /// `hash` must map a record to a value capturing everything that matters
 /// (typically key and payload bits). Collective.
-pub fn is_permutation_of<T: Sortable, H: Fn(&T) -> u64>(
-    comm: &Comm,
+pub fn is_permutation_of<T: Sortable, H: Fn(&T) -> u64, C: Communicator>(
+    comm: &C,
     input: &[T],
     output: &[T],
     hash: H,
@@ -107,7 +107,7 @@ pub fn is_permutation_of<T: Sortable, H: Fn(&T) -> u64>(
 
 /// Global load distribution: every rank returns `(loads, rdfa)` where
 /// `loads[r]` is rank r's record count. Collective.
-pub fn load_stats(comm: &Comm, local_count: usize) -> (Vec<usize>, f64) {
+pub fn load_stats<C: Communicator>(comm: &C, local_count: usize) -> (Vec<usize>, f64) {
     let loads = comm.allgather(std::slice::from_ref(&local_count));
     let r = rdfa(&loads);
     (loads, r)

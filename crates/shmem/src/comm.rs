@@ -1,0 +1,560 @@
+//! The threads-backend communicator: [`ThreadComm`] implements
+//! [`comm::Communicator`] over bounded mailboxes and real wall-clock time.
+//!
+//! The collective primitives reproduce the simulator's algorithms and wire
+//! patterns exactly — dissemination barrier, binomial broadcast, rank-order
+//! gatherv, staggered `alltoallv` — and the composed collectives come from
+//! the trait's provided defaults, which mirror the simulator's
+//! decompositions. Together with the identical reserved-tag scheme this
+//! keeps the two backends' collective *results* (including deterministic
+//! rank-order reduction folds) bit-identical; only arrival timing differs.
+
+use crate::mailbox::{Envelope, SrcSel};
+use crate::universe::Universe;
+use ::comm::{AsyncExchange, Communicator, OomError, MAX_USER_TAG};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Panic payload used when a rank unwinds *because another rank panicked*
+/// (the world was aborted). The runtime filters these out so the original
+/// failure is the one re-raised to the caller.
+#[derive(Debug)]
+pub struct ShmemAborted {
+    /// Communicator rank that was interrupted.
+    pub rank: usize,
+}
+
+/// A rank-local handle to a threads-backend communicator. `!Send` by
+/// construction (collective sequence counters are `Cell`s): a rank's
+/// communicator lives on that rank's thread.
+pub struct ThreadComm {
+    uni: Arc<Universe>,
+    /// Context id distinguishing this communicator's traffic.
+    ctx: u64,
+    /// World ranks of the members, ordered by communicator rank.
+    members: Arc<[usize]>,
+    /// Map from world rank to communicator rank for members.
+    world_to_comm: Arc<HashMap<usize, usize>>,
+    /// This rank's position within `members`.
+    my_index: usize,
+    /// Number of splits performed (for deterministic child context ids).
+    split_seq: Cell<u64>,
+    /// Number of collective operations performed (for tag isolation).
+    coll_seq: Cell<u64>,
+}
+
+impl ThreadComm {
+    pub(crate) fn new(
+        uni: Arc<Universe>,
+        ctx: u64,
+        members: Arc<[usize]>,
+        my_index: usize,
+    ) -> Self {
+        let world_to_comm = Arc::new(
+            members
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (w, i))
+                .collect::<HashMap<_, _>>(),
+        );
+        Self {
+            uni,
+            ctx,
+            members,
+            world_to_comm,
+            my_index,
+            split_seq: Cell::new(0),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// The shared world state.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.uni
+    }
+
+    fn check_alive(&self) {
+        if self.uni.is_aborted() {
+            std::panic::panic_any(ShmemAborted {
+                rank: self.my_index,
+            });
+        }
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        debug_assert!(
+            seq < (1 << 15),
+            "collective sequence number overflow risk (seq {seq})"
+        );
+        // Same reservation as the simulator: the space above MAX_USER_TAG,
+        // with round numbers (< 4096) added by the caller.
+        MAX_USER_TAG + (seq << 12)
+    }
+
+    #[track_caller]
+    fn assert_user_tag(tag: u64) {
+        assert!(
+            tag < MAX_USER_TAG,
+            "tag {tag} is outside the user tag space: tags at or above \
+             MAX_USER_TAG (2^48) are reserved for collective operations"
+        );
+    }
+
+    /// Internal send without the user-tag check: collectives and the async
+    /// exchange send on reserved tags through this path.
+    fn send_raw<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.check_alive();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let src_w = self.members[self.my_index];
+        let dst_w = self.members[dst];
+        self.uni.stats.record(bytes);
+        self.uni.recorder.on_send(src_w, dst_w, bytes);
+        let delivered = self.uni.mailboxes[dst_w].push(
+            Envelope {
+                ctx: self.ctx,
+                src: src_w,
+                tag,
+                data: Box::new(data),
+                bytes,
+            },
+            &self.uni.aborted,
+        );
+        if !delivered {
+            std::panic::panic_any(ShmemAborted {
+                rank: self.my_index,
+            });
+        }
+    }
+
+    fn send_slice_raw<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: &[T]) {
+        self.send_raw(dst, tag, data.to_vec());
+    }
+
+    fn open_envelope<T: Send + 'static>(&self, env: Envelope) -> (usize, Vec<T>) {
+        let src_comm = self
+            .world_to_comm
+            .get(&env.src)
+            .copied()
+            .expect("sender is a member of this communicator");
+        let data = env
+            .data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv (tag {})", env.tag));
+        debug_assert_eq!(env.bytes, std::mem::size_of::<T>() * data.len());
+        (src_comm, *data)
+    }
+
+    fn recv_raw<T: Send + 'static>(&self, src: SrcSel, tag: u64) -> (usize, Vec<T>) {
+        self.check_alive();
+        let me_w = self.members[self.my_index];
+        match self.uni.mailboxes[me_w].take(self.ctx, src, tag, &self.uni.aborted) {
+            Some(env) => self.open_envelope(env),
+            None => std::panic::panic_any(ShmemAborted {
+                rank: self.my_index,
+            }),
+        }
+    }
+
+    fn try_recv_raw<T: Send + 'static>(&self, src: SrcSel, tag: u64) -> Option<(usize, Vec<T>)> {
+        self.check_alive();
+        let me_w = self.members[self.my_index];
+        self.uni.mailboxes[me_w]
+            .try_take(self.ctx, src, tag)
+            .map(|env| self.open_envelope(env))
+    }
+
+    fn recv_vec_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.recv_raw(SrcSel::Exact(self.members[src]), tag).1
+    }
+
+    fn recv_val_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let v = self.recv_vec_raw::<T>(src, tag);
+        debug_assert_eq!(v.len(), 1, "recv_val expects single-element message");
+        v.into_iter().next().expect("non-empty message")
+    }
+
+    fn next_split_seq(&self) -> u64 {
+        let s = self.split_seq.get();
+        self.split_seq.set(s + 1);
+        s
+    }
+}
+
+impl std::fmt::Debug for ThreadComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadComm")
+            .field("ctx", &self.ctx)
+            .field("rank", &self.my_index)
+            .field("size", &self.members.len())
+            .field("world_rank", &self.members[self.my_index])
+            .finish()
+    }
+}
+
+/// Handle to an in-flight asynchronous `alltoallv` on the threads backend.
+/// Same protocol as the simulator's: the self chunk is delivered first,
+/// then remote chunks in true arrival order, keyed by source with a hard
+/// duplicate check.
+pub struct ShmemAsync<T> {
+    tag: u64,
+    pending: Vec<bool>,
+    recv_counts: Vec<usize>,
+    self_chunk: Option<Vec<T>>,
+    remaining: usize,
+}
+
+impl<T: Send + 'static> AsyncExchange<T, ThreadComm> for ShmemAsync<T> {
+    fn wait_any(&mut self, comm: &ThreadComm) -> Option<(usize, Vec<T>)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if let Some(chunk) = self.self_chunk.take() {
+            self.remaining -= 1;
+            return Some((comm.rank(), chunk));
+        }
+        // Prefer a chunk that already arrived; otherwise block for any.
+        let (src, data) = match comm.try_recv_raw::<T>(SrcSel::Any, self.tag) {
+            Some(hit) => hit,
+            None => comm.recv_raw::<T>(SrcSel::Any, self.tag),
+        };
+        // A hard check, not a debug assert: a duplicate or foreign chunk
+        // here means the exchange protocol was violated (e.g. a tag
+        // collision) and would otherwise corrupt the output silently.
+        assert!(
+            self.pending[src],
+            "async alltoallv protocol violation: unexpected chunk from rank {src} \
+             on tag {} ({} records); bookkeeping already marked it delivered",
+            self.tag,
+            data.len()
+        );
+        self.pending[src] = false;
+        self.remaining -= 1;
+        Some((src, data))
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn recv_counts(&self) -> &[usize] {
+        &self.recv_counts
+    }
+}
+
+impl Communicator for ThreadComm {
+    type Async<T: Clone + Send + 'static> = ShmemAsync<T>;
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    fn world_rank(&self) -> usize {
+        self.members[self.my_index]
+    }
+
+    fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    fn cores_per_node(&self) -> usize {
+        self.uni.cores_per_node
+    }
+
+    fn node(&self) -> usize {
+        self.world_rank() / self.uni.cores_per_node
+    }
+
+    fn now(&self) -> f64 {
+        self.uni.start.elapsed().as_secs_f64()
+    }
+
+    fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = self.now();
+        let r = f();
+        self.uni
+            .recorder
+            .add_compute(self.world_rank(), self.now() - t0);
+        r
+    }
+
+    fn charge_compute(&self, seconds: f64) {
+        // Modeled charges shape *virtual* time; on a wall-clock backend the
+        // work takes the time it takes, so the charge is recorded for the
+        // ledger but the thread is not stalled.
+        self.uni.recorder.add_compute(self.world_rank(), seconds);
+    }
+
+    fn trace_phase(&self, name: &str) {
+        self.uni.recorder.set_phase(name);
+    }
+
+    fn recorder(&self) -> &telemetry::Recorder {
+        &self.uni.recorder
+    }
+
+    fn try_alloc(&self, _bytes: usize) -> Result<(), OomError> {
+        // No simulated budget on the real backend: host RAM is the budget.
+        Ok(())
+    }
+
+    fn free(&self, _bytes: usize) {}
+
+    fn memory_pressure_with(&self, _extra: usize) -> f64 {
+        0.0
+    }
+
+    fn send_vec<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        Self::assert_user_tag(tag);
+        self.send_raw(dst, tag, data);
+    }
+
+    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        Self::assert_user_tag(tag);
+        self.recv_vec_raw(src, tag)
+    }
+
+    fn barrier(&self) {
+        self.count("coll.barrier", 1);
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let base = self.next_coll_tag();
+        let r = self.rank();
+        let mut k = 0u32;
+        while (1usize << k) < p {
+            let d = 1usize << k;
+            let dst = (r + d) % p;
+            let src = (r + p - d) % p;
+            self.send_raw::<u8>(dst, base + u64::from(k), Vec::new());
+            let _ = self.recv_vec_raw::<u8>(src, base + u64::from(k));
+            k += 1;
+        }
+    }
+
+    fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        self.count("coll.bcast", 1);
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if p == 1 {
+            return data.expect("root must supply data");
+        }
+        let vr = (self.rank() + p - root) % p; // virtual rank, root = 0
+        let mut buf: Option<Vec<T>> = if vr == 0 {
+            Some(data.expect("root must supply data"))
+        } else {
+            None
+        };
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize;
+        for k in 0..rounds {
+            let d = 1usize << k;
+            if buf.is_none() && vr >= d && vr < 2 * d {
+                let parent_vr = vr - d;
+                let parent = (parent_vr + root) % p;
+                buf = Some(self.recv_vec_raw::<T>(parent, tag + k as u64));
+            } else if buf.is_some() && vr < d {
+                let child_vr = vr + d;
+                if child_vr < p {
+                    let child = (child_vr + root) % p;
+                    self.send_slice_raw(child, tag + k as u64, buf.as_ref().expect("buffered"));
+                }
+            }
+        }
+        buf.expect("broadcast reached every rank")
+    }
+
+    fn gatherv<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        self.count("coll.gatherv", 1);
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+            for src in 0..p {
+                if src == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_vec_raw::<T>(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_slice_raw(root, tag, data);
+            None
+        }
+    }
+
+    fn alltoall<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        self.count("coll.alltoall", 1);
+        let p = self.size();
+        assert_eq!(data.len(), p, "alltoall requires one item per rank");
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        for (dst, item) in data.iter().enumerate() {
+            if dst != me {
+                self.send_raw(dst, tag, vec![item.clone()]);
+            }
+        }
+        let mut out: Vec<T> = Vec::with_capacity(p);
+        for src in 0..p {
+            if src == me {
+                out.push(data[me].clone());
+            } else {
+                out.push(self.recv_val_raw::<T>(src, tag));
+            }
+        }
+        out
+    }
+
+    fn alltoallv_given_counts<T: Clone + Send + 'static>(
+        &self,
+        data: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Vec<T> {
+        self.count("coll.alltoallv", 1);
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "one send count per rank");
+        assert_eq!(recv_counts.len(), p, "one recv count per rank");
+        let total: usize = send_counts.iter().sum();
+        assert_eq!(total, data.len(), "send counts must cover the data");
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for &c in send_counts {
+            offsets.push(offsets.last().copied().expect("non-empty") + c);
+        }
+        // Staggered send order (start at me+1, wrap), exactly as the
+        // simulator and real MPI all-to-alls do, to spread arrivals.
+        for i in 1..p {
+            let dst = (me + i) % p;
+            if send_counts[dst] > 0 {
+                self.send_slice_raw(dst, tag, &data[offsets[dst]..offsets[dst + 1]]);
+            }
+        }
+        let mut out: Vec<T> = Vec::with_capacity(recv_counts.iter().sum());
+        for (src, &rc) in recv_counts.iter().enumerate() {
+            if src == me {
+                out.extend_from_slice(&data[offsets[me]..offsets[me + 1]]);
+            } else if rc > 0 {
+                let chunk = self.recv_vec_raw::<T>(src, tag);
+                assert_eq!(chunk.len(), rc, "alltoallv count mismatch from {src}");
+                out.extend(chunk);
+            }
+        }
+        out
+    }
+
+    fn alltoallv_async_given_counts<T: Clone + Send + 'static>(
+        &self,
+        data: &[T],
+        send_counts: &[usize],
+        recv_counts: Vec<usize>,
+    ) -> ShmemAsync<T> {
+        self.count("coll.alltoallv_async", 1);
+        let p = self.size();
+        assert_eq!(send_counts.len(), p);
+        assert_eq!(send_counts.iter().sum::<usize>(), data.len());
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for &c in send_counts {
+            offsets.push(offsets.last().copied().expect("non-empty") + c);
+        }
+        let self_slice = &data[offsets[me]..offsets[me + 1]];
+        let self_chunk = (!self_slice.is_empty()).then(|| self_slice.to_vec());
+        for i in 1..p {
+            let dst = (me + i) % p;
+            let chunk = &data[offsets[dst]..offsets[dst + 1]];
+            if !chunk.is_empty() {
+                self.send_slice_raw(dst, tag, chunk);
+            }
+        }
+
+        let mut pending = vec![false; p];
+        let mut remaining = 0usize;
+        for (src, item) in pending.iter_mut().enumerate() {
+            if src != me && recv_counts[src] > 0 {
+                *item = true;
+                remaining += 1;
+            }
+        }
+        let has_self = self_chunk.is_some();
+        ShmemAsync {
+            tag,
+            pending,
+            recv_counts,
+            self_chunk,
+            remaining: remaining + usize::from(has_self),
+        }
+    }
+
+    fn scatterv<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        chunks: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        self.count("coll.scatterv", 1);
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), p, "one chunk per rank");
+            let mut mine = Vec::new();
+            for (dst, chunk) in chunks.into_iter().enumerate() {
+                if dst == root {
+                    mine = chunk;
+                } else {
+                    self.send_raw(dst, tag, chunk);
+                }
+            }
+            mine
+        } else {
+            self.recv_vec_raw(root, tag)
+        }
+    }
+
+    fn split(&self, color: Option<i64>, key: i64) -> Option<ThreadComm> {
+        // (color, key) for every member, in this-comm rank order; `None`
+        // encoded as an i64::MIN sentinel paired with a validity flag —
+        // identical to the simulator's split.
+        let mine = [(color.unwrap_or(i64::MIN), i64::from(color.is_some()), key)];
+        let all = self.allgather(&mine[..]);
+        let split_seq = self.next_split_seq();
+        let my_color = color?;
+
+        let mut group: Vec<(i64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, valid, _))| valid == 1 && c == my_color)
+            .map(|(old_rank, &(_, _, k))| (k, old_rank))
+            .collect();
+        group.sort_unstable();
+        let members: Arc<[usize]> = group
+            .iter()
+            .map(|&(_, old)| self.world_rank_of(old))
+            .collect();
+        let my_index = group
+            .iter()
+            .position(|&(_, old)| old == self.rank())
+            .expect("calling rank is in its own color group");
+
+        let ctx = self.uni.context_for_split(self.ctx, split_seq, my_color);
+        Some(ThreadComm::new(
+            Arc::clone(&self.uni),
+            ctx,
+            members,
+            my_index,
+        ))
+    }
+}

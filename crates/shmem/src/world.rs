@@ -1,0 +1,178 @@
+//! World builder and runtime: spawns one OS thread per rank, runs the
+//! user's rank function on each, and joins the results in rank order.
+
+use crate::comm::{ShmemAborted, ThreadComm};
+use crate::universe::Universe;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::Snapshot;
+
+/// Builder for a threads-backend world.
+///
+/// ```
+/// use shmem::ThreadWorld;
+/// use comm::Communicator;
+///
+/// let report = ThreadWorld::new(4).run(|comm| {
+///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+/// });
+/// assert_eq!(report.results, vec![6, 6, 6, 6]);
+/// ```
+pub struct ThreadWorld {
+    size: usize,
+    cores_per_node: usize,
+    mailbox_capacity: usize,
+    telemetry: bool,
+}
+
+/// What a completed threads-backend run produced.
+#[derive(Debug)]
+pub struct ThreadReport<R> {
+    /// Each rank's return value, in rank order.
+    pub results: Vec<R>,
+    /// Wall-clock seconds from world start to last rank finishing.
+    pub wall_s: f64,
+    /// Per-rank wall-clock seconds (world start to that rank finishing).
+    pub per_rank_wall: Vec<f64>,
+    /// Total point-to-point messages (self-sends excluded).
+    pub messages: u64,
+    /// Total payload bytes moved through mailboxes.
+    pub bytes: u64,
+    /// Telemetry snapshot, if telemetry was enabled on the builder.
+    pub telemetry: Option<Snapshot>,
+}
+
+impl ThreadWorld {
+    /// A world of `size` ranks, one core per node by default (so `node()`
+    /// == `rank()` unless [`Self::cores_per_node`] is raised).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world must have at least one rank");
+        Self {
+            size,
+            cores_per_node: 1,
+            mailbox_capacity: (8 * size).max(256),
+            telemetry: false,
+        }
+    }
+
+    /// Group ranks into nodes of this many cores (affects `node()` and the
+    /// node-merge stage of the sort, not thread placement).
+    pub fn cores_per_node(mut self, c: usize) -> Self {
+        assert!(c > 0, "cores_per_node must be positive");
+        self.cores_per_node = c;
+        self
+    }
+
+    /// Per-rank mailbox capacity in envelopes. A full mailbox blocks the
+    /// sender (real backpressure); the default `max(256, 8·p)` leaves a
+    /// wide margin over the `p − 1` undrained envelopes a correct
+    /// collective can park in one mailbox.
+    pub fn mailbox_capacity(mut self, cap: usize) -> Self {
+        self.mailbox_capacity = cap;
+        self
+    }
+
+    /// Enable telemetry recording (spans, events, per-rank ledgers). The
+    /// report then carries a [`telemetry::Snapshot`] with wall-clock span
+    /// times.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Run `f` on every rank concurrently and collect the results.
+    ///
+    /// Each rank runs on its own OS thread (named `shmem-rank-{r}`). If a
+    /// rank panics, the world aborts: every blocked send/receive wakes and
+    /// unwinds, and the *original* panic payload is re-raised here (the
+    /// secondary `ShmemAborted` unwinds of interrupted ranks are
+    /// swallowed).
+    pub fn run<R, F>(&self, f: F) -> ThreadReport<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        let uni = Arc::new(Universe::new(
+            self.size,
+            self.cores_per_node,
+            self.mailbox_capacity,
+            self.telemetry,
+        ));
+        let members: Arc<[usize]> = (0..self.size).collect();
+        let f = &f;
+
+        let t0 = Instant::now();
+        let outcomes: Vec<RankOutcome<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.size)
+                .map(|r| {
+                    let uni = Arc::clone(&uni);
+                    let members = Arc::clone(&members);
+                    std::thread::Builder::new()
+                        .name(format!("shmem-rank-{r}"))
+                        .spawn_scoped(scope, move || {
+                            let comm = ThreadComm::new(Arc::clone(&uni), 0, members, r);
+                            let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                            let wall = uni.start.elapsed().as_secs_f64();
+                            match res {
+                                Ok(v) => RankOutcome::Done(v, wall),
+                                Err(payload) => {
+                                    // First failure wins; wake everyone so
+                                    // blocked ranks can unwind too.
+                                    uni.abort();
+                                    RankOutcome::Panicked(payload)
+                                }
+                            }
+                        })
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => RankOutcome::Panicked(payload),
+                })
+                .collect()
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        // Re-raise the original failure, preferring a payload that is NOT
+        // the secondary abort marker; fall back to any payload.
+        let mut secondary = None;
+        let mut results = Vec::with_capacity(self.size);
+        let mut per_rank_wall = Vec::with_capacity(self.size);
+        for outcome in outcomes {
+            match outcome {
+                RankOutcome::Done(v, w) => {
+                    results.push(v);
+                    per_rank_wall.push(w);
+                }
+                RankOutcome::Panicked(payload) => {
+                    if payload.is::<ShmemAborted>() {
+                        secondary = Some(payload);
+                    } else {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = secondary {
+            std::panic::resume_unwind(payload);
+        }
+
+        ThreadReport {
+            results,
+            wall_s,
+            per_rank_wall,
+            messages: uni.stats().messages(),
+            bytes: uni.stats().bytes(),
+            telemetry: self.telemetry.then(|| uni.recorder().snapshot()),
+        }
+    }
+}
+
+enum RankOutcome<R> {
+    Done(R, f64),
+    Panicked(Box<dyn std::any::Any + Send>),
+}

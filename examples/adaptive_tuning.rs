@@ -82,7 +82,7 @@ fn main() {
     println!("autotune — live micro-probes choosing all three thresholds:");
     let world = World::new(p).cores_per_node(8);
     let report = world.run(|comm| {
-        let (cfg, probe) = sdssort::autotune::<u64>(comm, n_rank, &SdsConfig::default());
+        let (cfg, probe) = sdssort::autotune::<u64, _>(comm, n_rank, &SdsConfig::default());
         if comm.rank() == 0 {
             println!(
                 "  probes: direct {:.1}us vs node-merge {:.1}us | sync {:.1}us vs overlap {:.1}us | merge {:.1}us vs sort {:.1}us",

@@ -59,6 +59,23 @@ test -s "$tmp/BENCH_sortcli.json" || {
 run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
     --validate-metrics "$tmp/BENCH_sortcli.json"
 
+# Threads-backend smoke: the real shared-memory backend (one OS thread per
+# rank) must sort, validate, and emit a wall-clock metrics report that
+# sortcli itself can validate. Small n so this stays sub-second.
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --backend threads --sorter sds --workload zipf:1.2 --ranks 4 \
+    --records 5000 --metrics-out "$tmp/threads"
+test -s "$tmp/threads/BENCH_sortcli.json" || {
+    echo "ci: threads backend did not write BENCH_sortcli.json" >&2
+    exit 1
+}
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --validate-metrics "$tmp/threads/BENCH_sortcli.json"
+
+# Backend equivalence: same seed => bit-identical sorted output on the
+# simulator and the threads backend (the PR 5 acceptance gate).
+run cargo test -q "${CARGO_OPTS[@]}" --test backend_equivalence
+
 # Faults smoke: the sort must survive heavy deterministic fault injection,
 # and graceful degradation must complete (spilling) where the plain driver
 # would OOM under the memory-pressure ramp.

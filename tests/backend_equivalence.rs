@@ -1,0 +1,234 @@
+//! Backend equivalence: the same sort on the same seed must produce the
+//! same answer whether it runs on the deterministic virtual-time simulator
+//! (`mpisim`) or on real OS threads (`shmem`).
+//!
+//! The shmem collectives reproduce the simulator's algorithms and
+//! rank-order reduction folds, so this holds *bit-for-bit per rank*, not
+//! just as a global multiset:
+//!
+//! - `u64` keys (any variant): identical per-rank output vectors.
+//! - Stable variant over tagged records: identical per-rank `(key, tag)`
+//!   sequences — stability pins the tie order to global input order,
+//!   leaving nothing arrival-dependent.
+//! - Fast variant over tagged records: identical per-rank *key* sequences
+//!   and a global permutation of the input; equal-key tag order is the
+//!   one place real-thread arrival order is allowed to show through.
+//!
+//! Also runs the Theorem 1 `O(4N/p)` skew-bound assertions on the threads
+//! backend: the bound is a property of the partition, not the simulator.
+
+use mpisim::{NetModel, World};
+use sdssort::{sds_sort, Record, SdsConfig, Tagged};
+use shmem::ThreadWorld;
+use workloads::{heavy_hitters, uniform_u64, zipf_keys};
+
+/// Workload matrix: name → per-rank generator (seeded, rank-dependent).
+fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Vec<u64> {
+    match workload {
+        "uniform" => uniform_u64(n, seed, rank),
+        "zipf" => zipf_keys(n, 1.2, seed, rank),
+        "adversarial" => heavy_hitters(n, 2, 90.0, seed, rank),
+        "identical" => vec![seed % 101; n],
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn cfg_for(stable: bool) -> SdsConfig {
+    let mut cfg = if stable {
+        SdsConfig::stable()
+    } else {
+        SdsConfig::default()
+    };
+    cfg.tau_m_bytes = 0; // full-width exchange on both backends
+    cfg
+}
+
+fn run_sim_u64(p: usize, cfg: &SdsConfig, workload: &str, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+    let report = world.run(|comm| {
+        let data = gen_keys(workload, n, seed, comm.rank());
+        sds_sort(comm, data, cfg).expect("no memory budget").data
+    });
+    report.results
+}
+
+fn run_threads_u64(
+    p: usize,
+    cfg: &SdsConfig,
+    workload: &str,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    use comm::Communicator;
+    let report = ThreadWorld::new(p).cores_per_node(4).run(|comm| {
+        let data = gen_keys(workload, n, seed, comm.rank());
+        sds_sort(comm, data, cfg).expect("no memory budget").data
+    });
+    report.results
+}
+
+#[test]
+fn u64_output_is_bit_identical_across_backends() {
+    for p in [2usize, 4, 8] {
+        for workload in ["uniform", "zipf", "adversarial", "identical"] {
+            for stable in [false, true] {
+                let cfg = cfg_for(stable);
+                let seed = 0xE9 + p as u64;
+                let sim = run_sim_u64(p, &cfg, workload, 1500, seed);
+                let thr = run_threads_u64(p, &cfg, workload, 1500, seed);
+                assert_eq!(
+                    sim, thr,
+                    "per-rank divergence: p={p} workload={workload} stable={stable}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn u64_output_matches_with_node_merge_enabled() {
+    // τm on, multi-rank nodes: the node-merge path (split + leader
+    // gather) must agree across backends too.
+    for stable in [false, true] {
+        let mut cfg = cfg_for(stable);
+        cfg.tau_m_bytes = usize::MAX; // force node merging
+        let p = 8;
+        let sim = run_sim_u64(p, &cfg, "zipf", 1200, 0x5EED);
+        let thr = run_threads_u64(p, &cfg, "zipf", 1200, 0x5EED);
+        assert_eq!(sim, thr, "node-merge divergence (stable={stable})");
+    }
+}
+
+/// Records whose tag encodes (rank, position): ties are observable.
+fn tagged_input(n: usize, key_space: u32, seed: u64, rank: usize) -> Vec<Tagged<u32>> {
+    let keys = zipf_keys(n, 1.1, seed, rank);
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            Record::new(
+                (k % u64::from(key_space)) as u32,
+                ((rank as u64) << 32) | i as u64,
+            )
+        })
+        .collect()
+}
+
+type RankRecords = Vec<Vec<Tagged<u32>>>;
+
+fn run_sim_tagged(p: usize, cfg: &SdsConfig, n: usize, seed: u64) -> (RankRecords, RankRecords) {
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+    let report = world.run(|comm| {
+        let data = tagged_input(n, 64, seed, comm.rank());
+        let out = sds_sort(comm, data.clone(), cfg).expect("no memory budget");
+        (data, out.data)
+    });
+    report.results.into_iter().unzip()
+}
+
+fn run_threads_tagged(
+    p: usize,
+    cfg: &SdsConfig,
+    n: usize,
+    seed: u64,
+) -> (RankRecords, RankRecords) {
+    use comm::Communicator;
+    let report = ThreadWorld::new(p).cores_per_node(4).run(|comm| {
+        let data = tagged_input(n, 64, seed, comm.rank());
+        let out = sds_sort(comm, data.clone(), cfg).expect("no memory budget");
+        (data, out.data)
+    });
+    report.results.into_iter().unzip()
+}
+
+#[test]
+fn stable_variant_ties_are_bit_identical_across_backends() {
+    for p in [2usize, 4, 8] {
+        let cfg = cfg_for(true);
+        let (_, sim) = run_sim_tagged(p, &cfg, 1000, 0xAB + p as u64);
+        let (_, thr) = run_threads_tagged(p, &cfg, 1000, 0xAB + p as u64);
+        // Stability pins equal-key order to global input order, so even
+        // the payloads match record-for-record.
+        assert_eq!(sim, thr, "stable tagged divergence at p={p}");
+    }
+}
+
+#[test]
+fn fast_variant_keys_match_and_tags_are_a_permutation() {
+    let p = 8;
+    let cfg = cfg_for(false);
+    let (input, sim) = run_sim_tagged(p, &cfg, 1000, 0xFA57);
+    let (_, thr) = run_threads_tagged(p, &cfg, 1000, 0xFA57);
+    for r in 0..p {
+        let sim_keys: Vec<u32> = sim[r].iter().map(|t| t.key).collect();
+        let thr_keys: Vec<u32> = thr[r].iter().map(|t| t.key).collect();
+        assert_eq!(sim_keys, thr_keys, "key sequence divergence at rank {r}");
+    }
+    // The fast variant may reorder equal keys differently under real
+    // concurrency, but each output is still a permutation of the input.
+    let mut want: Vec<u64> = input.iter().flatten().map(|t| t.payload).collect();
+    want.sort_unstable();
+    for out in [&sim, &thr] {
+        let mut got: Vec<u64> = out.iter().flatten().map(|t| t.payload).collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "output is not a permutation of the input");
+    }
+}
+
+/// Theorem 1's bound with explicit lower-order slack (see
+/// `tests/workload_bound.rs`): `U ≤ 4N/p + 2N/p² + p`.
+fn bound(n_total: usize, p: usize) -> usize {
+    4 * n_total / p + 2 * n_total / (p * p) + p
+}
+
+#[test]
+fn skew_bound_holds_on_threads_backend() {
+    use comm::Communicator;
+    let mut cfg = SdsConfig::default();
+    cfg.tau_m_bytes = 0;
+    for (p, workload) in [
+        (4usize, "uniform"),
+        (8, "zipf"),
+        (8, "adversarial"),
+        (8, "identical"),
+    ] {
+        let report = ThreadWorld::new(p).cores_per_node(4).run(|comm| {
+            let data = gen_keys(workload, 2000, 3, comm.rank());
+            let n = data.len();
+            let out = sds_sort(comm, data, &cfg).expect("no memory budget");
+            (n, out.data.len())
+        });
+        let n_total: usize = report.results.iter().map(|r| r.0).sum();
+        let max = report.results.iter().map(|r| r.1).max().expect("p >= 1");
+        assert!(
+            max <= bound(n_total, p),
+            "threads backend: {workload} p={p}: max {max} > bound {}",
+            bound(n_total, p)
+        );
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// Any (seed, p, workload, variant) cell: per-rank u64 outputs are
+        /// bit-identical across backends.
+        #[test]
+        fn backends_agree_on_any_seed(
+            seed in 0u64..1_000_000,
+            p_idx in 0usize..3,
+            workload_idx in 0usize..4,
+            stable in any::<bool>(),
+        ) {
+            let p = [2usize, 4, 8][p_idx];
+            let workload = ["uniform", "zipf", "adversarial", "identical"][workload_idx];
+            let cfg = cfg_for(stable);
+            let sim = run_sim_u64(p, &cfg, workload, 600, seed);
+            let thr = run_threads_u64(p, &cfg, workload, 600, seed);
+            prop_assert_eq!(sim, thr);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
-//! | `wallclock` | `mpisim`/`sdssort` lib code | no `Instant`/`SystemTime`/`thread::sleep`: simulation code runs on virtual clocks |
+//! | `wallclock` | virtual-time lib code (`VIRTUAL_TIME_SRC`) | no `Instant`/`SystemTime`/`thread::sleep`: simulation code runs on virtual clocks. The real-execution backend (`crates/shmem`) is deliberately out of scope — wall clocks are its whole point |
 //! | `relaxed-ordering` | all lib code | no `Ordering::Relaxed` outside allowlisted fast paths: cross-rank state uses `SeqCst` |
 //! | `safety-comment` | everywhere | every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) |
 //! | `no-unwrap` | library crates | no bare `.unwrap()`; `.expect()` must carry a string-literal invariant message |
@@ -36,13 +36,21 @@ pub struct Violation {
     pub msg: String,
 }
 
+/// Crates whose library code runs on *virtual* time and therefore must not
+/// read host clocks (`wallclock` rule). Scoped per-crate on purpose: the
+/// real shared-memory backend (`crates/shmem`) and the harnesses measure
+/// wall-clock time by design and are not listed here.
+const VIRTUAL_TIME_SRC: [&str; 2] = ["crates/mpisim/src/", "crates/sdssort/src/"];
+
 /// Library crates covered by the `no-unwrap` rule.
-const LIB_CRATE_SRC: [&str; 5] = [
+const LIB_CRATE_SRC: [&str; 7] = [
     "crates/mpisim/src/",
     "crates/sdssort/src/",
     "crates/telemetry/src/",
     "crates/workloads/src/",
     "crates/baselines/src/",
+    "crates/comm/src/",
+    "crates/shmem/src/",
 ];
 
 /// Comm methods whose tag argument must be a named constant, with the
@@ -74,7 +82,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     let is_test_path = path.contains("/tests/") || path.starts_with("tests/");
     let in_lib = |prefixes: &[&str]| prefixes.iter().any(|p| path.starts_with(p)) && !is_test_path;
 
-    if in_lib(&["crates/mpisim/src/", "crates/sdssort/src/"]) {
+    if in_lib(&VIRTUAL_TIME_SRC) {
         rule_wallclock(path, &code, &mut out);
     }
     if (path.starts_with("crates/") && path.contains("/src/") || path.starts_with("src/"))
@@ -361,6 +369,32 @@ mod tests {
         // Comments and strings never trigger.
         let trivia = "// Instant\nfn f() { let s = \"SystemTime\"; }";
         assert!(rules_hit("crates/mpisim/src/foo.rs", trivia).is_empty());
+    }
+
+    #[test]
+    fn wallclock_scope_is_per_crate_not_blanket() {
+        // The real-execution backend measures wall time by design: Instant
+        // there is sanctioned without any xlint.allow entry...
+        let wall = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert!(rules_hit("crates/shmem/src/universe.rs", wall).is_empty());
+        // ...while the other library rules still apply to it in full.
+        let sloppy = "fn f() { let t = Instant::now(); x.unwrap(); }";
+        assert_eq!(
+            rules_hit("crates/shmem/src/comm.rs", sloppy),
+            vec!["no-unwrap"]
+        );
+        let relaxed = "fn f() { x.load(Ordering::Relaxed); }";
+        assert_eq!(
+            rules_hit("crates/shmem/src/mailbox.rs", relaxed),
+            vec!["relaxed-ordering"]
+        );
+        // The transport-trait crate is time-agnostic: no wallclock scope,
+        // but unwrap discipline holds.
+        assert!(rules_hit("crates/comm/src/lib.rs", wall).is_empty());
+        assert_eq!(
+            rules_hit("crates/comm/src/lib.rs", "fn f() { x.unwrap(); }"),
+            vec!["no-unwrap"]
+        );
     }
 
     #[test]

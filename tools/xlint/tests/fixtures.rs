@@ -50,6 +50,34 @@ fn clean_fixture_passes_every_scope() {
 }
 
 #[test]
+fn wallclock_scope_excludes_the_real_time_backend() {
+    // The same banned fixture, scanned as if it lived in the real
+    // shared-memory backend: every rule that applies there still fires,
+    // but `wallclock` must not — crates/shmem measures wall time by
+    // design, without needing an xlint.allow entry.
+    let src = fixture("banned_patterns.rs");
+    let rules: BTreeSet<_> = xlint::scan_source("crates/shmem/src/fixture.rs", &src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    assert!(
+        !rules.contains("wallclock"),
+        "wallclock fired outside the virtual-time crates: {rules:?}"
+    );
+    for expected in [
+        "relaxed-ordering",
+        "safety-comment",
+        "no-unwrap",
+        "tag-discipline",
+    ] {
+        assert!(
+            rules.contains(expected),
+            "rule `{expected}` should still cover crates/shmem: {rules:?}"
+        );
+    }
+}
+
+#[test]
 fn stale_allowlist_entries_are_reported() {
     let dir = scratch_dir("xlint-stale-test");
     fs::create_dir_all(dir.join("src")).expect("create scratch src dir");
