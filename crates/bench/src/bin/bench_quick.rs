@@ -1,14 +1,21 @@
 //! `bench_quick` — a fast real-execution sanity sweep.
 //!
 //! Runs a small threads-backend (`crates/shmem`) weak-scaling sweep of
-//! both SDS variants on the Uniform workload and emits the wall-clock
-//! numbers as `BENCH_pr5.json` (honouring `BENCH_METRICS_OUT`, or
+//! both SDS variants on the Uniform workload, then drives the resident
+//! [`service::SortService`] with a burst of Zipf-sized jobs from several
+//! concurrent clients, and emits the wall-clock numbers as
+//! `BENCH_pr6.json` (honouring `BENCH_METRICS_OUT`, or
 //! `--metrics-out <dir>`). Unlike the figure harnesses this never touches
 //! the simulator: every time in the output is a measured second. Intended
 //! for `scripts/bench_quick.sh` and CI smoke.
 
-use bench::experiments::{emit_scaling_cells, print_threads_scaling, weak_scaling_uniform_threads};
+use bench::experiments::{
+    drive_service, emit_scaling_cells, print_service_report, print_threads_scaling, service_values,
+    weak_scaling_uniform_threads,
+};
 use bench::{header, verdict, Emitter};
+use mpisim::telemetry::Json;
+use service::{LoadGen, ServiceConfig};
 
 fn main() {
     header(
@@ -19,12 +26,36 @@ fn main() {
     let n_rank = 20_000;
     println!("records/rank: {n_rank} u64, uniform, backend: threads\n");
     let cells = weak_scaling_uniform_threads(&ps, n_rank);
-    let mut em = Emitter::from_env("pr5");
+    let mut em = Emitter::from_env("pr6");
     em.meta("workload", "uniform_u64");
     em.meta("n_rank", n_rank as u64);
     em.meta("backend", "threads");
     emit_scaling_cells(&mut em, &cells, &[]);
     let all_ok = print_threads_scaling(&ps, n_rank, &cells);
-    verdict(all_ok, "both SDS variants complete at every p (wall-clock)");
+
+    // Resident-service load: persistent ranks, Zipf-sized jobs, 4 clients.
+    let (svc_ranks, svc_jobs, svc_clients, svc_min) = (4usize, 32u64, 4usize, 5_000usize);
+    println!(
+        "\nSortService: zipf:0.8 jobs on {svc_ranks} resident ranks, \
+         {svc_jobs} jobs from {svc_clients} clients\n"
+    );
+    let load = LoadGen::new("zipf:0.8", svc_min, 42).with_size_skew(1.1, 16);
+    let svc = drive_service(ServiceConfig::new(svc_ranks), &load, svc_jobs, svc_clients);
+    print_service_report(&svc);
+    em.meta("service_ranks", svc_ranks);
+    em.meta("service_clients", svc_clients);
+    em.meta("service_min_records_per_rank", svc_min);
+    em.point(
+        "SortService",
+        &[("jobs", Json::from(svc_jobs))],
+        &service_values(&svc),
+    );
+    let svc_ok = svc.counters.failed == 0
+        && svc.counters.balanced()
+        && svc.counters.completed + svc.counters.shed == svc_jobs;
+    verdict(
+        all_ok && svc_ok,
+        "SDS variants complete at every p; service resolves every job (wall-clock)",
+    );
     em.finish().expect("write metrics");
 }

@@ -35,6 +35,14 @@
 //!                                  also honours BENCH_METRICS_OUT)
 //!   --validate-metrics <file>      parse a previously written RunReport
 //!                                  and exit 0 iff it is valid (CI smoke)
+//!   --serve                        run a resident SortService (threads
+//!                                  backend) and drive it with a stream of
+//!                                  Zipf-sized jobs of --workload keys,
+//!                                  --records per rank minimum; reports
+//!                                  jobs/sec and latency percentiles
+//!   --jobs     <n>                 (serve; default 32) jobs to submit
+//!   --clients  <n>                 (serve; default 4) concurrent client
+//!                                  handles submitting the jobs
 //! ```
 //!
 //! Prints: correctness verdict (globally sorted + permutation), modelled
@@ -50,7 +58,6 @@ use sdssort::{
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
-use workloads::{heavy_hitters, ptf_scores, uniform_u64, zipf_keys};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -70,6 +77,9 @@ struct Args {
     resilient: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     validate_metrics: Option<PathBuf>,
+    serve: bool,
+    jobs: u64,
+    clients: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -90,6 +100,9 @@ fn parse_args() -> Result<Args, String> {
         resilient: None,
         metrics_out: std::env::var_os("BENCH_METRICS_OUT").map(PathBuf::from),
         validate_metrics: None,
+        serve: false,
+        jobs: 32,
+        clients: 4,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -142,6 +155,13 @@ fn parse_args() -> Result<Args, String> {
             "--resilient" => args.resilient = Some(PathBuf::from(take(&mut i)?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(take(&mut i)?)),
             "--validate-metrics" => args.validate_metrics = Some(PathBuf::from(take(&mut i)?)),
+            "--serve" => args.serve = true,
+            "--jobs" => args.jobs = take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--clients" => {
+                args.clients = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -166,25 +186,10 @@ fn sds_cfg(args: &Args) -> Option<SdsConfig> {
     }
 }
 
+/// Keys for one rank — the shared by-name dispatch, so the CLI, the
+/// service, and the harnesses all agree on what `zipf:0.8` means.
 fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>, String> {
-    if workload == "uniform" {
-        return Ok(uniform_u64(n, seed, rank));
-    }
-    if let Some(alpha) = workload.strip_prefix("zipf:") {
-        let alpha: f64 = alpha.parse().map_err(|e| format!("zipf alpha: {e}"))?;
-        return Ok(zipf_keys(n, alpha, seed, rank));
-    }
-    if workload == "ptf-like" {
-        // PTF scores mapped to their order-preserving bits as u64 keys.
-        return Ok(ptf_scores(n, seed, rank)
-            .into_iter()
-            .map(|o| o.key.ordered_bits() as u64)
-            .collect());
-    }
-    if workload == "adversarial" {
-        return Ok(heavy_hitters(n, 2, 90.0, seed, rank));
-    }
-    Err(format!("unknown workload {workload}"))
+    workloads::keys_by_name(workload, n, seed, rank)
 }
 
 /// Per-rank outcome: (globally sorted, permutation, output length, stats).
@@ -323,6 +328,33 @@ fn main() -> ExitCode {
     if args.resilient.is_some() && sds_cfg(&args).is_none() {
         eprintln!("error: --resilient applies to the sds sorters only");
         return ExitCode::from(2);
+    }
+    if args.serve {
+        if sds_cfg(&args).is_none() {
+            eprintln!("error: --serve runs the sds sorters only");
+            return ExitCode::from(2);
+        }
+        if args.clients == 0 {
+            eprintln!("error: --clients must be at least 1");
+            return ExitCode::from(2);
+        }
+        let incompatible = [
+            (args.faults.is_some(), "--faults"),
+            (args.collective_timeout.is_some(), "--collective-timeout"),
+            (args.budget.is_some(), "--budget"),
+            (args.trace, "--trace"),
+            (args.resilient.is_some(), "--resilient"),
+        ];
+        for (set, flag) in incompatible {
+            if set {
+                eprintln!(
+                    "error: {flag} does not apply to --serve \
+                     (the service runs on the threads backend)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        return serve_main(&args);
     }
     match args.backend.as_str() {
         "sim" | "threads" => {}
@@ -543,6 +575,45 @@ fn threads_main(args: &Args) -> ExitCode {
     }
 }
 
+/// Run a resident [`service::SortService`] over the threads backend and
+/// drive it with a stream of Zipf-sized jobs from several concurrent
+/// client handles. Reports throughput and latency percentiles; with
+/// `--metrics-out`, emits a self-describing experiment document.
+fn serve_main(args: &Args) -> ExitCode {
+    let mut cfg = service::ServiceConfig::new(args.ranks);
+    cfg.cores_per_node = args.cores;
+    cfg.sort = sds_cfg(args).expect("validated: --serve runs sds only");
+    let load = service::LoadGen::new(args.workload.clone(), args.records, args.seed);
+    println!(
+        "sortsvc: {} on {} resident ranks | {} jobs from {} clients, >= {} records/rank",
+        args.workload, args.ranks, args.jobs, args.clients, args.records
+    );
+    let report = bench::experiments::drive_service(cfg, &load, args.jobs, args.clients);
+    bench::experiments::print_service_report(&report);
+    if let Some(out) = &args.metrics_out {
+        let mut em = bench::emit::Emitter::with_out("sortsvc", Some(out.clone()));
+        em.meta("backend", "threads");
+        em.meta("workload", args.workload.clone());
+        em.meta("ranks", args.ranks);
+        em.meta("min_records_per_rank", args.records);
+        em.meta("clients", args.clients);
+        em.point(
+            "SortService",
+            &[("jobs", Json::from(args.jobs))],
+            &bench::experiments::service_values(&report),
+        );
+        if let Err(e) = em.finish() {
+            eprintln!("error writing metrics: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if report.counters.failed == 0 && report.counters.balanced() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// The config and decision fields shared by both backends' RunReports.
 fn base_run_report(
     args: &Args,
@@ -559,6 +630,7 @@ fn base_run_report(
         ("sorter", Json::from(args.sorter.clone())),
         ("workload", Json::from(args.workload.clone())),
         ("backend", Json::from(args.backend.clone())),
+        ("git_rev", Json::from(bench::git_rev())),
         ("ranks", Json::from(args.ranks)),
         ("records_per_rank", Json::from(args.records)),
         ("cores_per_node", Json::from(args.cores)),

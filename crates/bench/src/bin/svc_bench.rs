@@ -1,0 +1,164 @@
+//! `svc_bench` — load generator for the resident [`service::SortService`].
+//!
+//! ```text
+//! Usage: svc_bench [OPTIONS]
+//!
+//!   --ranks     <p>          resident sort ranks       (default 4)
+//!   --workload  <name>       key distribution per job  (default zipf:0.8)
+//!   --records   <n>          minimum records per rank  (default 20000)
+//!   --jobs      <n>          jobs to submit            (default 64)
+//!   --clients   <n>          concurrent client handles (default 4)
+//!   --size-alpha <a>         Zipf exponent of the job-size distribution
+//!                            (default 1.1)
+//!   --size-max  <m>          largest size multiplier   (default 64)
+//!   --seed      <u64>        base seed                 (default 42)
+//!   --metrics-out <path>     write a BENCH_svc.json experiment document
+//!                            (also honours BENCH_METRICS_OUT)
+//! ```
+//!
+//! Submits `--jobs` jobs with Zipf-distributed sizes from `--clients`
+//! concurrent client handles (blocking submits, so a full queue applies
+//! backpressure instead of dropping), waits for every ticket, and reports
+//! jobs/sec plus latency and queue-wait percentiles.
+
+use bench::emit::Emitter;
+use bench::experiments::{drive_service, print_service_report, service_values};
+use mpisim::telemetry::Json;
+use service::{LoadGen, ServiceConfig};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    ranks: usize,
+    workload: String,
+    records: usize,
+    jobs: u64,
+    clients: usize,
+    size_alpha: f64,
+    size_max: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ranks: 4,
+        workload: "zipf:0.8".into(),
+        records: 20_000,
+        jobs: 64,
+        clients: 4,
+        size_alpha: 1.1,
+        size_max: 64,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--workload" => args.workload = take(&mut i)?,
+            "--records" => {
+                args.records = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--records: {e}"))?;
+            }
+            "--jobs" => args.jobs = take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--clients" => {
+                args.clients = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--size-alpha" => {
+                args.size_alpha = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--size-alpha: {e}"))?;
+            }
+            "--size-max" => {
+                args.size_max = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--size-max: {e}"))?;
+            }
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            // Consumed by `metrics_out_path` inside the Emitter.
+            "--metrics-out" => {
+                take(&mut i)?;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    if args.clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("see the module docs at the top of svc_bench.rs for usage");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = workloads::keys_by_name(&args.workload, 1, 0, 0) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "svc_bench: {} on {} resident ranks | {} jobs from {} clients, \
+         sizes Zipf({:.2}) x {}..{} records/rank",
+        args.workload,
+        args.ranks,
+        args.jobs,
+        args.clients,
+        args.size_alpha,
+        args.records,
+        args.records * args.size_max,
+    );
+
+    let cfg = ServiceConfig::new(args.ranks);
+    let load = LoadGen::new(args.workload.clone(), args.records, args.seed)
+        .with_size_skew(args.size_alpha, args.size_max);
+    let report = drive_service(cfg, &load, args.jobs, args.clients);
+    print_service_report(&report);
+
+    let mut em = Emitter::from_env("svc");
+    em.meta("backend", "threads");
+    em.meta("workload", args.workload.clone());
+    em.meta("ranks", args.ranks);
+    em.meta("min_records_per_rank", args.records);
+    em.meta("clients", args.clients);
+    em.meta("size_alpha", args.size_alpha);
+    em.meta("size_max", args.size_max);
+    em.point(
+        "SortService",
+        &[("jobs", Json::from(args.jobs))],
+        &service_values(&report),
+    );
+    if let Err(e) = em.finish() {
+        eprintln!("error writing metrics: {e}");
+        return ExitCode::from(1);
+    }
+
+    if report.counters.failed == 0 && report.counters.balanced() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} jobs failed, counters balanced: {}",
+            report.counters.failed,
+            report.counters.balanced()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -67,18 +67,30 @@ impl Emitter {
     }
 
     /// An emitter writing to an explicit destination (`None` = print only).
+    ///
+    /// Every document starts self-describing: `git_rev` and `backend`
+    /// meta entries are filled in automatically (harnesses can still
+    /// override them via [`Emitter::meta`]).
     pub fn with_out(experiment: &str, out: Option<PathBuf>) -> Self {
-        Self {
+        let mut em = Self {
             experiment: experiment.to_string(),
             meta: Vec::new(),
             series: Vec::new(),
             out,
-        }
+        };
+        em.meta("git_rev", crate::git_rev());
+        em.meta("backend", crate::backend().label());
+        em
     }
 
     /// Attach an experiment-level metadata entry (sizes, workload, scale).
+    /// Setting an existing key replaces its value.
     pub fn meta(&mut self, key: &str, value: impl Into<Json>) {
-        self.meta.push((key.to_string(), value.into()));
+        let value = value.into();
+        match self.meta.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.meta.push((key.to_string(), value)),
+        }
     }
 
     /// Record one data point of `series`: the parameter setting it was
@@ -203,6 +215,22 @@ mod tests {
         );
         let reparsed = Json::parse(&doc.to_string_pretty()).expect("canonical JSON parses");
         assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn documents_are_self_describing() {
+        let mut em = Emitter::with_out("figY", None);
+        let doc = em.to_json();
+        let meta = doc.get("meta").expect("meta object");
+        let rev = meta.get("git_rev").and_then(Json::as_str).expect("git_rev");
+        assert!(!rev.is_empty());
+        assert!(meta.get("backend").and_then(Json::as_str).is_some());
+        // Overriding replaces rather than duplicating the key.
+        em.meta("backend", "threads");
+        let meta = em.to_json();
+        let meta = meta.get("meta").expect("meta object");
+        assert_eq!(meta.get("backend").and_then(Json::as_str), Some("threads"));
+        assert_eq!(em.meta.iter().filter(|(k, _)| k == "backend").count(), 1);
     }
 
     #[test]

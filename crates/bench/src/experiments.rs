@@ -106,6 +106,84 @@ pub fn print_threads_scaling(ps: &[usize], n_rank: usize, cells: &[ScalingCell])
     all_ok
 }
 
+/// Drive a resident [`service::SortService`] with `jobs` Zipf-sized jobs
+/// submitted concurrently from `clients` client handles (jobs are dealt
+/// round-robin across clients, so the stream is deterministic given
+/// `load`). Blocking submits exercise the queue's backpressure; every
+/// ticket is awaited before shutdown, so the returned report accounts for
+/// every job.
+pub fn drive_service(
+    cfg: service::ServiceConfig,
+    load: &service::LoadGen,
+    jobs: u64,
+    clients: usize,
+) -> service::ServiceReport {
+    let clients = clients.max(1);
+    let svc = service::SortService::start(cfg);
+    std::thread::scope(|scope| {
+        for c in 0..clients as u64 {
+            let client = svc.client();
+            let load = load.clone();
+            scope.spawn(move || {
+                let tickets: Vec<_> = (c..jobs)
+                    .step_by(clients)
+                    .map(|i| client.submit(load.spec(i)).expect("service accepting"))
+                    .collect();
+                for t in tickets {
+                    t.wait();
+                }
+            });
+        }
+    });
+    svc.shutdown()
+}
+
+/// The standard value set recorded for one [`service::ServiceReport`] —
+/// shared by every harness that emits service-load points.
+pub fn service_values(r: &service::ServiceReport) -> Vec<(&'static str, Json)> {
+    vec![
+        ("jobs_per_sec", Json::from(r.jobs_per_sec)),
+        ("wall_s", Json::from(r.wall_s)),
+        ("latency_p50_s", Json::from(r.latency_p50_s)),
+        ("latency_p99_s", Json::from(r.latency_p99_s)),
+        ("queue_wait_p50_s", Json::from(r.queue_wait_p50_s)),
+        ("queue_wait_p99_s", Json::from(r.queue_wait_p99_s)),
+        ("completed", Json::from(r.counters.completed)),
+        ("shed", Json::from(r.counters.shed)),
+        ("failed", Json::from(r.counters.failed)),
+        ("spilled", Json::from(r.counters.spilled)),
+        ("queue_full", Json::from(r.counters.queue_full)),
+        ("arena_hits", Json::from(r.counters.arena_hits)),
+        ("arena_misses", Json::from(r.counters.arena_misses)),
+    ]
+}
+
+/// Print a service-load report as a metric/value table.
+pub fn print_service_report(r: &service::ServiceReport) {
+    let mut t = crate::Table::new(["metric", "value"]);
+    t.row(["jobs/sec".to_string(), format!("{:.2}", r.jobs_per_sec)]);
+    t.row(["wall clock".to_string(), crate::fmt_time(r.wall_s)]);
+    t.row(["latency p50".to_string(), crate::fmt_time(r.latency_p50_s)]);
+    t.row(["latency p99".to_string(), crate::fmt_time(r.latency_p99_s)]);
+    t.row([
+        "queue wait p50".to_string(),
+        crate::fmt_time(r.queue_wait_p50_s),
+    ]);
+    t.row([
+        "queue wait p99".to_string(),
+        crate::fmt_time(r.queue_wait_p99_s),
+    ]);
+    t.row(["completed".to_string(), r.counters.completed.to_string()]);
+    t.row(["shed".to_string(), r.counters.shed.to_string()]);
+    t.row(["failed".to_string(), r.counters.failed.to_string()]);
+    t.row(["spilled".to_string(), r.counters.spilled.to_string()]);
+    t.row([
+        "arena hits/misses".to_string(),
+        format!("{}/{}", r.counters.arena_hits, r.counters.arena_misses),
+    ]);
+    t.print();
+}
+
 fn sweep<T, G>(ps: &[usize], model: ComputeModel, budget: Option<usize>, gen: G) -> Vec<ScalingCell>
 where
     T: sdssort::Sortable,

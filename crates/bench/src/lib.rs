@@ -95,12 +95,37 @@ pub enum Backend {
     Threads,
 }
 
+impl Backend {
+    /// Stable name embedded in emitted reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Threads => "threads",
+        }
+    }
+}
+
 /// Read the backend from the environment (`BENCH_BACKEND=threads`).
 pub fn backend() -> Backend {
     match std::env::var("BENCH_BACKEND").as_deref() {
         Ok("threads") | Ok("THREADS") => Backend::Threads,
         _ => Backend::Sim,
     }
+}
+
+/// Short git revision of the checkout producing a report, or `"unknown"`
+/// outside a repository — embedded in every emitted document so a BENCH
+/// file identifies the code that produced it.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Outcome of one distributed-sort run.

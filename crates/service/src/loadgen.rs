@@ -1,0 +1,85 @@
+//! Deterministic load generation: streams of jobs with Zipf-distributed
+//! sizes.
+//!
+//! Real sort-service traffic is size-skewed: most requests are small,
+//! a few are enormous. The generator reuses [`workloads::ZipfGen`] as the
+//! *size* distribution — job `i` sorts `min_records_per_rank ×
+//! sample(zipf)` records per rank — so the head of the distribution
+//! produces minimum-size jobs and the tail occasionally produces jobs up
+//! to `max_multiplier` times larger.
+
+use crate::job::JobSpec;
+use rand::prelude::*;
+use workloads::ZipfGen;
+
+/// A deterministic generator of [`JobSpec`]s with Zipf-distributed sizes.
+#[derive(Debug, Clone)]
+pub struct LoadGen {
+    sizes: ZipfGen,
+    min_records_per_rank: usize,
+    workload: String,
+    base_seed: u64,
+}
+
+impl LoadGen {
+    /// Jobs of `workload` keys, at least `min_records_per_rank` records
+    /// per rank each, with the default size skew (α = 1.1, up to 64× the
+    /// minimum).
+    pub fn new(workload: impl Into<String>, min_records_per_rank: usize, base_seed: u64) -> Self {
+        Self {
+            sizes: ZipfGen::new(1.1, 64),
+            min_records_per_rank,
+            workload: workload.into(),
+            base_seed,
+        }
+    }
+
+    /// Override the size distribution: Zipf exponent `alpha` over
+    /// multipliers `1..=max_multiplier`.
+    pub fn with_size_skew(mut self, alpha: f64, max_multiplier: usize) -> Self {
+        self.sizes = ZipfGen::new(alpha, max_multiplier.max(1));
+        self
+    }
+
+    /// The spec for job `job_index` — pure in `(self, job_index)`, so a
+    /// load can be replayed exactly.
+    pub fn spec(&self, job_index: u64) -> JobSpec {
+        let mut rng =
+            StdRng::seed_from_u64(self.base_seed ^ job_index.wrapping_mul(0xA076_1D64_78BD_642F));
+        let multiplier = self.sizes.sample(&mut rng) as usize;
+        JobSpec::new(
+            self.workload.clone(),
+            self.min_records_per_rank * multiplier,
+            self.base_seed.wrapping_add(job_index),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_deterministic_and_head_heavy() {
+        let lg = LoadGen::new("zipf:0.8", 1000, 7).with_size_skew(1.2, 32);
+        let sizes: Vec<usize> = (0..500).map(|i| lg.spec(i).records_per_rank).collect();
+        assert_eq!(
+            sizes,
+            (0..500)
+                .map(|i| lg.spec(i).records_per_rank)
+                .collect::<Vec<_>>(),
+            "replay must be exact"
+        );
+        let min_jobs = sizes.iter().filter(|&&s| s == 1000).count();
+        let large_jobs = sizes.iter().filter(|&&s| s >= 16_000).count();
+        assert!(
+            min_jobs > sizes.len() / 4,
+            "head must dominate: {min_jobs} minimum-size of {}",
+            sizes.len()
+        );
+        assert!(large_jobs > 0, "tail must appear");
+        assert!(sizes.iter().all(|&s| (1000..=32_000).contains(&s)));
+        // Seeds differ per job so equal-size jobs still sort distinct data.
+        assert_ne!(lg.spec(0).seed, lg.spec(1).seed);
+    }
+}

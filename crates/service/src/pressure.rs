@@ -1,0 +1,168 @@
+//! Admission control: memory-pressure accounting with fault injection.
+//!
+//! The threads backend has no simulated memory budget —
+//! `Communicator::memory_pressure_with` reports zero there, because host
+//! RAM is the budget. A *service*, however, must not accept unbounded work
+//! just because the OS has not OOM-killed it yet. The [`PressureGauge`]
+//! tracks a service-level pressure estimate against a soft byte budget and
+//! classifies each job at admission:
+//!
+//! * below `spill_at` — run fully in memory;
+//! * in `[spill_at, shed_at)` — run, but through the resilient
+//!   disk-spilling exchange ([`sdssort::sds_sort_resilient`]);
+//! * at or above `shed_at` — refuse the job with an explicit
+//!   [`crate::JobOutcome::Shed`].
+//!
+//! For overload testing, a synthetic pressure ramp can be injected:
+//! `injected_start + injected_ramp_per_job · completed_jobs` is added to
+//! the measured fraction, deterministically driving the service through
+//! in-memory → spill → shed as jobs complete.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Thresholds and fault injection for the [`PressureGauge`].
+#[derive(Debug, Clone, Copy)]
+pub struct PressureConfig {
+    /// Soft memory budget in bytes the service aims to stay under.
+    pub soft_budget_bytes: usize,
+    /// Pressure at or above which admitted jobs run through the
+    /// disk-spilling resilient exchange.
+    pub spill_at: f64,
+    /// Pressure at or above which jobs are shed (refused explicitly).
+    pub shed_at: f64,
+    /// Injected synthetic pressure present from the first job.
+    pub injected_start: f64,
+    /// Injected synthetic pressure added per *completed* job — a
+    /// deterministic fault-injection ramp for overload tests. Zero (the
+    /// default) disables injection.
+    pub injected_ramp_per_job: f64,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        Self {
+            soft_budget_bytes: 256 << 20,
+            spill_at: 0.75,
+            shed_at: 0.95,
+            injected_start: 0.0,
+            injected_ramp_per_job: 0.0,
+        }
+    }
+}
+
+/// The admission decision for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run fully in memory.
+    InMemory,
+    /// Run through the resilient disk-spilling exchange.
+    Spill,
+    /// Refuse the job.
+    Shed,
+}
+
+/// Service-level memory-pressure accounting.
+pub struct PressureGauge {
+    cfg: PressureConfig,
+    inflight_bytes: AtomicUsize,
+    completed_jobs: AtomicU64,
+}
+
+impl PressureGauge {
+    /// A gauge with the given thresholds, starting idle.
+    pub fn new(cfg: PressureConfig) -> Self {
+        Self {
+            cfg,
+            inflight_bytes: AtomicUsize::new(0),
+            completed_jobs: AtomicU64::new(0),
+        }
+    }
+
+    /// Current pressure if `extra_bytes` more were admitted: the in-flight
+    /// fraction of the soft budget plus any injected synthetic ramp.
+    pub fn pressure_with(&self, extra_bytes: usize) -> f64 {
+        let inflight = self.inflight_bytes.load(Ordering::SeqCst);
+        let injected = self.cfg.injected_start
+            + self.cfg.injected_ramp_per_job * self.completed_jobs.load(Ordering::SeqCst) as f64;
+        (inflight + extra_bytes) as f64 / self.cfg.soft_budget_bytes.max(1) as f64 + injected
+    }
+
+    /// Decide admission for a job of `bytes` total payload. Accepted jobs
+    /// (in-memory or spill) are added to the in-flight account; the caller
+    /// must [`Self::release`] them when done. Returns the decision and the
+    /// pressure it was based on.
+    pub fn admit(&self, bytes: usize) -> (Admission, f64) {
+        let p = self.pressure_with(bytes);
+        if p >= self.cfg.shed_at {
+            return (Admission::Shed, p);
+        }
+        self.inflight_bytes.fetch_add(bytes, Ordering::SeqCst);
+        if p >= self.cfg.spill_at {
+            (Admission::Spill, p)
+        } else {
+            (Admission::InMemory, p)
+        }
+    }
+
+    /// Account a previously admitted job as finished (also advances the
+    /// injected fault ramp).
+    pub fn release(&self, bytes: usize) {
+        self.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        self.completed_jobs.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Jobs released so far.
+    pub fn completed(&self) -> u64 {
+        self.completed_jobs.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(budget: usize, ramp: f64) -> PressureGauge {
+        PressureGauge::new(PressureConfig {
+            soft_budget_bytes: budget,
+            injected_ramp_per_job: ramp,
+            ..PressureConfig::default()
+        })
+    }
+
+    #[test]
+    fn thresholds_classify_by_size() {
+        let g = gauge(1000, 0.0);
+        assert_eq!(g.admit(100).0, Admission::InMemory);
+        // 100 in flight + 700 = 0.8 ≥ spill_at
+        assert_eq!(g.admit(700).0, Admission::Spill);
+        // 800 in flight + 200 = 1.0 ≥ shed_at
+        assert_eq!(g.admit(200).0, Admission::Shed);
+        g.release(700);
+        assert_eq!(g.admit(200).0, Admission::InMemory);
+    }
+
+    #[test]
+    fn injected_ramp_walks_through_the_regimes() {
+        let g = gauge(1 << 30, 0.2); // real bytes negligible; ramp dominates
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let (a, _) = g.admit(8);
+            if a != Admission::Shed {
+                g.release(8);
+            }
+            seen.push(a);
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Admission::InMemory, // injected 0.0
+                Admission::InMemory, // 0.2
+                Admission::InMemory, // 0.4
+                Admission::InMemory, // 0.6
+                Admission::Spill,    // 0.8
+                Admission::Shed,     // 1.0 — and shed forever after
+            ]
+        );
+        assert_eq!(g.completed(), 5, "shed jobs do not advance the ramp");
+    }
+}

@@ -1,0 +1,89 @@
+//! Service-level aggregates: counters, throughput, and latency quantiles.
+
+/// Monotonic event counters for one service lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs sorted successfully.
+    pub completed: u64,
+    /// Jobs refused by admission control.
+    pub shed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Completed jobs that degraded to the disk-spilling exchange.
+    pub spilled: u64,
+    /// `try_submit` calls rejected because the queue was full.
+    pub queue_full: u64,
+    /// Arena takes served from the pool.
+    pub arena_hits: u64,
+    /// Arena takes that allocated fresh.
+    pub arena_misses: u64,
+}
+
+impl ServiceCounters {
+    /// Every accepted job is accounted for: completed, shed, or failed.
+    /// (`false` only transiently, while jobs are still in flight.)
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.completed + self.shed + self.failed
+    }
+}
+
+/// Final aggregate a [`crate::SortService::shutdown`] returns.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Event counters over the whole service lifetime.
+    pub counters: ServiceCounters,
+    /// Service lifetime in wall seconds.
+    pub wall_s: f64,
+    /// Completed jobs per wall second.
+    pub jobs_per_sec: f64,
+    /// Median queue wait (all non-failed jobs, shed included).
+    pub queue_wait_p50_s: f64,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99_s: f64,
+    /// Median end-to-end latency of completed jobs.
+    pub latency_p50_s: f64,
+    /// 99th-percentile end-to-end latency of completed jobs.
+    pub latency_p99_s: f64,
+}
+
+/// Nearest-rank percentile (`q` in percent) over unsorted samples; 0.0 for
+/// an empty slice.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((q / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&mut s, 50.0), 3.0);
+        assert_eq!(percentile(&mut s, 99.0), 5.0);
+        assert_eq!(percentile(&mut s, 0.0), 1.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+        assert_eq!(percentile(&mut [7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn counters_balance() {
+        let mut c = ServiceCounters {
+            submitted: 5,
+            completed: 3,
+            shed: 1,
+            failed: 1,
+            ..ServiceCounters::default()
+        };
+        assert!(c.balanced());
+        c.submitted = 6;
+        assert!(!c.balanced());
+    }
+}

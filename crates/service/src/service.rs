@@ -1,0 +1,449 @@
+//! The resident [`SortService`]: dispatcher loop, client handles, and the
+//! per-rank gang job.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ServiceClient ──submit──▶ Mailbox (bounded; full ⇒ sender blocks)
+//!  ServiceClient ──submit──▶    │   (ctx QUEUE_CTX, src client, tag JOB)
+//!       ...                     ▼
+//!                      dispatcher thread ──gang──▶ ResidentWorld
+//!                        │  admission:                (persistent rank
+//!                        │  in-memory / spill / shed   threads, parked
+//!                        ▼                             between jobs)
+//!                  JobOutcome over the ticket channel
+//! ```
+//!
+//! The dispatcher executes jobs strictly one gang at a time (the ranks
+//! share one communicator; overlapping gangs would interleave
+//! collectives), so concurrency for clients comes from the queue: many
+//! handles submit concurrently, the bounded mailbox absorbs bursts, and a
+//! full mailbox blocks submitters — the same backpressure discipline the
+//! backend applies to rank traffic.
+//!
+//! Every accepted job resolves its ticket exactly once. Shutdown first
+//! stops admission (pushes fail), then drains the queue (the mailbox
+//! returns already-queued envelopes even with the stop flag set), so
+//! nothing accepted is ever silently dropped.
+
+use crate::arena::Arena;
+use crate::config::ServiceConfig;
+use crate::job::{JobOutcome, JobReport, JobSpec, JobTicket, SubmitError, TrySubmitError};
+use crate::pressure::{Admission, PressureGauge};
+use crate::report::{percentile, ServiceCounters, ServiceReport};
+use comm::Communicator;
+use sdssort::stats::phase_maxima;
+use sdssort::{sds_sort, sds_sort_resilient, ResilienceConfig, SdsConfig, SortStats};
+use shmem::mailbox::{Envelope, Mailbox, SrcSel};
+use shmem::{ResidentWorld, ThreadComm, ThreadWorld};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Mailbox context id of the submission queue.
+const QUEUE_CTX: u64 = 0;
+/// Tag carried by job-submission envelopes.
+const JOB_TAG: u64 = 1;
+
+/// What travels through the submission mailbox.
+struct Queued {
+    id: u64,
+    spec: JobSpec,
+    /// Submission time in seconds since the service epoch.
+    submitted_s: f64,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+struct Metrics {
+    counters: ServiceCounters,
+    queue_waits: Vec<f64>,
+    latencies: Vec<f64>,
+}
+
+struct Shared {
+    queue: Mailbox,
+    /// Doubles as the mailbox abort flag: once set, pushes fail and a
+    /// draining take returns `None` when the queue is empty.
+    stopping: AtomicBool,
+    gauge: PressureGauge,
+    arena: Arc<Arena>,
+    epoch: Instant,
+    next_job: AtomicU64,
+    next_client: AtomicUsize,
+    metrics: Mutex<Metrics>,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A long-lived sort service over a persistent rank pool. See the crate
+/// docs for the full model and a quick-start example.
+pub struct SortService {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+/// A handle for submitting jobs; obtain one per client thread via
+/// [`SortService::client`].
+pub struct ServiceClient {
+    shared: Arc<Shared>,
+    client_id: usize,
+}
+
+impl SortService {
+    /// Spawn the resident rank pool and the dispatcher, ready for jobs.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mailbox::new(cfg.queue_capacity),
+            stopping: AtomicBool::new(false),
+            gauge: PressureGauge::new(cfg.pressure),
+            arena: Arc::new(Arena::new(cfg.ranks, cfg.arena_buffers_per_rank)),
+            epoch: Instant::now(),
+            next_job: AtomicU64::new(0),
+            next_client: AtomicUsize::new(0),
+            metrics: Mutex::new(Metrics {
+                counters: ServiceCounters::default(),
+                queue_waits: Vec::new(),
+                latencies: Vec::new(),
+            }),
+        });
+        let shared2 = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("sortsvc-dispatcher".to_owned())
+            .spawn(move || {
+                // The resident world lives on the dispatcher thread: gangs
+                // are strictly sequential by construction.
+                let mut world = ThreadWorld::new(cfg.ranks)
+                    .cores_per_node(cfg.cores_per_node)
+                    .resident();
+                while let Some(env) =
+                    shared2
+                        .queue
+                        .take(QUEUE_CTX, SrcSel::Any, JOB_TAG, &shared2.stopping)
+                {
+                    let queued = env
+                        .data
+                        .downcast::<Queued>()
+                        .expect("submission envelopes carry Queued payloads");
+                    run_one(&shared2, &cfg, &mut world, *queued);
+                }
+            })
+            .expect("spawn sortsvc dispatcher thread");
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A new client handle. Handles are independent (distinct mailbox
+    /// sources) and may live on different threads.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+            client_id: self.shared.next_client.fetch_add(1, Ordering::SeqCst),
+        }
+    }
+
+    /// Snapshot of the service counters (arena stats included).
+    pub fn counters(&self) -> ServiceCounters {
+        let mut c = self
+            .shared
+            .metrics
+            .lock()
+            .expect("service metrics mutex poisoned")
+            .counters;
+        c.arena_hits = self.shared.arena.hits();
+        c.arena_misses = self.shared.arena.misses();
+        c
+    }
+
+    /// Stop admission, drain the queue, park the world, and aggregate the
+    /// lifetime report. Every job accepted before shutdown still resolves.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ServiceReport {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.queue.interrupt();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let wall_s = self.shared.now_s();
+        let mut m = self
+            .shared
+            .metrics
+            .lock()
+            .expect("service metrics mutex poisoned");
+        let mut counters = m.counters;
+        counters.arena_hits = self.shared.arena.hits();
+        counters.arena_misses = self.shared.arena.misses();
+        ServiceReport {
+            counters,
+            wall_s,
+            jobs_per_sec: counters.completed as f64 / wall_s.max(1e-9),
+            queue_wait_p50_s: percentile(&mut m.queue_waits, 50.0),
+            queue_wait_p99_s: percentile(&mut m.queue_waits, 99.0),
+            latency_p50_s: percentile(&mut m.latencies, 50.0),
+            latency_p99_s: percentile(&mut m.latencies, 99.0),
+        }
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        if self.dispatcher.is_some() {
+            let _ = self.finish();
+        }
+    }
+}
+
+impl ServiceClient {
+    /// This handle's client id (its mailbox source).
+    pub fn id(&self) -> usize {
+        self.client_id
+    }
+
+    fn package(&self, spec: JobSpec) -> (Envelope, JobTicket) {
+        let id = self.shared.next_job.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        let bytes = spec.records_per_rank * std::mem::size_of::<u64>();
+        let env = Envelope {
+            ctx: QUEUE_CTX,
+            src: self.client_id,
+            tag: JOB_TAG,
+            data: Box::new(Queued {
+                id,
+                spec,
+                submitted_s: self.shared.now_s(),
+                reply: tx,
+            }),
+            bytes,
+        };
+        (env, JobTicket { id, rx })
+    }
+
+    fn note_submitted(&self) {
+        self.shared
+            .metrics
+            .lock()
+            .expect("service metrics mutex poisoned")
+            .counters
+            .submitted += 1;
+    }
+
+    /// Submit a job, blocking while the queue is full (backpressure).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        let (env, ticket) = self.package(spec);
+        if self.shared.queue.push(env, &self.shared.stopping) {
+            self.note_submitted();
+            Ok(ticket)
+        } else {
+            Err(SubmitError::Shutdown)
+        }
+    }
+
+    /// Submit without blocking: a full queue fails fast with
+    /// [`TrySubmitError::QueueFull`] instead of waiting.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobTicket, TrySubmitError> {
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            return Err(TrySubmitError::Shutdown);
+        }
+        let (env, ticket) = self.package(spec);
+        match self.shared.queue.try_push(env) {
+            Ok(()) => {
+                self.note_submitted();
+                Ok(ticket)
+            }
+            Err(_env) => {
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("service metrics mutex poisoned")
+                    .counters
+                    .queue_full += 1;
+                Err(TrySubmitError::QueueFull)
+            }
+        }
+    }
+}
+
+/// Execute one queued job end to end on the dispatcher thread.
+fn run_one(shared: &Arc<Shared>, cfg: &ServiceConfig, world: &mut ResidentWorld, q: Queued) {
+    let Queued {
+        id,
+        spec,
+        submitted_s,
+        reply,
+    } = q;
+    let queue_wait_s = shared.now_s() - submitted_s;
+    let records = spec.records_per_rank as u64 * cfg.ranks as u64;
+    let bytes = records as usize * std::mem::size_of::<u64>();
+
+    let (admission, admit_pressure) = shared.gauge.admit(bytes);
+    if admission == Admission::Shed {
+        let mut m = shared
+            .metrics
+            .lock()
+            .expect("service metrics mutex poisoned");
+        m.counters.shed += 1;
+        m.queue_waits.push(queue_wait_s);
+        drop(m);
+        let _ = reply.send(JobOutcome::Shed {
+            id,
+            pressure: admit_pressure,
+            queue_wait_s,
+        });
+        return;
+    }
+
+    let spill = admission == Admission::Spill;
+    let spec = Arc::new(spec);
+    let gang_spec = Arc::clone(&spec);
+    let arena = Arc::clone(&shared.arena);
+    let sort_cfg = cfg.sort;
+    let spill_dir = cfg.spill_dir.join(format!("job{id}"));
+    let t0 = shared.now_s();
+    let gang =
+        world.run(move |comm| rank_job(comm, &gang_spec, &arena, &sort_cfg, spill, &spill_dir));
+    let sort_wall_s = shared.now_s() - t0;
+    shared.gauge.release(bytes);
+
+    let outcome = match gang {
+        Err(e) => JobOutcome::Failed {
+            id,
+            error: e.message,
+        },
+        Ok(per_rank) => assemble(
+            id,
+            &spec,
+            per_rank,
+            records,
+            queue_wait_s,
+            sort_wall_s,
+            admit_pressure,
+        ),
+    };
+    let mut m = shared
+        .metrics
+        .lock()
+        .expect("service metrics mutex poisoned");
+    match &outcome {
+        JobOutcome::Sorted { report, .. } => {
+            m.counters.completed += 1;
+            if report.spilled {
+                m.counters.spilled += 1;
+            }
+            m.queue_waits.push(report.queue_wait_s);
+            m.latencies.push(report.latency_s());
+        }
+        JobOutcome::Failed { .. } => m.counters.failed += 1,
+        JobOutcome::Shed { .. } => unreachable!("shed handled before dispatch"),
+    }
+    drop(m);
+    let _ = reply.send(outcome);
+}
+
+/// One rank's contribution to a job: its phase stats, plus its sorted
+/// output when the job asked for data back.
+type RankOutcome = Result<(SortStats, Option<Vec<u64>>), String>;
+
+/// Fold per-rank results into one outcome.
+fn assemble(
+    id: u64,
+    spec: &JobSpec,
+    per_rank: Vec<RankOutcome>,
+    records: u64,
+    queue_wait_s: f64,
+    sort_wall_s: f64,
+    admit_pressure: f64,
+) -> JobOutcome {
+    let mut stats = Vec::with_capacity(per_rank.len());
+    let mut outputs = Vec::with_capacity(per_rank.len());
+    for r in per_rank {
+        match r {
+            Ok((s, o)) => {
+                stats.push(s);
+                if let Some(o) = o {
+                    outputs.push(o);
+                }
+            }
+            Err(error) => return JobOutcome::Failed { id, error },
+        }
+    }
+    let maxima = phase_maxima(&stats);
+    JobOutcome::Sorted {
+        report: JobReport {
+            id,
+            workload: spec.workload.clone(),
+            records,
+            queue_wait_s,
+            sort_wall_s,
+            pivot_s: maxima.pivot_s,
+            exchange_s: maxima.exchange_s,
+            local_order_s: maxima.local_order_s,
+            spilled: maxima.spilled,
+            spill_records: stats.iter().map(|s| s.spill_records as u64).sum(),
+            admit_pressure,
+        },
+        output: spec.return_output.then_some(outputs),
+    }
+}
+
+/// One rank's share of a job, running on its persistent thread.
+fn rank_job(
+    comm: &ThreadComm,
+    spec: &JobSpec,
+    arena: &Arena,
+    sort_cfg: &SdsConfig,
+    spill: bool,
+    spill_dir: &Path,
+) -> RankOutcome {
+    let mut buf = arena.take(comm.rank());
+    // A generator error is deterministic in the workload name, so every
+    // rank takes this early return together — nobody is left blocked in a
+    // collective.
+    if let Err(e) = workloads::fill_keys_by_name(
+        &spec.workload,
+        &mut buf,
+        spec.records_per_rank,
+        spec.seed,
+        comm.rank(),
+    ) {
+        arena.put(comm.rank(), buf);
+        return Err(e);
+    }
+    // Each job sorts on its own split context: fresh collective sequence
+    // numbers, and any stray envelope from a failed job can never match.
+    let sub = comm
+        .split(Some(0), comm.rank() as i64)
+        .expect("every rank passes the same color");
+    let out = if spill {
+        let mut rcfg = ResilienceConfig::new(spill_dir);
+        // The threads backend reports zero simulated memory pressure, so
+        // an impossible threshold is what forces every rank onto the
+        // disk-spilling exchange.
+        rcfg.pressure_threshold = -1.0;
+        sds_sort_resilient(&sub, buf, sort_cfg, &rcfg)
+    } else {
+        sds_sort(&sub, buf, sort_cfg)
+    };
+    match out {
+        Ok(o) => {
+            let stats = o.stats;
+            if spec.return_output {
+                Ok((stats, Some(o.data)))
+            } else {
+                // Recycle the output buffer as a future input buffer.
+                arena.put(comm.rank(), o.data);
+                Ok((stats, None))
+            }
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}

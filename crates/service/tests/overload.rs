@@ -1,0 +1,121 @@
+//! Overload behavior: under a fault-injected memory ramp and a saturated
+//! queue, the service degrades (spills, then sheds) and applies
+//! backpressure — and every accepted job still resolves explicitly.
+
+use service::{JobOutcome, JobSpec, PressureConfig, ServiceConfig, SortService, TrySubmitError};
+
+#[test]
+fn injected_pressure_ramp_degrades_gracefully_without_silent_drops() {
+    let spill_dir = std::env::temp_dir().join("sds-service-overload-test");
+    let mut cfg = ServiceConfig::new(2);
+    cfg.queue_capacity = 4;
+    cfg.spill_dir = spill_dir.clone();
+    // Fault injection: synthetic pressure climbs 0.12 per completed job
+    // against real byte pressure made negligible by a huge budget. The
+    // service must walk in-memory → spill (≥ 0.75) → shed (≥ 0.95).
+    cfg.pressure = PressureConfig {
+        soft_budget_bytes: 1 << 40,
+        injected_ramp_per_job: 0.12,
+        ..PressureConfig::default()
+    };
+    let svc = SortService::start(cfg);
+
+    let tickets: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let client = svc.client();
+                scope.spawn(move || {
+                    (0..3u64)
+                        .map(|i| {
+                            // Blocking submit: a full queue parks this
+                            // thread instead of dropping the job.
+                            client
+                                .submit(JobSpec::new("zipf:0.8", 4_000, c * 10 + i))
+                                .expect("service accepting")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("submitter thread"))
+            .collect()
+    });
+    assert_eq!(tickets.len(), 12);
+
+    let (mut completed, mut spilled, mut shed, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for t in tickets {
+        match t.wait() {
+            JobOutcome::Sorted { report, .. } => {
+                completed += 1;
+                if report.spilled {
+                    spilled += 1;
+                    assert!(report.spill_records > 0, "spilling moved records");
+                }
+            }
+            JobOutcome::Shed { pressure, .. } => {
+                shed += 1;
+                assert!(pressure >= 0.95, "shed below the threshold: {pressure}");
+            }
+            JobOutcome::Failed { id, error } => {
+                failed += 1;
+                eprintln!("job {id} failed: {error}");
+            }
+        }
+    }
+    // Ramp arithmetic: completions 0..=6 run in memory (injected < 0.75),
+    // 7 and on spill until 0.96 is reached at the 8th completion, after
+    // which everything sheds. Every ticket resolved above — nothing was
+    // silently dropped.
+    assert_eq!(failed, 0);
+    assert_eq!(completed, 8, "8 jobs complete before the ramp sheds");
+    assert_eq!(shed, 4, "the last 4 jobs shed");
+    assert!(spilled >= 1, "the ramp's middle regime must spill");
+
+    let report = svc.shutdown();
+    assert!(report.counters.balanced(), "{:?}", report.counters);
+    assert_eq!(report.counters.submitted, 12);
+    assert_eq!(report.counters.spilled, spilled);
+    let _ = std::fs::remove_dir_all(spill_dir);
+}
+
+#[test]
+fn saturated_queue_rejects_try_submit_and_resolves_everything() {
+    let mut cfg = ServiceConfig::new(2);
+    cfg.queue_capacity = 2;
+    let svc = SortService::start(cfg);
+    let client = svc.client();
+
+    // Burst far past capacity in a tight loop. The dispatcher can absorb
+    // at most one job into execution, the queue holds two more, so at
+    // least three of these must bounce with QueueFull.
+    let mut accepted = Vec::new();
+    let mut bounced = 0u64;
+    for i in 0..6u64 {
+        match client.try_submit(JobSpec::new("uniform", 50_000, i)) {
+            Ok(t) => accepted.push(t),
+            Err(TrySubmitError::QueueFull) => bounced += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        bounced >= 3,
+        "backpressure must engage: only {bounced} bounced"
+    );
+    assert!(!accepted.is_empty());
+
+    let n = accepted.len() as u64;
+    for t in accepted {
+        match t.wait() {
+            JobOutcome::Sorted { .. } => {}
+            other => panic!("accepted job must sort: {other:?}"),
+        }
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.counters.completed, n);
+    assert_eq!(report.counters.queue_full, bounced);
+    assert!(report.counters.balanced());
+    assert!(report.jobs_per_sec > 0.0);
+    assert!(report.latency_p99_s >= report.latency_p50_s);
+}

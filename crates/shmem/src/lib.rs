@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 mod comm;
-mod mailbox;
+pub mod mailbox;
+mod resident;
 mod universe;
 mod world;
 
 pub use crate::comm::{ShmemAborted, ShmemAsync, ThreadComm};
+pub use resident::{GangError, ResidentWorld};
 pub use universe::{NetStats, Universe};
 pub use world::{ThreadReport, ThreadWorld};

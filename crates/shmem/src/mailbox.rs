@@ -13,6 +13,13 @@
 //! collectives used here that is `p - 1` data messages per in-flight
 //! collective; the world default leaves a wide margin (see
 //! [`crate::ThreadWorld::mailbox_capacity`]).
+//!
+//! The module is public because the same machinery — a bounded,
+//! `(ctx, src, tag)`-matched, abort-aware queue whose full state blocks
+//! the *sender* — is exactly what a job submission queue needs:
+//! `crates/service` builds its client-facing `SortService` queue on
+//! [`Mailbox`] (contexts distinguish queues, sources identify client
+//! handles, tags carry the job class).
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -20,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// One queued message.
-pub(crate) struct Envelope {
+pub struct Envelope {
     /// Communicator context id the message was sent on.
     pub ctx: u64,
     /// World rank of the sender.
@@ -35,7 +42,7 @@ pub(crate) struct Envelope {
 
 /// Source selector for a take.
 #[derive(Clone, Copy)]
-pub(crate) enum SrcSel {
+pub enum SrcSel {
     /// Match only this world rank.
     Exact(usize),
     /// Match any source (within the context).
@@ -52,7 +59,7 @@ fn matches(env: &Envelope, ctx: u64, src: SrcSel, tag: u64) -> bool {
 }
 
 /// A bounded, abort-aware mailbox.
-pub(crate) struct Mailbox {
+pub struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -60,7 +67,8 @@ pub(crate) struct Mailbox {
 }
 
 impl Mailbox {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A mailbox holding at most `capacity` envelopes (min 1).
+    pub fn new(capacity: usize) -> Self {
         Self {
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
@@ -72,7 +80,7 @@ impl Mailbox {
     /// Deliver an envelope, blocking while the mailbox is full. Returns
     /// `false` if the world aborted while waiting (the envelope is
     /// dropped).
-    pub(crate) fn push(&self, env: Envelope, aborted: &AtomicBool) -> bool {
+    pub fn push(&self, env: Envelope, aborted: &AtomicBool) -> bool {
         let mut q = self.queue.lock().expect("mailbox mutex poisoned");
         while q.len() >= self.capacity {
             if aborted.load(Ordering::SeqCst) {
@@ -92,8 +100,22 @@ impl Mailbox {
         true
     }
 
+    /// Non-blocking push: deliver `env` if the mailbox has room, else hand
+    /// it back to the caller. Lets a submission queue report "queue full"
+    /// instead of blocking the client.
+    pub fn try_push(&self, env: Envelope) -> Result<(), Envelope> {
+        let mut q = self.queue.lock().expect("mailbox mutex poisoned");
+        if q.len() >= self.capacity {
+            return Err(env);
+        }
+        q.push_back(env);
+        drop(q);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
     /// Non-blocking take of the first envelope matching `(ctx, src, tag)`.
-    pub(crate) fn try_take(&self, ctx: u64, src: SrcSel, tag: u64) -> Option<Envelope> {
+    pub fn try_take(&self, ctx: u64, src: SrcSel, tag: u64) -> Option<Envelope> {
         let mut q = self.queue.lock().expect("mailbox mutex poisoned");
         let pos = q.iter().position(|e| matches(e, ctx, src, tag))?;
         let env = q.remove(pos).expect("position found above");
@@ -104,13 +126,7 @@ impl Mailbox {
 
     /// Blocking take of the first envelope matching `(ctx, src, tag)`.
     /// Returns `None` if the world aborted while waiting.
-    pub(crate) fn take(
-        &self,
-        ctx: u64,
-        src: SrcSel,
-        tag: u64,
-        aborted: &AtomicBool,
-    ) -> Option<Envelope> {
+    pub fn take(&self, ctx: u64, src: SrcSel, tag: u64, aborted: &AtomicBool) -> Option<Envelope> {
         let mut q = self.queue.lock().expect("mailbox mutex poisoned");
         loop {
             if let Some(pos) = q.iter().position(|e| matches(e, ctx, src, tag)) {
@@ -130,7 +146,7 @@ impl Mailbox {
     }
 
     /// Wake every waiter (sender or receiver) so it can observe an abort.
-    pub(crate) fn interrupt(&self) {
+    pub fn interrupt(&self) {
         // Take the lock so wake-ups cannot race ahead of the abort-flag
         // store in a waiter that is between its check and its wait.
         drop(self.queue.lock().expect("mailbox mutex poisoned"));

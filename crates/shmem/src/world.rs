@@ -81,6 +81,20 @@ impl ThreadWorld {
         self
     }
 
+    /// Convert the builder into a [`crate::ResidentWorld`]: the rank
+    /// threads spawn now, park between jobs, and serve gang-scheduled
+    /// closures until the world is dropped. This is the substrate of
+    /// `crates/service`'s long-lived `SortService`.
+    pub fn resident(&self) -> crate::ResidentWorld {
+        let uni = Arc::new(Universe::new(
+            self.size,
+            self.cores_per_node,
+            self.mailbox_capacity,
+            self.telemetry,
+        ));
+        crate::ResidentWorld::start(uni)
+    }
+
     /// Run `f` on every rank concurrently and collect the results.
     ///
     /// Each rank runs on its own OS thread (named `shmem-rank-{r}`). If a

@@ -39,11 +39,57 @@ pub use cosmology::{cosmology_particles, Particle};
 pub use partial::{interleaved_runs, nearly_sorted};
 pub use ptf::{ptf_scores, PtfObject};
 pub use staggered::{presplit, reversed, staggered};
-pub use uniform::{uniform_f32, uniform_u32, uniform_u64};
-pub use zipf::{zipf_keys, ZipfGen, PAPER_ALPHA_DELTA_TABLE2};
+pub use uniform::{uniform_f32, uniform_u32, uniform_u64, uniform_u64_into};
+pub use zipf::{zipf_keys, zipf_keys_into, ZipfGen, PAPER_ALPHA_DELTA_TABLE2};
 
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// Generate `n` `u64` keys for `rank` from a workload named on a command
+/// line or in a job spec: `uniform`, `zipf:<alpha>`, `ptf-like` (PTF
+/// scores mapped to their order-preserving bits), or `adversarial`
+/// (heavy-hitter duplicates). Shared by `sortcli` and the sort service so
+/// a job submitted by name reproduces exactly the keys a CLI run draws.
+pub fn keys_by_name(name: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>, String> {
+    let mut buf = Vec::with_capacity(n);
+    fill_keys_by_name(name, &mut buf, n, seed, rank)?;
+    Ok(buf)
+}
+
+/// Buffer-filling variant of [`keys_by_name`]: appends the identical key
+/// stream to `buf`, so a resident service can recycle buffers between
+/// jobs. The hot workloads (`uniform`, `zipf:*`) fill in place; the record
+/// workloads fall back to a temporary.
+pub fn fill_keys_by_name(
+    name: &str,
+    buf: &mut Vec<u64>,
+    n: usize,
+    seed: u64,
+    rank: usize,
+) -> Result<(), String> {
+    if name == "uniform" {
+        uniform_u64_into(buf, n, seed, rank);
+        return Ok(());
+    }
+    if let Some(alpha) = name.strip_prefix("zipf:") {
+        let alpha: f64 = alpha.parse().map_err(|e| format!("zipf alpha: {e}"))?;
+        zipf_keys_into(buf, n, alpha, seed, rank);
+        return Ok(());
+    }
+    if name == "ptf-like" {
+        buf.extend(
+            ptf_scores(n, seed, rank)
+                .into_iter()
+                .map(|o| o.key.ordered_bits() as u64),
+        );
+        return Ok(());
+    }
+    if name == "adversarial" {
+        buf.extend(heavy_hitters(n, 2, 90.0, seed, rank));
+        return Ok(());
+    }
+    Err(format!("unknown workload {name}"))
+}
 
 /// Empirical maximum replication ratio δ = (count of the most frequent
 /// key) / N, as a percentage — the paper's skewness measure.

@@ -11,8 +11,17 @@ fn rng_for(seed: u64, rank: usize) -> StdRng {
 
 /// `n` uniform `u64` keys for `rank`.
 pub fn uniform_u64(n: usize, seed: u64, rank: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    uniform_u64_into(&mut out, n, seed, rank);
+    out
+}
+
+/// Append `n` uniform `u64` keys for `rank` to `buf` — the same stream as
+/// [`uniform_u64`], but into a caller-owned (typically arena-recycled)
+/// buffer so steady-state generation causes no fresh allocation.
+pub fn uniform_u64_into(buf: &mut Vec<u64>, n: usize, seed: u64, rank: usize) {
     let mut rng = rng_for(seed, rank);
-    (0..n).map(|_| rng.gen()).collect()
+    buf.extend((0..n).map(|_| rng.gen::<u64>()));
 }
 
 /// `n` uniform `u32` keys in `[0, max)` for `rank`.

@@ -124,24 +124,42 @@ impl ZipfGen {
 
     /// Draw `n` keys for `rank` deterministically.
     pub fn keys(&self, n: usize, seed: u64, rank: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        self.keys_into(&mut out, n, seed, rank);
+        out
+    }
+
+    /// Append `n` keys for `rank` to `buf` — the same stream as
+    /// [`Self::keys`], but into a caller-owned (typically arena-recycled)
+    /// buffer so steady-state generation causes no fresh allocation.
+    pub fn keys_into(&self, buf: &mut Vec<u64>, n: usize, seed: u64, rank: usize) {
         let mut rng =
             StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0xD134_2543_DE82_EF95));
-        (0..n).map(|_| self.sample(&mut rng)).collect()
+        buf.extend((0..n).map(|_| self.sample(&mut rng)));
     }
+}
+
+/// Buffer-filling variant of [`zipf_keys`]: appends to `buf` instead of
+/// allocating (identical key stream).
+pub fn zipf_keys_into(buf: &mut Vec<u64>, n: usize, alpha: f64, seed: u64, rank: usize) {
+    zipf_gen_for(alpha).keys_into(buf, n, seed, rank);
+}
+
+fn zipf_gen_for(alpha: f64) -> ZipfGen {
+    PAPER_ALPHA_DELTA_TABLE2
+        .iter()
+        .find(|(a, _)| (*a - alpha).abs() < 1e-9)
+        .map_or_else(
+            || ZipfGen::new(alpha, 1 << 20),
+            |&(a, d)| ZipfGen::with_delta_target(a, d),
+        )
 }
 
 /// Convenience: `n` Zipf keys with exponent `alpha` calibrated to the
 /// paper's Table 2 δ where α matches a table entry, else over a default
 /// 2²⁰-key universe.
 pub fn zipf_keys(n: usize, alpha: f64, seed: u64, rank: usize) -> Vec<u64> {
-    let gen = PAPER_ALPHA_DELTA_TABLE2
-        .iter()
-        .find(|(a, _)| (*a - alpha).abs() < 1e-9)
-        .map_or_else(
-            || ZipfGen::new(alpha, 1 << 20),
-            |&(a, d)| ZipfGen::with_delta_target(a, d),
-        );
-    gen.keys(n, seed, rank)
+    zipf_gen_for(alpha).keys(n, seed, rank)
 }
 
 #[cfg(test)]

@@ -76,6 +76,20 @@ run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
 # simulator and the threads backend (the PR 5 acceptance gate).
 run cargo test -q "${CARGO_OPTS[@]}" --test backend_equivalence
 
+# Resident-service smoke: the long-lived SortService (persistent rank
+# pool, bounded queue, arena reuse) must absorb a concurrent Zipf-sized
+# job burst from several clients and emit a self-describing experiment
+# document. The service suite also proves equivalence with one-shot runs
+# and graceful degradation under an injected pressure ramp.
+run cargo test -q "${CARGO_OPTS[@]}" -p service
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin svc_bench -- \
+    --ranks 4 --clients 4 --jobs 16 --records 4000 \
+    --metrics-out "$tmp/svc"
+test -s "$tmp/svc/BENCH_svc.json" || {
+    echo "ci: svc_bench did not write BENCH_svc.json" >&2
+    exit 1
+}
+
 # Faults smoke: the sort must survive heavy deterministic fault injection,
 # and graceful degradation must complete (spilling) where the plain driver
 # would OOM under the memory-pressure ramp.

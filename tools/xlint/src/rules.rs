@@ -3,7 +3,7 @@
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
-//! | `wallclock` | virtual-time lib code (`VIRTUAL_TIME_SRC`) | no `Instant`/`SystemTime`/`thread::sleep`: simulation code runs on virtual clocks. The real-execution backend (`crates/shmem`) is deliberately out of scope — wall clocks are its whole point |
+//! | `wallclock` | virtual-time lib code (`VIRTUAL_TIME_SRC`) | no `Instant`/`SystemTime`/`thread::sleep`: simulation code runs on virtual clocks. The real-execution backend (`crates/shmem`) and the resident service built on it (`crates/service`) are deliberately out of scope — wall clocks are their whole point |
 //! | `relaxed-ordering` | all lib code | no `Ordering::Relaxed` outside allowlisted fast paths: cross-rank state uses `SeqCst` |
 //! | `safety-comment` | everywhere | every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) |
 //! | `no-unwrap` | library crates | no bare `.unwrap()`; `.expect()` must carry a string-literal invariant message |
@@ -38,12 +38,13 @@ pub struct Violation {
 
 /// Crates whose library code runs on *virtual* time and therefore must not
 /// read host clocks (`wallclock` rule). Scoped per-crate on purpose: the
-/// real shared-memory backend (`crates/shmem`) and the harnesses measure
-/// wall-clock time by design and are not listed here.
+/// real shared-memory backend (`crates/shmem`), the resident sort service
+/// built on it (`crates/service`), and the harnesses measure wall-clock
+/// time by design and are not listed here.
 const VIRTUAL_TIME_SRC: [&str; 2] = ["crates/mpisim/src/", "crates/sdssort/src/"];
 
 /// Library crates covered by the `no-unwrap` rule.
-const LIB_CRATE_SRC: [&str; 7] = [
+const LIB_CRATE_SRC: [&str; 8] = [
     "crates/mpisim/src/",
     "crates/sdssort/src/",
     "crates/telemetry/src/",
@@ -51,6 +52,7 @@ const LIB_CRATE_SRC: [&str; 7] = [
     "crates/baselines/src/",
     "crates/comm/src/",
     "crates/shmem/src/",
+    "crates/service/src/",
 ];
 
 /// Comm methods whose tag argument must be a named constant, with the

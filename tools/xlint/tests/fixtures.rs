@@ -78,6 +78,34 @@ fn wallclock_scope_excludes_the_real_time_backend() {
 }
 
 #[test]
+fn wallclock_scope_excludes_the_resident_service() {
+    // The resident sort service lives on the real backend's clock: queue
+    // waits and latency percentiles are wall-clock measurements, so
+    // `wallclock` must not fire there — while the library-hygiene rules
+    // cover it like any other crate.
+    let src = fixture("banned_patterns.rs");
+    let rules: BTreeSet<_> = xlint::scan_source("crates/service/src/fixture.rs", &src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    assert!(
+        !rules.contains("wallclock"),
+        "wallclock fired outside the virtual-time crates: {rules:?}"
+    );
+    for expected in [
+        "relaxed-ordering",
+        "safety-comment",
+        "no-unwrap",
+        "tag-discipline",
+    ] {
+        assert!(
+            rules.contains(expected),
+            "rule `{expected}` should still cover crates/service: {rules:?}"
+        );
+    }
+}
+
+#[test]
 fn stale_allowlist_entries_are_reported() {
     let dir = scratch_dir("xlint-stale-test");
     fs::create_dir_all(dir.join("src")).expect("create scratch src dir");
