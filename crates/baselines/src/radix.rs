@@ -10,47 +10,17 @@
 //! rank: radix sort shares HykSort's skew failure mode, which is why the
 //! paper's related-work section groups it with the non-robust baselines.
 //!
-//! Keys must expose a monotone unsigned-integer mapping ([`RadixKey`]);
-//! provided for all unsigned primitives and the total-order float
-//! wrappers.
+//! Keys must expose a monotone unsigned-integer mapping ([`RadixKey`],
+//! shared with `sdssort`'s local radix kernel); provided for the integer
+//! primitives and the total-order float wrappers. 128-bit keys implement
+//! the trait with `USABLE = false` and are rejected at runtime.
 
 use mpisim::Comm;
-use sdssort::record::{OrderedF32, OrderedF64, Sortable};
+use sdssort::record::Sortable;
 use sdssort::sort::{SortError, SortOutput};
 use sdssort::stats::SortStats;
 
-/// A key with an order-preserving mapping to `u64`:
-/// `a <= b  ⇔  a.radix_u64() <= b.radix_u64()`.
-pub trait RadixKey: Copy {
-    /// The monotone unsigned mapping.
-    fn radix_u64(&self) -> u64;
-}
-
-macro_rules! impl_radix_uint {
-    ($($t:ty),*) => {$(
-        impl RadixKey for $t {
-            #[inline]
-            fn radix_u64(&self) -> u64 {
-                *self as u64
-            }
-        }
-    )*};
-}
-impl_radix_uint!(u8, u16, u32, u64, usize);
-
-impl RadixKey for OrderedF32 {
-    #[inline]
-    fn radix_u64(&self) -> u64 {
-        self.ordered_bits() as u64
-    }
-}
-
-impl RadixKey for OrderedF64 {
-    #[inline]
-    fn radix_u64(&self) -> u64 {
-        self.ordered_bits()
-    }
-}
+pub use sdssort::record::RadixKey;
 
 /// Digit width of the global histogram (top `HIST_BITS` bits of the key).
 const HIST_BITS: u32 = 12;
@@ -58,6 +28,41 @@ const HIST_SIZE: usize = 1 << HIST_BITS;
 
 fn top_digit(key: u64, shift: u32) -> usize {
     (key >> shift) as usize
+}
+
+/// Carve the digit histogram into `p` contiguous ranges of approximately
+/// equal population; returns the inclusive end digits of the first `p - 1`
+/// ranges (the last range runs to the end of the histogram).
+///
+/// Boundary `k` goes at the first digit whose cumulative population
+/// reaches the ideal curve `(k + 1) · total / p`, so rounding never
+/// accumulates across ranges. The previous per-range quota with an
+/// accumulator reset (`acc = 0` after each boundary) discarded the
+/// overshoot above the quota: on a uniform histogram every range rounded
+/// up to whole buckets, the compounded drift exhausted the digit space
+/// before `p - 1` boundaries were placed, and the trailing ranks received
+/// empty ranges.
+pub fn carve_ranges(hist: &[u64], p: usize) -> Vec<usize> {
+    assert!(p >= 1 && !hist.is_empty());
+    let total: u64 = hist.iter().sum();
+    let mut range_end_digit = Vec::with_capacity(p.saturating_sub(1));
+    let mut cum: u64 = 0;
+    for (digit, &count) in hist.iter().enumerate() {
+        cum += count;
+        // One boundary per digit: a digit spanning several ideal marks
+        // cannot be split (the skew failure), so later marks fall on the
+        // digits after it.
+        if range_end_digit.len() < p - 1
+            && u128::from(cum) * p as u128
+                >= (range_end_digit.len() as u128 + 1) * u128::from(total)
+        {
+            range_end_digit.push(digit);
+        }
+    }
+    while range_end_digit.len() < p - 1 {
+        range_end_digit.push(hist.len() - 1);
+    }
+    range_end_digit
 }
 
 /// Distributed radix sort. Unstable. Fails collectively with
@@ -68,6 +73,10 @@ where
     T: Sortable,
     T::Key: RadixKey,
 {
+    assert!(
+        <T::Key as RadixKey>::USABLE,
+        "radix baseline requires a key with a usable u64 embedding"
+    );
     let p = comm.size();
     let mut stats = SortStats {
         input_count: data.len(),
@@ -100,23 +109,10 @@ where
         }
     });
     let hist = comm.allreduce(hist, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
-    let total: u64 = hist.iter().sum();
 
     // Carve digit space into p ranges of ≈ total/p population. A single
     // over-populated digit cannot be split — the skew failure.
-    let target = total.div_ceil(p as u64).max(1);
-    let mut range_end_digit = Vec::with_capacity(p);
-    let mut acc = 0u64;
-    for (digit, &count) in hist.iter().enumerate() {
-        acc += count;
-        if acc >= target && range_end_digit.len() < p - 1 {
-            range_end_digit.push(digit);
-            acc = 0;
-        }
-    }
-    while range_end_digit.len() < p - 1 {
-        range_end_digit.push(HIST_SIZE - 1);
-    }
+    let range_end_digit = comm.compute(|| carve_ranges(&hist, p));
 
     // Cut local (sorted) data at each range boundary.
     let mut cuts = Vec::with_capacity(p + 1);
@@ -170,4 +166,70 @@ where
     comm.free(bytes);
     stats.recv_count = out.len();
     Ok(SortOutput { data: out, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Population of each of the `p` ranges implied by the end digits.
+    fn range_pops(hist: &[u64], ends: &[usize]) -> Vec<u64> {
+        let mut pops = Vec::with_capacity(ends.len() + 1);
+        let mut start = 0usize;
+        for &end in ends {
+            pops.push(hist[start..=end].iter().sum());
+            start = end + 1;
+        }
+        pops.push(hist[start.min(hist.len())..].iter().sum());
+        pops
+    }
+
+    #[test]
+    fn carve_balances_uniform_histogram() {
+        // Regression for the acc-reset bug: on a uniform histogram every
+        // range used to round up to whole buckets without carrying the
+        // overshoot, the cumulative drift ran out of digits after ~4/5 of
+        // the boundaries, and the trailing ranks got empty ranges.
+        let hist = vec![10u64; 4096];
+        let p = 1000usize;
+        let ends = carve_ranges(&hist, p);
+        assert_eq!(ends.len(), p - 1);
+        assert!(
+            ends.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must strictly advance on a uniform histogram"
+        );
+        let pops = range_pops(&hist, &ends);
+        assert_eq!(pops.len(), p);
+        assert_eq!(pops.iter().sum::<u64>(), 40_960);
+        let ideal = 40_960u64 / p as u64; // 40.96 → 40
+        assert!(
+            *pops.iter().min().unwrap() > 0,
+            "no rank may receive an empty range: {pops:?}"
+        );
+        assert!(
+            *pops.iter().max().unwrap() <= 2 * (ideal + 1),
+            "max range within 2x of ideal: max={}",
+            pops.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn carve_survives_dominant_digit() {
+        // One digit holds 90% of the population: it cannot be split (the
+        // documented skew failure), but carving must still return p - 1
+        // in-bounds, non-decreasing boundaries.
+        let mut hist = vec![1u64; 256];
+        hist[40] = 10_000;
+        let p = 8usize;
+        let ends = carve_ranges(&hist, p);
+        assert_eq!(ends.len(), p - 1);
+        assert!(ends.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ends.iter().all(|&e| e < 256));
+        assert_eq!(range_pops(&hist, &ends).iter().sum::<u64>(), 10_255);
+    }
+
+    #[test]
+    fn carve_single_rank_is_trivial() {
+        assert!(carve_ranges(&[5, 5, 5], 1).is_empty());
+    }
 }

@@ -1,7 +1,8 @@
-//! Criterion: merge kernels — two-way, cascade k-way vs heap k-way.
+//! Criterion: merge kernels — two-way, and loser-tree vs cascade vs heap
+//! k-way.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sdssort::merge::{kway_merge, kway_merge_heap, merge_two};
+use sdssort::merge::{kway_merge, kway_merge_cascade, kway_merge_heap, merge_two};
 use workloads::uniform_u64;
 
 fn sorted_runs(n_total: usize, k: usize, seed: u64) -> Vec<Vec<u64>> {
@@ -31,8 +32,11 @@ fn bench_kway(c: &mut Criterion) {
     for k in [4usize, 16, 64, 256] {
         let runs = sorted_runs(n, k, 11);
         let refs: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
-        group.bench_with_input(BenchmarkId::new("cascade", k), &k, |b, _| {
+        group.bench_with_input(BenchmarkId::new("loser_tree", k), &k, |b, _| {
             b.iter(|| kway_merge(&refs));
+        });
+        group.bench_with_input(BenchmarkId::new("cascade", k), &k, |b, _| {
+            b.iter(|| kway_merge_cascade(&refs));
         });
         group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, _| {
             b.iter(|| kway_merge_heap(&refs));

@@ -4,10 +4,12 @@
 //! both SDS variants on the Uniform workload, then drives the resident
 //! [`service::SortService`] with a burst of Zipf-sized jobs from several
 //! concurrent clients, and emits the wall-clock numbers as
-//! `BENCH_pr6.json` (honouring `BENCH_METRICS_OUT`, or
+//! `BENCH_pr7.json` (honouring `BENCH_METRICS_OUT`, or
 //! `--metrics-out <dir>`). Unlike the figure harnesses this never touches
 //! the simulator: every time in the output is a measured second. Intended
-//! for `scripts/bench_quick.sh` and CI smoke.
+//! for `scripts/bench_quick.sh` and CI smoke. After writing, the emitted
+//! document is read back, parsed, and checked for the `git_rev`/`backend`
+//! meta so CI fails loudly on a malformed emission.
 
 use bench::experiments::{
     drive_service, emit_scaling_cells, print_service_report, print_threads_scaling, service_values,
@@ -26,7 +28,7 @@ fn main() {
     let n_rank = 20_000;
     println!("records/rank: {n_rank} u64, uniform, backend: threads\n");
     let cells = weak_scaling_uniform_threads(&ps, n_rank);
-    let mut em = Emitter::from_env("pr6");
+    let mut em = Emitter::from_env("pr7");
     em.meta("workload", "uniform_u64");
     em.meta("n_rank", n_rank as u64);
     em.meta("backend", "threads");
@@ -57,5 +59,16 @@ fn main() {
         all_ok && svc_ok,
         "SDS variants complete at every p; service resolves every job (wall-clock)",
     );
-    em.finish().expect("write metrics");
+    if let Some(path) = em.finish().expect("write metrics") {
+        let text = std::fs::read_to_string(&path).expect("read back emitted metrics");
+        let doc = Json::parse(&text).expect("emitted metrics must parse");
+        let meta = doc.get("meta").expect("emitted metrics must carry meta");
+        for key in ["git_rev", "backend"] {
+            assert!(
+                meta.get(key).and_then(Json::as_str).is_some(),
+                "emitted metrics must carry meta.{key}"
+            );
+        }
+        println!("metrics validated: {}", path.display());
+    }
 }

@@ -18,7 +18,7 @@
 //! same decision on every rank (timings are reduced with max across ranks
 //! before comparison, so the collective never diverges).
 
-use crate::config::SdsConfig;
+use crate::config::{LocalKernel, SdsConfig};
 use crate::merge::{kway_merge, merge_two};
 use crate::node_merge::node_merge;
 use crate::record::Sortable;
@@ -39,6 +39,10 @@ pub struct AutotuneReport {
     pub t_merge_order: f64,
     /// Re-sort ordering probe time (s).
     pub t_sort_order: f64,
+    /// Radix local-sort probe time (s; 0 when the key cannot radix).
+    pub t_radix: f64,
+    /// Comparison local-sort probe time (s; 0 when the key cannot radix).
+    pub t_comparison: f64,
 }
 
 /// Probe record count per rank (clamped to the available data size).
@@ -158,6 +162,47 @@ pub fn autotune<T: Sortable, C: Communicator>(
         0
     };
 
+    // --- local-kernel probe: radix vs comparison chunk sort -------------
+    // Probed with u64 keys (machine throughput, not key semantics); only
+    // keys with a monotone u64 embedding are eligible for radix at all.
+    let (t_radix, t_comparison) = if T::RADIX {
+        let t6 = comm.now();
+        comm.compute(|| {
+            let mut buf = probe_keys(n, comm.rank().wrapping_add(7));
+            crate::radix::radix_sort(&mut buf);
+            std::hint::black_box(buf.len());
+        });
+        let t_radix = max_across(comm, comm.now() - t6);
+        let t7 = comm.now();
+        let stable = cfg.stable;
+        comm.compute(|| {
+            let mut buf = probe_keys(n, comm.rank().wrapping_add(7));
+            if stable {
+                buf.sort();
+            } else {
+                buf.sort_unstable();
+            }
+            std::hint::black_box(buf.len());
+        });
+        (t_radix, max_across(comm, comm.now() - t7))
+    } else {
+        (0.0, 0.0)
+    };
+    // The probe keys are full-range u64 — radix's worst case (all 8 digit
+    // bytes active). Winning it means radix wins unconditionally on this
+    // machine; losing it only rules out the worst case, so fall back to
+    // the digit-aware Auto gate (narrow-keyed inputs still take radix)
+    // rather than forcing the comparison sort. Non-radix keys resolve to
+    // Comparison outright: Auto's gate would re-test `T::RADIX` per sort
+    // for nothing.
+    cfg.local_kernel = if !T::RADIX {
+        LocalKernel::Comparison
+    } else if t_radix < t_comparison {
+        LocalKernel::Radix
+    } else {
+        LocalKernel::Auto
+    };
+
     (
         cfg,
         AutotuneReport {
@@ -167,6 +212,8 @@ pub fn autotune<T: Sortable, C: Communicator>(
             t_overlap,
             t_merge_order,
             t_sort_order,
+            t_radix,
+            t_comparison,
         },
     )
 }
@@ -256,6 +303,52 @@ mod tests {
             assert!(rep.t_overlap > 0.0);
             assert!(rep.t_merge_order >= 0.0);
             assert!(rep.t_sort_order >= 0.0);
+            assert!(rep.t_radix >= 0.0);
+            assert!(rep.t_comparison >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_decision_is_uniform_and_matches_probe() {
+        let report = World::new(4)
+            .cores_per_node(2)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let (cfg, rep) = autotune::<u64, _>(comm, 8000, &SdsConfig::default());
+                (
+                    cfg.local_kernel,
+                    rep.t_radix.to_bits(),
+                    rep.t_comparison.to_bits(),
+                )
+            });
+        let first = report.results[0];
+        for &(kernel, tr, tc) in &report.results {
+            assert_eq!((kernel, tr, tc), first, "kernel decision must be uniform");
+            // Winning the worst-case probe forces radix; losing it falls
+            // back to the digit-aware Auto gate, never to a hard
+            // Comparison override.
+            let expect = if f64::from_bits(tr) < f64::from_bits(tc) {
+                LocalKernel::Radix
+            } else {
+                LocalKernel::Auto
+            };
+            assert_eq!(kernel, expect);
+        }
+    }
+
+    #[test]
+    fn non_radix_key_skips_kernel_probe() {
+        let report = World::new(2)
+            .cores_per_node(1)
+            .net(NetModel::edison())
+            .run(|comm| {
+                let (cfg, rep) = autotune::<u128, _>(comm, 4000, &SdsConfig::default());
+                (cfg.local_kernel, rep.t_radix, rep.t_comparison)
+            });
+        for (kernel, tr, tc) in report.results {
+            assert_eq!(kernel, LocalKernel::Comparison);
+            assert_eq!(tr, 0.0);
+            assert_eq!(tc, 0.0);
         }
     }
 

@@ -156,6 +156,25 @@ pub enum PartitionStrategy {
     Classic,
 }
 
+/// Which kernel `SdssLocalSort` uses to sort each thread's chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalKernel {
+    /// Decide per call: LSD radix when the key has a monotone `u64`
+    /// embedding, `n ≥` [`crate::radix::RADIX_MIN_N`], and the input's
+    /// keys occupy at most [`crate::radix::RADIX_MAX_AUTO_DIGITS`] digit
+    /// bytes (checked with one read pass); comparison sort otherwise.
+    /// [`crate::autotune`] replaces this with `Radix` when radix wins its
+    /// worst-case (full-range-key) probe outright.
+    #[default]
+    Auto,
+    /// Force the LSD radix kernel (falls back to comparison when the key
+    /// has no monotone `u64` embedding).
+    Radix,
+    /// Force the comparison kernel (`slice::sort_unstable_by_key` /
+    /// `sort_by_key`).
+    Comparison,
+}
+
 /// How global pivots are obtained (§2.4 weighs these two options).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PivotSource {
@@ -188,6 +207,8 @@ pub struct SdsConfig {
     /// `SdssLocalSort`). Keep at 1 inside simulated worlds (each rank is
     /// already a thread); raise it for standalone shared-memory use.
     pub local_threads: usize,
+    /// Local-sort kernel selection (see [`LocalKernel`]).
+    pub local_kernel: LocalKernel,
     /// How compute is charged to virtual clocks.
     pub charge: ComputeCharge,
     /// Partitioning rule (ablation switch; default skew-aware).
@@ -212,6 +233,7 @@ impl Default for SdsConfig {
             tau_o: 4096,
             tau_s: 4000,
             local_threads: 1,
+            local_kernel: LocalKernel::Auto,
             charge: ComputeCharge::Measured,
             partition: PartitionStrategy::SkewAware,
             pivot_source: PivotSource::Sampling,

@@ -42,6 +42,7 @@ pub mod merge;
 pub mod node_merge;
 pub mod partition;
 pub mod pivots;
+pub mod radix;
 pub mod record;
 pub mod resilience;
 pub mod sampling;
@@ -52,9 +53,15 @@ pub mod stats;
 pub mod validate;
 
 pub use autotune::{autotune, AutotuneReport};
-pub use config::{ComputeCharge, ComputeModel, PartitionStrategy, PivotSource, SdsConfig};
-pub use local_sort::{local_sort, parallel_merge, MergeStrategy};
-pub use record::{OrderedF32, OrderedF64, Record, Sortable, Tagged};
+pub use config::{
+    ComputeCharge, ComputeModel, LocalKernel, PartitionStrategy, PivotSource, SdsConfig,
+};
+pub use local_sort::{local_sort, local_sort_with, parallel_merge, LocalSortReport, MergeStrategy};
+pub use radix::{
+    active_digits, radix_applicable, radix_profitable, radix_sort, RADIX_MAX_AUTO_DIGITS,
+    RADIX_MIN_N,
+};
+pub use record::{OrderedF32, OrderedF64, RadixKey, Record, Sortable, Tagged};
 pub use resilience::{sds_sort_resilient, ResilienceConfig};
 pub use selection::{kth_smallest_key, top_k};
 pub use sort::{sds_sort, SortError, SortOutput};

@@ -1,26 +1,39 @@
 //! Shared-memory skew-aware parallel sorting (`SdssLocalSort`, paper §2.2).
 //!
 //! Strategy: split the array into `c` chunks, sort each chunk on its own
-//! thread (`std::sort` → [`slice::sort_unstable_by`]; `std::stable_sort` →
-//! [`slice::sort_by`]), then merge the sorted chunks *in parallel*. The
-//! parallel merge partitions the value space into `c` parts and merges each
-//! part on its own thread; the paper's contribution is to compute those
-//! part boundaries with the same skew-aware rule as the distributed
-//! partition, so heavily duplicated values are split evenly across parts
-//! instead of landing in one part (the load imbalance exhibited by
-//! sampling-based merges such as HykSort's — compared in Fig. 6a).
+//! thread (LSD radix when the key embeds monotonically into `u64`,
+//! `std`'s comparison sorts otherwise — see [`crate::radix`]), then merge
+//! the sorted chunks *in parallel*. The parallel merge partitions the
+//! value space into `c` parts and merges each part on its own thread; the
+//! paper's contribution is to compute those part boundaries with the same
+//! skew-aware rule as the distributed partition, so heavily duplicated
+//! values are split evenly across parts instead of landing in one part
+//! (the load imbalance exhibited by sampling-based merges such as
+//! HykSort's — compared in Fig. 6a).
 //!
 //! This module is deliberately thread-pool-free (plain scoped threads): it
 //! is also reused *inside* simulated ranks with `threads = 1`, where it
 //! reduces to a sequential adaptive sort.
+//!
+//! ## Memory
+//!
+//! The sort is not in-place: one `n`-record scratch buffer serves first as
+//! the radix kernel's ping-pong space (disjoint per-chunk subslices) and
+//! then as the merge output, which is swapped into the caller's `Vec` —
+//! transient peak `2n` records, reported via
+//! [`LocalSortReport::scratch_bytes`] and counted in the driver's
+//! telemetry (`local_sort.scratch_bytes`).
 
-use crate::merge::kway_merge;
+use crate::config::LocalKernel;
+use crate::merge::{kway_merge_into, kway_merge_uninit};
 use crate::partition::{
     classic_cuts, cuts_to_counts, fast_cuts, local_dup_counts, replicated_runs, shares_for_source,
     stable_cuts,
 };
+use crate::radix::{radix_profitable, radix_sort, radix_sort_slice};
 use crate::record::Sortable;
 use crate::sampling::regular_sample;
+use std::mem::MaybeUninit;
 
 /// How the parallel merge partitions work across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,26 +47,90 @@ pub enum MergeStrategy {
     SkewAwareStable,
 }
 
+/// What [`local_sort_with`] actually did, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSortReport {
+    /// The kernel that sorted the chunks: [`LocalKernel::Radix`] or
+    /// [`LocalKernel::Comparison`] (never `Auto`).
+    pub kernel: LocalKernel,
+    /// Bytes of scratch transiently allocated (the `2n` peak; 0 when the
+    /// input was sorted in place by the sequential comparison path).
+    pub scratch_bytes: usize,
+}
+
 /// Sort `data` by key using up to `threads` threads. Stable iff `stable`.
 ///
 /// This is `SdssLocalSort`: with `threads <= 1` it is a sequential
 /// adaptive sort; otherwise chunks are sorted in parallel and merged with
-/// the skew-aware parallel merge.
+/// the skew-aware parallel merge. Equivalent to
+/// [`local_sort_with`]`(…, LocalKernel::Auto)`.
 pub fn local_sort<T: Sortable>(data: &mut Vec<T>, threads: usize, stable: bool) {
+    local_sort_with(data, threads, stable, LocalKernel::Auto);
+}
+
+/// [`local_sort`] with explicit kernel selection; returns what ran.
+///
+/// `LocalKernel::Auto` picks the LSD radix kernel when the key type has a
+/// monotone `u64` embedding, `n` amortizes its fixed passes, and the
+/// input's keys occupy few enough digit bytes for scatter passes to beat
+/// the comparison sort ([`radix_profitable`], one extra read pass);
+/// `Radix` forces it whenever the key supports it (comparison fallback
+/// otherwise); `Comparison` always compares. Both
+/// kernels are stable when `stable` is set, and both produce output
+/// bit-identical to `std`'s stable sort in that mode — kernel choice never
+/// changes the result, only the time (and the transient scratch).
+pub fn local_sort_with<T: Sortable>(
+    data: &mut Vec<T>,
+    threads: usize,
+    stable: bool,
+    kernel: LocalKernel,
+) -> LocalSortReport {
     let n = data.len();
+    let use_radix = match kernel {
+        LocalKernel::Auto => radix_profitable(data),
+        LocalKernel::Radix => T::RADIX && n >= 2,
+        LocalKernel::Comparison => false,
+    };
+    let kernel_used = if use_radix {
+        LocalKernel::Radix
+    } else {
+        LocalKernel::Comparison
+    };
+
     if threads <= 1 || n < threads * 4 || n < 1024 {
-        sequential_sort(data, stable);
-        return;
+        let scratch_bytes = if use_radix {
+            radix_sort(data)
+        } else {
+            sequential_sort(data, stable);
+            0
+        };
+        return LocalSortReport {
+            kernel: kernel_used,
+            scratch_bytes,
+        };
     }
+
+    // One n-record buffer serves the whole parallel path: its spare
+    // capacity is the radix ping-pong scratch (disjoint per-chunk
+    // subslices), then the same capacity receives the merged output, which
+    // is swapped into `data`.
+    let mut buf: Vec<T> = Vec::with_capacity(n);
     let chunk_len = n.div_ceil(threads);
     {
         let mut rest: &mut [T] = data;
+        let mut scratch_rest: &mut [MaybeUninit<T>] = &mut buf.spare_capacity_mut()[..n];
         std::thread::scope(|scope| {
             while !rest.is_empty() {
                 let take = chunk_len.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
                 rest = tail;
-                scope.spawn(move || sequential_sort_slice(head, stable));
+                if use_radix {
+                    let (shead, stail) = std::mem::take(&mut scratch_rest).split_at_mut(take);
+                    scratch_rest = stail;
+                    scope.spawn(move || radix_sort_slice(head, shead));
+                } else {
+                    scope.spawn(move || sequential_sort_slice(head, stable));
+                }
             }
         });
     }
@@ -63,8 +140,13 @@ pub fn local_sort<T: Sortable>(data: &mut Vec<T>, threads: usize, stable: bool) 
     } else {
         MergeStrategy::SkewAware
     };
-    let merged = parallel_merge(&chunks, threads, strategy);
-    *data = merged;
+    parallel_merge_into(&chunks, threads, strategy, &mut buf);
+    drop(chunks);
+    std::mem::swap(data, &mut buf);
+    LocalSortReport {
+        kernel: kernel_used,
+        scratch_bytes: n * std::mem::size_of::<T>(),
+    }
 }
 
 /// Sequential sort of a `Vec` (key comparisons only).
@@ -97,10 +179,26 @@ pub fn merge_cuts<T: Sortable>(
         samples.extend(regular_sample(chunk, parts.saturating_sub(1)));
     }
     samples.sort_unstable();
-    let pivots: Vec<T::Key> = crate::sampling::regular_sample_positions(samples.len(), parts - 1)
-        .into_iter()
-        .map(|p| samples[p])
-        .collect();
+    if samples.is_empty() && parts > 1 {
+        // Every chunk is empty (any non-empty chunk contributes at least
+        // one sample when parts ≥ 2): all boundaries are zero.
+        return vec![vec![0; parts + 1]; chunks.len()];
+    }
+    let mut pivots: Vec<T::Key> =
+        crate::sampling::regular_sample_positions(samples.len(), parts - 1)
+            .into_iter()
+            .map(|p| samples[p])
+            .collect();
+    // When the pooled samples underfill `parts - 1` pivots (many tiny
+    // chunks, or `parts` larger than the total record count), pad by
+    // repeating the greatest pivot: every chunk still gets `parts + 1` cut
+    // boundaries and the surplus parts come out empty, instead of
+    // `parallel_merge` indexing `c[part + 1]` out of bounds.
+    if let Some(&last) = pivots.last() {
+        while pivots.len() < parts - 1 {
+            pivots.push(last);
+        }
+    }
 
     match strategy {
         MergeStrategy::Classic => chunks.iter().map(|c| classic_cuts(c, &pivots)).collect(),
@@ -127,20 +225,40 @@ pub fn parallel_merge<T: Sortable>(
     threads: usize,
     strategy: MergeStrategy,
 ) -> Vec<T> {
+    let mut out = Vec::new();
+    parallel_merge_into(chunks, threads, strategy, &mut out);
+    out
+}
+
+/// [`parallel_merge`] into an existing buffer (cleared first). Every part
+/// is merged by its thread directly into its disjoint span of the one
+/// pre-sized output — no per-part `Vec`s and no sequential concatenation
+/// pass afterwards.
+pub fn parallel_merge_into<T: Sortable>(
+    chunks: &[&[T]],
+    threads: usize,
+    strategy: MergeStrategy,
+    out: &mut Vec<T>,
+) {
     let total: usize = chunks.iter().map(|c| c.len()).sum();
+    out.clear();
     if chunks.is_empty() {
-        return Vec::new();
+        return;
     }
     if threads <= 1 || chunks.len() == 1 || total < 1024 {
-        return kway_merge(chunks);
+        kway_merge_into(chunks, out);
+        return;
     }
     let parts = threads;
     let cuts = merge_cuts(chunks, parts, strategy);
 
-    let mut part_outputs: Vec<Vec<T>> = Vec::with_capacity(parts);
-    part_outputs.resize_with(parts, Vec::new);
+    out.reserve(total);
     std::thread::scope(|scope| {
-        for (part, out) in part_outputs.iter_mut().enumerate() {
+        let mut rest: &mut [MaybeUninit<T>] = &mut out.spare_capacity_mut()[..total];
+        for part in 0..parts {
+            let size: usize = cuts.iter().map(|c| c[part + 1] - c[part]).sum();
+            let (span, tail) = std::mem::take(&mut rest).split_at_mut(size);
+            rest = tail;
             let cuts = &cuts;
             scope.spawn(move || {
                 let runs: Vec<&[T]> = chunks
@@ -148,15 +266,17 @@ pub fn parallel_merge<T: Sortable>(
                     .zip(cuts.iter())
                     .map(|(chunk, c)| &chunk[c[part]..c[part + 1]])
                     .collect();
-                *out = kway_merge(&runs);
+                kway_merge_uninit(&runs, span);
             });
         }
+        debug_assert!(rest.is_empty());
     });
-    let mut merged = Vec::with_capacity(total);
-    for part in part_outputs {
-        merged.extend(part);
+    // SAFETY: the part sizes sum to `total` (each chunk's cuts partition
+    // it) and `kway_merge_uninit` writes every slot of its span, so all
+    // `total` reserved slots are initialized.
+    unsafe {
+        out.set_len(total);
     }
-    merged
 }
 
 /// Sizes of the `parts` merge partitions under a strategy — the quantity
@@ -334,5 +454,102 @@ mod tests {
         let mut v: Vec<u64> = (0..50_000).collect();
         local_sort(&mut v, 4, false);
         assert_eq!(v, (0..50_000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn merge_cuts_pads_underfull_pivots() {
+        // 2 tiny chunks, 64 parts: the pooled samples can never fill 63
+        // pivots, so pre-fix the cut rows came back shorter than parts + 1.
+        let c0 = vec![5u32; 10];
+        let c1 = vec![7u32; 3];
+        let chunks: Vec<&[u32]> = vec![&c0, &c1];
+        for strategy in [
+            MergeStrategy::Classic,
+            MergeStrategy::SkewAware,
+            MergeStrategy::SkewAwareStable,
+        ] {
+            let cuts = merge_cuts(&chunks, 64, strategy);
+            for (i, row) in cuts.iter().enumerate() {
+                assert_eq!(row.len(), 65, "{strategy:?} chunk {i}: {row:?}");
+                assert!(row.windows(2).all(|w| w[0] <= w[1]), "{strategy:?}");
+                assert_eq!(row[0], 0);
+                assert_eq!(*row.last().unwrap(), chunks[i].len(), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_cuts_all_chunks_empty() {
+        let chunks: Vec<&[u32]> = vec![&[], &[], &[]];
+        let cuts = merge_cuts(&chunks, 8, MergeStrategy::SkewAware);
+        assert_eq!(cuts, vec![vec![0usize; 9]; 3]);
+    }
+
+    #[test]
+    fn parallel_merge_parts_exceed_total() {
+        // Public-API regression for the underfull-pivot bug: total = 1025
+        // records (just past the small-input fast path) merged with more
+        // threads than records. Pre-fix this indexed `c[part + 1]` out of
+        // bounds.
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut big: Vec<u32> = (0..1024).map(|_| rng.gen_range(0..10)).collect();
+        big.sort_unstable();
+        let tiny = vec![4u32];
+        let chunks: Vec<&[u32]> = vec![&big, &tiny];
+        let mut expect: Vec<u32> = big.iter().chain(&tiny).copied().collect();
+        expect.sort_unstable();
+        for strategy in [
+            MergeStrategy::Classic,
+            MergeStrategy::SkewAware,
+            MergeStrategy::SkewAwareStable,
+        ] {
+            assert_eq!(
+                parallel_merge(&chunks, 1200, strategy),
+                expect,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_and_comparison_kernels_bit_identical_when_stable() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for threads in [1usize, 4] {
+            let orig: Vec<Record<u32, u64>> = (0..20_000)
+                .map(|i| Record::new(rng.gen_range(0..100), i))
+                .collect();
+            let mut expect = orig.clone();
+            expect.sort_by_key(|r| r.key);
+            let mut via_radix = orig.clone();
+            let r = local_sort_with(&mut via_radix, threads, true, LocalKernel::Radix);
+            assert_eq!(r.kernel, LocalKernel::Radix);
+            let mut via_cmp = orig.clone();
+            let c = local_sort_with(&mut via_cmp, threads, true, LocalKernel::Comparison);
+            assert_eq!(c.kernel, LocalKernel::Comparison);
+            assert_eq!(via_radix, expect, "threads={threads}");
+            assert_eq!(via_cmp, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn auto_kernel_selection_and_report() {
+        // Large radix-capable input → radix, with the scratch accounted.
+        let mut v: Vec<u64> = (0..20_000).rev().collect();
+        let r = local_sort_with(&mut v, 4, false, LocalKernel::Auto);
+        assert_eq!(r.kernel, LocalKernel::Radix);
+        assert_eq!(r.scratch_bytes, 20_000 * std::mem::size_of::<u64>());
+        assert_eq!(v, (0..20_000).collect::<Vec<u64>>());
+
+        // Small input → comparison, no scratch.
+        let mut v = vec![3u64, 1, 2];
+        let r = local_sort_with(&mut v, 4, false, LocalKernel::Auto);
+        assert_eq!(r.kernel, LocalKernel::Comparison);
+        assert_eq!(r.scratch_bytes, 0);
+
+        // Keys without a u64 embedding fall back even when radix is forced.
+        let mut v: Vec<u128> = (0..3000).rev().collect();
+        let r = local_sort_with(&mut v, 2, false, LocalKernel::Radix);
+        assert_eq!(r.kernel, LocalKernel::Comparison);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -10,6 +10,7 @@
 use crate::record::Sortable;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
 
 /// Merge two sorted runs. Stable: ties take from `a` first.
 pub fn merge_two<T: Sortable>(a: &[T], b: &[T]) -> Vec<T> {
@@ -22,19 +23,29 @@ pub fn merge_two<T: Sortable>(a: &[T], b: &[T]) -> Vec<T> {
 ///
 /// The hot loop is branchless (select + unconditional index bumps) so
 /// random interleavings don't pay a misprediction per record — this kernel
-/// is the inner pass of every `SdssMergeAll` cascade and of the node-level
-/// merge, and shows up directly in Figs. 5c and 6a.
+/// is the inner pass of the node-level merge and every 2-run part of the
+/// parallel merge, and shows up directly in Figs. 5c and 6a.
 pub fn merge_two_into<T: Sortable>(a: &[T], b: &[T], out: &mut Vec<T>) {
     let total = a.len() + b.len();
     out.clear();
     out.reserve(total);
+    merge_two_uninit(a, b, &mut out.spare_capacity_mut()[..total]);
+    // SAFETY: `merge_two_uninit` initialized all `total` reserved slots.
+    unsafe {
+        out.set_len(total);
+    }
+}
+
+/// Two-way merge into uninitialized storage; writes every slot of `out`.
+fn merge_two_uninit<T: Sortable>(a: &[T], b: &[T], out: &mut [MaybeUninit<T>]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut k = 0usize;
-    // SAFETY: `out` has capacity for `total`; `k` counts the writes and
-    // never exceeds `a.len() + b.len()`; `i`/`j` are bounded by the loop
+    // SAFETY: `k` counts the writes and never exceeds
+    // `a.len() + b.len() == out.len()`; `i`/`j` are bounded by the loop
     // condition; every element written is a valid `T` (T: Copy).
     unsafe {
-        let dst = out.as_mut_ptr();
+        let dst = out.as_mut_ptr().cast::<T>();
         while i < a.len() && j < b.len() {
             let ea = *a.get_unchecked(i);
             let eb = *b.get_unchecked(j);
@@ -45,11 +56,111 @@ pub fn merge_two_into<T: Sortable>(a: &[T], b: &[T], out: &mut Vec<T>) {
             j += usize::from(!take_a);
             k += 1;
         }
-        out.set_len(k);
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    debug_assert_eq!(out.len(), total);
+    for &r in &a[i..] {
+        out[k].write(r);
+        k += 1;
+    }
+    for &r in &b[j..] {
+        out[k].write(r);
+        k += 1;
+    }
+}
+
+/// Tournament loser tree over `k` sorted runs: the winner (smallest
+/// `(key, run)` pair) is at `ls[0]`, every internal node holds the loser of
+/// its match, so replacing the winner costs exactly `⌈log₂ k⌉` comparisons
+/// with one tree-node load each — half the loads of a binary heap's
+/// sift-down and with no per-record allocation or branchy sift logic.
+///
+/// Leaves are padded to the next power of two; virtual leaves (index ≥ k)
+/// and exhausted runs compare as +∞ with run-index tie-breaks, so ties
+/// always go to the lowest-indexed *live* run — the same stability rule as
+/// the pairwise kernels.
+struct LoserTree<'a, T: Sortable> {
+    runs: &'a [&'a [T]],
+    /// Padded leaf count (power of two, ≥ runs.len()).
+    m: usize,
+    /// Head key of each (possibly virtual) leaf; `None` = exhausted.
+    heads: Vec<Option<T::Key>>,
+    /// Next position within each real run.
+    pos: Vec<usize>,
+    /// `ls[0]` = winner leaf; `ls[1..m]` = loser leaf at internal nodes.
+    ls: Vec<usize>,
+}
+
+impl<'a, T: Sortable> LoserTree<'a, T> {
+    fn new(runs: &'a [&'a [T]]) -> Self {
+        let k = runs.len();
+        debug_assert!(k >= 1);
+        let m = k.next_power_of_two();
+        let mut heads: Vec<Option<T::Key>> = Vec::with_capacity(m);
+        heads.extend(runs.iter().map(|r| r.first().map(Sortable::key)));
+        heads.resize(m, None);
+        let mut lt = Self {
+            runs,
+            m,
+            heads,
+            pos: vec![0; k],
+            ls: vec![0; m],
+        };
+        // Full bottom-up tournament over the complete tree [internal
+        // nodes 1..m | leaf i at position m+i]: node j keeps the loser of
+        // its children (positions 2j, 2j+1), winners move up, and the
+        // champion lands in ls[0].
+        let mut winner: Vec<usize> = vec![0; 2 * m];
+        for (i, w) in winner[m..].iter_mut().enumerate() {
+            *w = i;
+        }
+        for j in (1..m).rev() {
+            let (a, b) = (winner[2 * j], winner[2 * j + 1]);
+            let (w, l) = if lt.wins(a, b) { (a, b) } else { (b, a) };
+            lt.ls[j] = l;
+            winner[j] = w;
+        }
+        lt.ls[0] = winner[1];
+        lt
+    }
+
+    /// Does leaf `a` beat leaf `b`? Smallest key wins; ties go to the
+    /// lower leaf index (stability); exhausted leaves always lose.
+    #[inline]
+    fn wins(&self, a: usize, b: usize) -> bool {
+        match (self.heads[a], self.heads[b]) {
+            (Some(ka), Some(kb)) => ka < kb || (ka == kb && a < b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Replay the path from leaf `s` to the root after its head changed.
+    #[inline]
+    fn adjust(&mut self, mut s: usize) {
+        let mut t = (self.m + s) / 2;
+        while t > 0 {
+            if self.wins(self.ls[t], s) {
+                std::mem::swap(&mut self.ls[t], &mut s);
+            }
+            t /= 2;
+        }
+        self.ls[0] = s;
+    }
+
+    /// Take the next record in merged order, or `None` when every run is
+    /// exhausted.
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let w = self.ls[0];
+        self.heads[w]?;
+        // A winning leaf with a live head is always a real run (virtual
+        // leaves are permanently exhausted).
+        let rec = self.runs[w][self.pos[w]];
+        self.pos[w] += 1;
+        self.heads[w] = self.runs[w].get(self.pos[w]).map(Sortable::key);
+        self.adjust(w);
+        Some(rec)
+    }
 }
 
 /// Heap entry for the k-way merge: ordered by (key, run index) so that the
@@ -78,15 +189,113 @@ impl<K: Ord + Copy> Ord for HeapEntry<K> {
     }
 }
 
+/// Widest record (bytes) and most runs for which the pairwise cascade
+/// still beats the loser tree: the cascade's `⌈log₂ k⌉` streaming passes
+/// are branchless and predictor-friendly but copy every record per pass,
+/// while a tournament pop costs `⌈log₂ k⌉` data-dependent branches and
+/// copies once. Measured on the weak-scaling driver (cold caller, one
+/// merge per sort): thin records at small `k` favour the cascade by
+/// ~15 ns/record; 32-byte records favour the tree 2.5–3× at every `k`.
+const CASCADE_MAX_BYTES: usize = 16;
+const CASCADE_MAX_K: usize = 8;
+
+/// Small-`k`, thin-record cascade: pairwise [`merge_two`] levels with the
+/// final pass writing straight into `out` (at most one intermediate level
+/// is alive at a time, so peak extra memory stays ≈ n records).
+fn kway_merge_cascade_uninit<T: Sortable>(runs: &[&[T]], out: &mut [MaybeUninit<T>]) {
+    debug_assert!(runs.len() >= 3);
+    let mut level: Vec<Vec<T>> = runs
+        .chunks(2)
+        .map(|pair| {
+            if pair.len() == 2 {
+                merge_two(pair[0], pair[1])
+            } else {
+                pair[0].to_vec()
+            }
+        })
+        .collect();
+    while level.len() > 2 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut iter = level.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    merge_two_uninit(&level[0], level.get(1).map_or(&[][..], Vec::as_slice), out);
+}
+
+/// Merge `k` sorted runs into uninitialized storage of exactly the total
+/// length; writes every slot. Stable across runs: ties take from the
+/// lowest-indexed run first.
+///
+/// Direct copy for `k ≤ 1`, the branchless two-way kernel for `k = 2`, a
+/// short pairwise cascade for thin records at small `k` (branchless
+/// streaming beats tournament branches when copies are cheap), and a
+/// [`LoserTree`] beyond: `O(n log k)` comparisons, zero intermediate
+/// buffers (the old all-`k` pairwise cascade allocated `O(log k)`
+/// full-size `Vec`s per merge — see [`kway_merge_cascade`], kept for
+/// equivalence tests and the merge micro-benchmarks).
+pub(crate) fn kway_merge_uninit<T: Sortable>(runs: &[&[T]], out: &mut [MaybeUninit<T>]) {
+    debug_assert_eq!(out.len(), runs.iter().map(|r| r.len()).sum::<usize>());
+    match runs.len() {
+        0 => {}
+        1 => {
+            for (slot, &r) in out.iter_mut().zip(runs[0]) {
+                slot.write(r);
+            }
+        }
+        2 => merge_two_uninit(runs[0], runs[1], out),
+        k if k <= CASCADE_MAX_K && std::mem::size_of::<T>() <= CASCADE_MAX_BYTES => {
+            kway_merge_cascade_uninit(runs, out);
+        }
+        _ => {
+            let mut lt = LoserTree::new(runs);
+            let mut i = 0usize;
+            while let Some(rec) = lt.pop() {
+                out[i].write(rec);
+                i += 1;
+            }
+            debug_assert_eq!(i, out.len());
+        }
+    }
+}
+
+/// Merge `k` sorted runs into an existing buffer (cleared first). Stable
+/// across runs; one allocation at most (growing `out` to the total size).
+pub fn kway_merge_into<T: Sortable>(runs: &[&[T]], out: &mut Vec<T>) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    out.clear();
+    out.reserve(total);
+    kway_merge_uninit(runs, &mut out.spare_capacity_mut()[..total]);
+    // SAFETY: `kway_merge_uninit` initialized all `total` reserved slots.
+    unsafe {
+        out.set_len(total);
+    }
+}
+
 /// Merge `k` sorted runs. Stable across runs: ties take from the
 /// lowest-indexed run first.
 ///
 /// Uses direct concatenation for `k ≤ 1`, the branch-friendly two-way
-/// kernel for `k = 2`, and a balanced pairwise cascade (`⌈log₂ k⌉` linear
-/// passes, `O(n log k)` total with two-way-merge constants) beyond — in
-/// practice faster than a k-ary heap at every k we measured, and the same
-/// structure the paper's `SdssMergeAll` builds from `std::merge`.
+/// kernel for `k = 2`, and a tournament loser tree beyond (`⌈log₂ k⌉`
+/// comparisons per record, one output allocation, no intermediate runs) —
+/// the structure *Robust Massively Parallel Sorting* uses for its final
+/// multiway merge.
 pub fn kway_merge<T: Sortable>(runs: &[&[T]]) -> Vec<T> {
+    let mut out = Vec::new();
+    kway_merge_into(runs, &mut out);
+    out
+}
+
+/// The pre-loser-tree pairwise merge cascade (`⌈log₂ k⌉` linear passes,
+/// each allocating a full-size intermediate `Vec`). Kept as an
+/// independently-derived oracle for the equivalence tests and as the
+/// baseline in the merge micro-benchmarks.
+pub fn kway_merge_cascade<T: Sortable>(runs: &[&[T]]) -> Vec<T> {
     match runs.len() {
         0 => Vec::new(),
         1 => runs[0].to_vec(),
@@ -121,8 +330,9 @@ pub fn kway_merge<T: Sortable>(runs: &[&[T]]) -> Vec<T> {
 }
 
 /// Merge `k` sorted runs with a k-ary heap (`O(n log k)` with heap
-/// constants). Exposed for the merge micro-benchmarks; [`kway_merge`]'s
-/// cascade is faster in practice.
+/// constants). Exposed for the merge micro-benchmarks and as a second
+/// independent oracle; the loser tree in [`kway_merge`] does about half
+/// the memory traffic per record.
 pub fn kway_merge_heap<T: Sortable>(runs: &[&[T]]) -> Vec<T> {
     if runs.len() < 3 {
         return kway_merge(runs);
@@ -250,22 +460,51 @@ mod tests {
     }
 
     #[test]
-    fn heap_and_cascade_agree() {
+    fn loser_tree_heap_and_cascade_bit_identical() {
+        // Tagged records with heavy duplication: any tie-order divergence
+        // between the three k-way implementations shows up in the payloads.
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(77);
-        for k in [3usize, 5, 9, 33] {
-            let runs: Vec<Vec<u32>> = (0..k)
+        for k in [3usize, 4, 5, 9, 16, 33, 100] {
+            let mut tag = 0u64;
+            let runs: Vec<Vec<Record<u32, u64>>> = (0..k)
                 .map(|_| {
                     let mut v: Vec<u32> = (0..rng.gen_range(0..150))
                         .map(|_| rng.gen_range(0..30))
                         .collect();
                     v.sort_unstable();
-                    v
+                    v.into_iter()
+                        .map(|key| {
+                            tag += 1;
+                            Record::new(key, tag)
+                        })
+                        .collect()
                 })
                 .collect();
-            let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
-            assert_eq!(kway_merge(&refs), kway_merge_heap(&refs), "k={k}");
+            let refs: Vec<&[Record<u32, u64>]> = runs.iter().map(Vec::as_slice).collect();
+            let loser = kway_merge(&refs);
+            assert_eq!(loser, kway_merge_cascade(&refs), "k={k} vs cascade");
+            assert_eq!(loser, kway_merge_heap(&refs), "k={k} vs heap");
+
+            // 16-byte records at k ≤ 8 dispatch to the small-k cascade
+            // above; drive the LoserTree itself at every k too so the
+            // tournament path keeps small-k tie-order coverage.
+            let total: usize = refs.iter().map(|r| r.len()).sum();
+            let mut out: Vec<Record<u32, u64>> = Vec::with_capacity(total);
+            let mut lt = LoserTree::new(&refs);
+            while let Some(rec) = lt.pop() {
+                out.push(rec);
+            }
+            assert_eq!(out, loser, "k={k} tree vs dispatch");
         }
+    }
+
+    #[test]
+    fn kway_merge_into_reuses_buffer() {
+        let runs: Vec<&[u32]> = vec![&[1, 4], &[2, 5], &[3]];
+        let mut out = vec![99u32; 64];
+        kway_merge_into(&runs, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

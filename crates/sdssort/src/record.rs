@@ -21,7 +21,78 @@ pub trait Sortable: Copy + Send + Sync + 'static {
 
     /// Extract this record's sort key.
     fn key(&self) -> Self::Key;
+
+    /// True when [`Sortable::radix_u64`] is a monotone `u64` embedding of
+    /// the key order — the precondition for the LSD radix local-sort
+    /// kernel. Record types whose key has no such embedding keep the
+    /// default `false` and are always comparison-sorted.
+    const RADIX: bool = false;
+
+    /// Monotone `u64` view of this record's key
+    /// (`a.key() <= b.key()  ⇔  a.radix_u64() <= b.radix_u64()`).
+    /// Only meaningful when [`Sortable::RADIX`] is true.
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        0
+    }
 }
+
+/// A key with an order-preserving mapping to `u64`:
+/// `a <= b  ⇔  a.radix_u64() <= b.radix_u64()`.
+///
+/// This is what the radix kernels — the LSD local sort in
+/// [`crate::radix`] and the distributed radix baseline — sort by.
+/// Key types that cannot embed into 64 bits (the 128-bit integers)
+/// implement the trait with [`RadixKey::USABLE`]` = false` and a dummy
+/// mapping: they stay usable as comparison-sorted keys (including as
+/// [`Record`] keys) while statically opting out of every radix path.
+pub trait RadixKey: Copy {
+    /// Whether `radix_u64` really is the monotone embedding.
+    const USABLE: bool = true;
+
+    /// The monotone unsigned mapping.
+    fn radix_u64(&self) -> u64;
+}
+
+macro_rules! impl_radix_uint {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline]
+            fn radix_u64(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+impl_radix_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_radix_int {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline]
+            fn radix_u64(&self) -> u64 {
+                // Sign-bias: shifting the two's-complement range up by
+                // 2^63 maps i64::MIN..=i64::MAX monotonically onto
+                // 0..=u64::MAX.
+                (*self as i64 as u64) ^ (1u64 << 63)
+            }
+        }
+    )*};
+}
+impl_radix_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_radix_unusable {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            const USABLE: bool = false;
+            #[inline]
+            fn radix_u64(&self) -> u64 {
+                0
+            }
+        }
+    )*};
+}
+impl_radix_unusable!(u128, i128);
 
 macro_rules! impl_sortable_prim {
     ($($t:ty),*) => {$(
@@ -30,6 +101,11 @@ macro_rules! impl_sortable_prim {
             #[inline]
             fn key(&self) -> $t {
                 *self
+            }
+            const RADIX: bool = <$t as RadixKey>::USABLE;
+            #[inline]
+            fn radix_u64(&self) -> u64 {
+                RadixKey::radix_u64(self)
             }
         }
     )*};
@@ -111,11 +187,23 @@ impl From<f32> for OrderedF32 {
     }
 }
 
+impl RadixKey for OrderedF32 {
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        self.ordered_bits() as u64
+    }
+}
+
 impl Sortable for OrderedF32 {
     type Key = OrderedF32;
     #[inline]
     fn key(&self) -> Self::Key {
         *self
+    }
+    const RADIX: bool = true;
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        RadixKey::radix_u64(self)
     }
 }
 
@@ -149,11 +237,23 @@ impl From<f64> for OrderedF64 {
     }
 }
 
+impl RadixKey for OrderedF64 {
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        self.ordered_bits()
+    }
+}
+
 impl Sortable for OrderedF64 {
     type Key = OrderedF64;
     #[inline]
     fn key(&self) -> Self::Key {
         *self
+    }
+    const RADIX: bool = true;
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        RadixKey::radix_u64(self)
     }
 }
 
@@ -177,13 +277,18 @@ impl<K, P> Record<K, P> {
 
 impl<K, P> Sortable for Record<K, P>
 where
-    K: Ord + Copy + Send + Sync + 'static,
+    K: Ord + Copy + Send + Sync + 'static + RadixKey,
     P: Copy + Send + Sync + 'static,
 {
     type Key = K;
     #[inline]
     fn key(&self) -> K {
         self.key
+    }
+    const RADIX: bool = K::USABLE;
+    #[inline]
+    fn radix_u64(&self) -> u64 {
+        self.key.radix_u64()
     }
 }
 
@@ -293,6 +398,61 @@ mod tests {
         let p: Pad<16> = Pad::default();
         assert_eq!(p.0, [0u8; 16]);
         assert_eq!(std::mem::size_of::<Pad<24>>(), 24);
+    }
+
+    #[test]
+    fn radix_u64_is_monotone_for_every_usable_key() {
+        // unsigned, signed (sign-bias), float (order bits): pairwise
+        // order must survive the embedding exactly.
+        let us = [0u64, 1, 7, u64::MAX / 2, u64::MAX];
+        for a in us {
+            for b in us {
+                assert_eq!(a <= b, RadixKey::radix_u64(&a) <= RadixKey::radix_u64(&b));
+            }
+        }
+        let is = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for a in is {
+            for b in is {
+                assert_eq!(a <= b, RadixKey::radix_u64(&a) <= RadixKey::radix_u64(&b));
+            }
+        }
+        let i32s = [i32::MIN, -2, 0, 3, i32::MAX];
+        for a in i32s {
+            for b in i32s {
+                assert_eq!(a <= b, RadixKey::radix_u64(&a) <= RadixKey::radix_u64(&b));
+            }
+        }
+        let fs: Vec<OrderedF64> = [-1e300, -2.5, -0.0, 0.0, 1.5, 1e300, f64::INFINITY]
+            .into_iter()
+            .map(OrderedF64::new)
+            .collect();
+        for &a in &fs {
+            for &b in &fs {
+                assert_eq!(a <= b, RadixKey::radix_u64(&a) <= RadixKey::radix_u64(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn radix_flags_match_key_capability() {
+        fn radix_capable<T: Sortable>() -> bool {
+            T::RADIX
+        }
+        assert!(radix_capable::<u64>());
+        assert!(radix_capable::<i32>());
+        assert!(radix_capable::<OrderedF32>());
+        assert!(radix_capable::<Record<u32, u64>>());
+        assert!(radix_capable::<Record<OrderedF64, char>>());
+        // 128-bit keys have no u64 embedding: comparison-only.
+        assert!(!radix_capable::<u128>());
+        assert!(!radix_capable::<i128>());
+        assert!(!radix_capable::<Record<u128, u64>>());
+    }
+
+    #[test]
+    fn record_radix_u64_uses_the_key() {
+        let r = Record::new(-3i64, 99u64);
+        assert_eq!(Sortable::radix_u64(&r), RadixKey::radix_u64(&-3i64));
     }
 
     #[test]

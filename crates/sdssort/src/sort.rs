@@ -19,8 +19,8 @@
 //! Every rank returns its slice of the globally sorted sequence (ascending
 //! with rank) plus a [`SortStats`] phase breakdown.
 
-use crate::config::{ComputeCharge, ComputeModel, SdsConfig};
-use crate::local_sort::local_sort;
+use crate::config::{ComputeCharge, ComputeModel, LocalKernel, SdsConfig};
+use crate::local_sort::{local_sort_with, LocalSortReport};
 use crate::merge::{kway_merge_offsets, merge_two};
 use crate::node_merge::node_merge;
 use crate::partition::{
@@ -128,6 +128,19 @@ pub fn sds_sort<T: Sortable, C: Communicator>(
     sds_sort_impl(comm, data, cfg, &InMemoryExchange)
 }
 
+/// Record which local-sort kernel ran (and its transient scratch) in the
+/// telemetry counters.
+fn count_local_sort<C: Communicator>(comm: &C, report: LocalSortReport) {
+    let name = match report.kernel {
+        LocalKernel::Radix => "local_sort.kernel.radix",
+        _ => "local_sort.kernel.comparison",
+    };
+    comm.count(name, 1);
+    if report.scratch_bytes > 0 {
+        comm.count("local_sort.scratch_bytes", report.scratch_bytes as u64);
+    }
+}
+
 /// Full pipeline, generic over the exchange backend.
 pub(crate) fn sds_sort_impl<T: Sortable, C: Communicator, B: ExchangeBackend<T, C>>(
     comm: &C,
@@ -147,12 +160,13 @@ pub(crate) fn sds_sort_impl<T: Sortable, C: Communicator, B: ExchangeBackend<T, 
     comm.trace_phase("pivot");
     let sp_pivot = comm.span_begin("pivot-select");
     let n0 = data.len();
-    charged(
+    let lsr = charged(
         comm,
         cfg,
         |m| m.sort_cost_with(n0, cfg.stable),
-        || local_sort(&mut data, cfg.local_threads, cfg.stable),
+        || local_sort_with(&mut data, cfg.local_threads, cfg.stable, cfg.local_kernel),
     );
+    count_local_sort(comm, lsr);
 
     if p == 1 {
         stats.pivot_s = comm.now() - t0;
@@ -365,7 +379,7 @@ impl<T: Sortable, C: Communicator> ExchangeBackend<T, C> for InMemoryExchange {
                 )
             } else {
                 let mut buf = buf;
-                charged(
+                let lsr = charged(
                     comm,
                     cfg,
                     |mo| {
@@ -376,8 +390,9 @@ impl<T: Sortable, C: Communicator> ExchangeBackend<T, C> for InMemoryExchange {
                             base
                         }
                     },
-                    || local_sort(&mut buf, cfg.local_threads, cfg.stable),
+                    || local_sort_with(&mut buf, cfg.local_threads, cfg.stable, cfg.local_kernel),
                 );
+                count_local_sort(comm, lsr);
                 buf
             };
             stats.local_order_s = comm.now() - t2;

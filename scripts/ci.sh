@@ -38,10 +38,10 @@ run cargo run --release -q "${CARGO_OPTS[@]}" -p xlint
 run cargo test -q "${CARGO_OPTS[@]}" -p mpisim -p sdssort --features mpisim/check
 
 # Miri over the unsafe-bearing modules (PlainData codecs, merge internals,
-# pivot sampling). Best effort: needs a nightly toolchain with the miri
-# component, which sealed containers may not have.
+# radix scatter passes, pivot sampling). Best effort: needs a nightly
+# toolchain with the miri component, which sealed containers may not have.
 if cargo +nightly miri --version >/dev/null 2>&1; then
-    run cargo +nightly miri test "${CARGO_OPTS[@]}" -p sdssort --lib -- external merge pivot
+    run cargo +nightly miri test "${CARGO_OPTS[@]}" -p sdssort --lib -- external merge pivot radix
 else
     echo "ci: miri unavailable (no nightly toolchain with miri component); skipping"
 fi
@@ -71,6 +71,16 @@ test -s "$tmp/threads/BENCH_sortcli.json" || {
 }
 run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
     --validate-metrics "$tmp/threads/BENCH_sortcli.json"
+
+# bench_quick smoke: the committed-BENCH producer must run end to end at
+# its real sizes and validate its own emission (JSON parses, carries
+# git_rev/backend meta — asserted inside the binary after read-back).
+run env BENCH_METRICS_OUT="$tmp/quick" cargo run --release -q "${CARGO_OPTS[@]}" \
+    -p bench --bin bench_quick
+test -s "$tmp/quick/BENCH_pr7.json" || {
+    echo "ci: bench_quick did not write BENCH_pr7.json" >&2
+    exit 1
+}
 
 # Backend equivalence: same seed => bit-identical sorted output on the
 # simulator and the threads backend (the PR 5 acceptance gate).

@@ -11,7 +11,7 @@ use sdssort::partition::{
     cuts_to_counts, fast_cuts, replicated_runs, shares_for_source, stable_cuts, PivotRun,
 };
 use sdssort::search::{lower_bound, upper_bound, LocalPivotIndex};
-use sdssort::{sds_sort, Record, SdsConfig};
+use sdssort::{local_sort_with, sds_sort, LocalKernel, Record, SdsConfig};
 
 /// Reference implementation of the paper's per-pivot `SdssReplicated` scan.
 fn replicated_reference<K: Ord + Copy>(pivots: &[K]) -> Vec<PivotRun<K>> {
@@ -125,6 +125,59 @@ proptest! {
             prop_assert!(size <= sa, "group {g} holds {size} > sa {sa}");
         }
         prop_assert_eq!(group_sizes[rs], 0, "nothing past the run owners");
+    }
+}
+
+// Local-sort matrix: threads × {stable, unstable} × workload shape ×
+// kernel, with sizes straddling the radix/comparison boundary
+// (RADIX_MIN_N = 2048). Stable runs must equal std's stable sort exactly;
+// unstable runs must be a key-sorted permutation.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn local_sort_matrix_matches_std(
+        threads in 1usize..6,
+        stable in any::<bool>(),
+        shape in 0usize..4,
+        n in 1200usize..6000,
+        kernel_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let kernel = [LocalKernel::Auto, LocalKernel::Radix, LocalKernel::Comparison][kernel_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys: Vec<u32> = match shape {
+            // uniform
+            0 => (0..n).map(|_| rng.gen_range(0..100_000)).collect(),
+            // 90% one duplicated key
+            1 => (0..n)
+                .map(|_| if rng.gen_bool(0.9) { 7 } else { rng.gen_range(0..1000) })
+                .collect(),
+            // presorted
+            2 => (0..n as u32).collect(),
+            // reverse-sorted
+            _ => (0..n as u32).rev().collect(),
+        };
+        let recs: Vec<Record<u32, u64>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Record::new(k, i as u64))
+            .collect();
+        let mut got = recs.clone();
+        local_sort_with(&mut got, threads, stable, kernel);
+        if stable {
+            let mut expect = recs.clone();
+            expect.sort_by_key(|r| r.key);
+            prop_assert_eq!(got, expect);
+        } else {
+            prop_assert!(is_sorted_by_key(&got));
+            let mut p_in: Vec<(u32, u64)> = recs.iter().map(|r| (r.key, r.payload)).collect();
+            let mut p_out: Vec<(u32, u64)> = got.iter().map(|r| (r.key, r.payload)).collect();
+            p_in.sort_unstable();
+            p_out.sort_unstable();
+            prop_assert_eq!(p_in, p_out);
+        }
     }
 }
 
