@@ -5,14 +5,20 @@
 //!
 //!   --sorter   sds | sds-stable | hyksort | samplesort | bitonic | radix
 //!   --workload uniform | zipf:<alpha> | ptf-like | adversarial
-//!   --backend  sim | threads       (default sim). `sim` runs on the
+//!   --backend  sim | threads | sockets
+//!                                  (default sim). `sim` runs on the
 //!                                  deterministic virtual-time simulator;
 //!                                  `threads` runs each rank on a real OS
-//!                                  thread (crates/shmem) and reports
-//!                                  wall-clock times. The threads backend
-//!                                  supports the sds sorters; fault
-//!                                  injection, memory budgets, tracing and
-//!                                  resilience are simulator-only
+//!                                  thread (crates/shmem); `sockets` runs
+//!                                  each rank as a real OS *process*
+//!                                  connected by sockets (crates/sockcomm).
+//!                                  Both real backends report wall-clock
+//!                                  times and support the sds sorters;
+//!                                  fault injection, memory budgets,
+//!                                  tracing and resilience are
+//!                                  simulator-only
+//!   --transport uds | tcp          (default uds; sockets backend only)
+//!                                  socket family for rank-to-rank links
 //!   --ranks    <p>                 (default 8)
 //!   --records  <n per rank>        (default 20000)
 //!   --cores    <cores per node>    (default 24)
@@ -64,6 +70,7 @@ struct Args {
     sorter: String,
     workload: String,
     backend: String,
+    transport: String,
     ranks: usize,
     records: usize,
     cores: usize,
@@ -87,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         sorter: "sds".into(),
         workload: "uniform".into(),
         backend: "sim".into(),
+        transport: "uds".into(),
         ranks: 8,
         records: 20_000,
         cores: 24,
@@ -117,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
             "--sorter" => args.sorter = take(&mut i)?,
             "--workload" => args.workload = take(&mut i)?,
             "--backend" => args.backend = take(&mut i)?,
+            "--transport" => args.transport = take(&mut i)?,
             "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("--ranks: {e}"))?,
             "--records" => {
                 args.records = take(&mut i)?
@@ -194,6 +203,49 @@ fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>
 
 /// Per-rank outcome: (globally sorted, permutation, output length, stats).
 type RankResult = Result<(bool, bool, usize, sdssort::SortStats), SortError>;
+
+/// Per-rank outcome on the sockets backend, flattened to `Wire`-encodable
+/// scalars: (sorted, permutation, output length, pivot s, exchange s,
+/// local-order s, node merged, overlapped).
+type SocketsRankResult = (bool, bool, u64, f64, f64, f64, bool, bool);
+
+/// Entry name the re-exec'd rank processes dispatch on.
+const SOCKETS_SORT_ENTRY: &str = "sortcli-sort";
+
+/// One rank process of a `--backend sockets` run. The child re-parses its
+/// own argv (the launcher re-execs sortcli with identical arguments), so
+/// no configuration needs to travel through the params payload.
+fn sockets_rank_entry(comm: &sockcomm::SockComm, _params: u64) -> SocketsRankResult {
+    use comm::Communicator;
+    let args = parse_args().expect("parent validated this argv before launching");
+    let input = gen_keys(&args.workload, args.records, args.seed, comm.rank())
+        .expect("workload validated before launch");
+    let cfg = sds_cfg(&args).expect("sds sorter validated before launch");
+    let o = sds_sort(comm, input.clone(), &cfg).expect("sort failed on sockets rank");
+    let sorted = is_globally_sorted(comm, &o.data);
+    let permutation = is_permutation_of(comm, &input, &o.data, |&k| k);
+    (
+        sorted,
+        permutation,
+        o.data.len() as u64,
+        o.stats.pivot_s,
+        o.stats.exchange_s,
+        o.stats.local_order_s,
+        o.stats.node_merged,
+        o.stats.overlapped,
+    )
+}
+
+/// Run the sds sorter with one OS process per rank over real sockets.
+fn run_sorter_sockets(
+    a: &Args,
+    transport: sockcomm::Transport,
+) -> Result<sockcomm::SockReport<SocketsRankResult>, sockcomm::SockError> {
+    sockcomm::SocketWorld::new(a.ranks)
+        .cores_per_node(a.cores)
+        .transport(transport)
+        .run::<u64, SocketsRankResult>(SOCKETS_SORT_ENTRY, &0)
+}
 
 /// Run the sds sorter for real on the threads backend (one OS thread per
 /// rank, wall-clock timing). Only the sds sorters are generic over the
@@ -283,6 +335,9 @@ fn run_sorter(a: &Args) -> Result<(RankResult, mpisim::runtime::WorldReport<Rank
 }
 
 fn main() -> ExitCode {
+    // Rank processes of a `--backend sockets` run divert here (the
+    // launcher re-execs this binary); everyone else falls through.
+    sockcomm::child_rank(SOCKETS_SORT_ENTRY, sockets_rank_entry);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -357,17 +412,29 @@ fn main() -> ExitCode {
         return serve_main(&args);
     }
     match args.backend.as_str() {
-        "sim" | "threads" => {}
+        "sim" | "threads" | "sockets" => {}
         other => {
-            eprintln!("error: unknown backend {other} (expected sim or threads)");
+            eprintln!("error: unknown backend {other} (expected sim, threads, or sockets)");
             return ExitCode::from(2);
         }
     }
-    if args.backend == "threads" {
+    if args.transport != "uds" && args.backend != "sockets" {
+        eprintln!("error: --transport applies to --backend sockets only");
+        return ExitCode::from(2);
+    }
+    if args.backend == "sockets" && sockcomm::Transport::parse(&args.transport).is_none() {
+        eprintln!(
+            "error: unknown transport {} (expected uds or tcp)",
+            args.transport
+        );
+        return ExitCode::from(2);
+    }
+    if args.backend == "threads" || args.backend == "sockets" {
+        let backend = &args.backend;
         if sds_cfg(&args).is_none() {
             eprintln!(
-                "error: the threads backend supports the sds sorters only \
-                 (the baselines run on the simulator; drop --backend threads)"
+                "error: the {backend} backend supports the sds sorters only \
+                 (the baselines run on the simulator; drop --backend {backend})"
             );
             return ExitCode::from(2);
         }
@@ -380,7 +447,7 @@ fn main() -> ExitCode {
         ];
         for (set, flag) in simulator_only {
             if set {
-                eprintln!("error: {flag} is simulator-only (remove --backend threads)");
+                eprintln!("error: {flag} is simulator-only (remove --backend {backend})");
                 return ExitCode::from(2);
             }
         }
@@ -404,6 +471,9 @@ fn main() -> ExitCode {
 
     if args.backend == "threads" {
         return threads_main(&args);
+    }
+    if args.backend == "sockets" {
+        return sockets_main(&args);
     }
 
     let (first, report) = run_sorter(&args).expect("validated");
@@ -575,6 +645,90 @@ fn threads_main(args: &Args) -> ExitCode {
     }
 }
 
+/// Run, validate, report, and optionally emit metrics on the sockets
+/// backend (one OS process per rank). Times are real wall-clock seconds;
+/// `wall clock` additionally includes process spawn + rendezvous.
+fn sockets_main(args: &Args) -> ExitCode {
+    let transport =
+        sockcomm::Transport::parse(&args.transport).expect("transport validated before launch");
+    println!("transport: {} (process per rank)", transport.as_str());
+    let report = match run_sorter_sockets(args, transport) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("\nresult: FAILED — {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let all_ok = report
+        .results
+        .iter()
+        .all(|&(sorted, perm, ..)| sorted && perm);
+    let loads: Vec<usize> = report.results.iter().map(|r| r.2 as usize).collect();
+    let r0 = report.results[0];
+    let stats = sdssort::SortStats {
+        pivot_s: r0.3,
+        exchange_s: r0.4,
+        local_order_s: r0.5,
+        node_merged: r0.6,
+        overlapped: r0.7,
+        ..Default::default()
+    };
+    println!(
+        "\nresult: {}",
+        if all_ok {
+            "OK (sorted, permutation)"
+        } else {
+            "CORRUPT"
+        }
+    );
+    let mut t = Table::new(["metric", "value"]);
+    t.row([
+        "wall clock (launch + sort)".to_string(),
+        fmt_time(report.wall_s),
+    ]);
+    t.row([
+        "slowest rank".to_string(),
+        fmt_time(report.per_rank_wall.iter().copied().fold(0.0, f64::max)),
+    ]);
+    t.row(["pivot phase (rank 0)".to_string(), fmt_time(stats.pivot_s)]);
+    t.row([
+        "exchange phase (rank 0)".to_string(),
+        fmt_time(stats.exchange_s),
+    ]);
+    t.row([
+        "ordering phase (rank 0)".to_string(),
+        fmt_time(stats.local_order_s),
+    ]);
+    t.row([
+        "node merged (τm)".to_string(),
+        stats.node_merged.to_string(),
+    ]);
+    t.row(["RDFA".to_string(), format!("{:.4}", rdfa(&loads))]);
+    t.row(["messages".to_string(), report.messages.to_string()]);
+    t.row(["bytes".to_string(), fmt_bytes(report.bytes as usize)]);
+    t.print();
+    if stats.node_merged {
+        println!(
+            "note: node-level merging ran (avg message below τm), so output\n\
+             concentrates on node leaders — RDFA counts the empty non-leaders."
+        );
+    }
+    if let Some(out) = &args.metrics_out {
+        match write_metrics_sockets(out, args, &report, &loads, &stats) {
+            Ok(path) => println!("metrics: wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error writing metrics: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// Run a resident [`service::SortService`] over the threads backend and
 /// drive it with a stream of Zipf-sized jobs from several concurrent
 /// client handles. Reports throughput and latency percentiles; with
@@ -696,6 +850,39 @@ fn write_metrics_threads<R>(
     };
     // On this backend virtual time IS wall time: the makespan is the
     // world's measured wall clock.
+    run.makespan_v = report.wall_s;
+    run.wall_s = report.wall_s;
+
+    let path = metrics_path(out)?;
+    std::fs::write(&path, run.to_json_string() + "\n")?;
+    Ok(path)
+}
+
+/// Write the [`RunReport`] for a sockets-backend run. Durations are
+/// wall-clock seconds measured across real processes; there is no
+/// telemetry snapshot (each rank is a separate address space), so the
+/// report carries the config, decisions, loads, and timing only.
+fn write_metrics_sockets(
+    out: &Path,
+    args: &Args,
+    report: &sockcomm::SockReport<SocketsRankResult>,
+    loads: &[usize],
+    stats: &sdssort::SortStats,
+) -> std::io::Result<PathBuf> {
+    let mut run = base_run_report(args, Default::default(), loads, stats);
+    run.config
+        .push(("transport".to_string(), Json::from(args.transport.clone())));
+    run.world = WorldMeta {
+        ranks: args.ranks,
+        cores_per_node: args.cores,
+        nodes: args.ranks.div_ceil(args.cores),
+    };
+    run.memory = MemoryReport {
+        budget: None,
+        max_high_water: 0,
+        per_rank_high_water: Vec::new(),
+    };
+    // Real processes: virtual time IS wall time.
     run.makespan_v = report.wall_s;
     run.wall_s = report.wall_s;
 

@@ -56,6 +56,21 @@ pub fn weak_scaling_zipf_threads(ps: &[usize], n_rank: usize) -> Vec<ScalingCell
     sweep_threads(ps, move |r| zipf_keys(n_rank, 1.4, 0xF168, r))
 }
 
+/// Sockets-backend weak scaling: same uniform workload and seed as
+/// [`weak_scaling_uniform_threads`], but every rank is a separate OS
+/// process (`crates/sockcomm`). The calling binary must invoke
+/// [`crate::sockets_bench_child`] at the top of `main`.
+pub fn weak_scaling_uniform_sockets(ps: &[usize], n_rank: usize) -> Vec<ScalingCell> {
+    let mut cells = Vec::new();
+    for &p in ps {
+        for sorter in [Sorter::Sds, Sorter::SdsStable] {
+            let outcome = crate::run_sorter_sockets(sorter, p, n_rank);
+            cells.push(ScalingCell { p, sorter, outcome });
+        }
+    }
+    cells
+}
+
 fn sweep_threads<T, G>(ps: &[usize], gen: G) -> Vec<ScalingCell>
 where
     T: sdssort::Sortable,

@@ -253,6 +253,97 @@ where
     }
 }
 
+/// Entry name the sockets bench worlds dispatch on. A binary that calls
+/// [`run_sorter_sockets`] MUST call [`sockets_bench_child`] at the top of
+/// `main`, or its re-exec'd rank processes will never find the entry.
+pub const SOCKETS_BENCH_ENTRY: &str = "bench-sds-uniform";
+
+/// Per-rank result of the sockets bench entry, flattened to `Wire`
+/// scalars: (output len, wall s, pivot s, exchange s, local-order s,
+/// other s, node merged, overlapped).
+type SockBenchResult = (u64, f64, f64, f64, f64, f64, bool, bool);
+
+/// Child-side hook for [`run_sorter_sockets`]: diverts re-exec'd rank
+/// processes into the bench sort entry; a no-op in the parent.
+pub fn sockets_bench_child() {
+    sockcomm::child_rank(
+        SOCKETS_BENCH_ENTRY,
+        |comm, (stable, n_rank): (bool, u64)| -> SockBenchResult {
+            use comm::Communicator;
+            let mut cfg = if stable {
+                SdsConfig::stable()
+            } else {
+                SdsConfig::default()
+            };
+            cfg.tau_m_bytes = 0;
+            cfg.tau_o = 16;
+            cfg.tau_s = 8;
+            let data = workloads::uniform_u64(n_rank as usize, 0xF167, comm.rank());
+            let t0 = Instant::now();
+            let o = sds_sort(comm, data, &cfg).expect("sockets bench rank: sort failed");
+            (
+                o.data.len() as u64,
+                t0.elapsed().as_secs_f64(),
+                o.stats.pivot_s,
+                o.stats.exchange_s,
+                o.stats.local_order_s,
+                o.stats.other_s,
+                o.stats.node_merged,
+                o.stats.overlapped,
+            )
+        },
+    );
+}
+
+/// Run `sorter` over `p` rank *processes* connected by Unix-domain
+/// sockets, each sorting `n_rank` uniform `u64` keys (same generator and
+/// seed as [`run_sorter_threads`] via `weak_scaling_uniform_threads`).
+/// `time_s` is the slowest rank's measured sort seconds; `wall_s` is the
+/// launcher's wall clock and additionally includes process spawn and
+/// rendezvous (see EXPERIMENTS.md).
+pub fn run_sorter_sockets(sorter: Sorter, p: usize, n_rank: usize) -> RunOutcome {
+    let stable = match sorter {
+        Sorter::Sds => false,
+        Sorter::SdsStable => true,
+        Sorter::HykSort => panic!("the sockets backend runs the sds sorters only"),
+    };
+    let world = sockcomm::SocketWorld::new(p).cores_per_node(24);
+    match world.run::<(bool, u64), SockBenchResult>(SOCKETS_BENCH_ENTRY, &(stable, n_rank as u64)) {
+        Err(e) => {
+            eprintln!("sockets bench world failed: {e}");
+            RunOutcome {
+                time_s: None,
+                loads: Vec::new(),
+                phases: sdssort::SortStats::default(),
+                wall_s: 0.0,
+            }
+        }
+        Ok(report) => {
+            let stats: Vec<sdssort::SortStats> = report
+                .results
+                .iter()
+                .map(|r| sdssort::SortStats {
+                    pivot_s: r.2,
+                    exchange_s: r.3,
+                    local_order_s: r.4,
+                    other_s: r.5,
+                    recv_count: r.0 as usize,
+                    node_merged: r.6,
+                    overlapped: r.7,
+                    ..Default::default()
+                })
+                .collect();
+            let slowest_sort = report.results.iter().map(|r| r.1).fold(0.0f64, f64::max);
+            RunOutcome {
+                time_s: Some(slowest_sort),
+                loads: report.results.iter().map(|r| r.0 as usize).collect(),
+                phases: sdssort::stats::phase_maxima(&stats),
+                wall_s: report.wall_s,
+            }
+        }
+    }
+}
+
 fn run_one<T: Sortable>(
     sorter: Sorter,
     comm: &mut Comm,

@@ -2,7 +2,7 @@
 //!
 //! The sort algorithms in `sdssort` are written against the
 //! [`Communicator`] trait rather than a concrete runtime, so the same
-//! algorithm code runs over two very different substrates:
+//! algorithm code runs over three very different substrates:
 //!
 //! * **`mpisim`** — the deterministic virtual-time simulator: single
 //!   logical timeline per rank, LogGP network cost model, per-rank memory
@@ -11,6 +11,18 @@
 //! * **`shmem`** — a real OS-thread backend: one thread per rank, bounded
 //!   in-memory mailboxes, wall-clock [`std::time::Instant`] timing. This is
 //!   where real elapsed time is measured.
+//! * **`sockcomm`** — a distributed backend: one OS process per rank,
+//!   connected by a full mesh of Unix-domain or TCP sockets with
+//!   length-prefixed `(ctx, src, tag)` frames. This is where
+//!   serialization boundaries and process death are real.
+//!
+//! The real backends share more than the trait: the [`mailbox`] module is
+//!   the `(ctx, src, tag)` matching discipline both use verbatim, [`Wire`]
+//!   is the zero-copy record codec, and [`raw`] holds the collective
+//!   *algorithms* (dissemination barrier, binomial bcast, staggered
+//!   self-first all-to-all) written once against a minimal [`raw::RawComm`]
+//!   core — which is why the same seed yields bit-identical output on all
+//!   three substrates.
 //!
 //! The trait mirrors the MPI-flavoured surface `mpisim::Comm` grew: rank /
 //! topology queries, buffered point-to-point sends, the collectives the
@@ -39,6 +51,12 @@
 //! cross-match.
 
 #![warn(missing_docs)]
+
+pub mod mailbox;
+pub mod raw;
+pub mod wire;
+
+pub use wire::Wire;
 
 use std::fmt;
 use telemetry::{Recorder, SpanId};
@@ -120,7 +138,7 @@ pub trait AsyncExchange<T, C: Communicator> {
 /// conforming backend.
 pub trait Communicator: Sized {
     /// The backend's asynchronous all-to-all handle.
-    type Async<T: Clone + Send + 'static>: AsyncExchange<T, Self>;
+    type Async<T: Wire>: AsyncExchange<T, Self>;
 
     // ---- identity & topology ---------------------------------------------
 
@@ -219,24 +237,24 @@ pub trait Communicator: Sized {
     /// below [`MAX_USER_TAG`]). Buffered: returns as soon as the envelope
     /// is enqueued (a bounded backend may block while the destination's
     /// mailbox is full, but never on the receiver *matching* the message).
-    fn send_vec<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>);
+    fn send_vec<T: Wire>(&self, dst: usize, tag: u64, data: Vec<T>);
 
     /// Send a copy of a slice to communicator rank `dst`.
-    fn send_slice<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: &[T]) {
+    fn send_slice<T: Wire>(&self, dst: usize, tag: u64, data: &[T]) {
         self.send_vec(dst, tag, data.to_vec());
     }
 
     /// Send a single value.
-    fn send_val<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+    fn send_val<T: Wire>(&self, dst: usize, tag: u64, value: T) {
         self.send_vec(dst, tag, vec![value]);
     }
 
     /// Blocking receive of a vector from communicator rank `src` with `tag`
     /// (below [`MAX_USER_TAG`]).
-    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T>;
+    fn recv_vec<T: Wire>(&self, src: usize, tag: u64) -> Vec<T>;
 
     /// Blocking receive of a single value.
-    fn recv_val<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    fn recv_val<T: Wire>(&self, src: usize, tag: u64) -> T {
         let v = self.recv_vec::<T>(src, tag);
         debug_assert_eq!(v.len(), 1, "recv_val expects single-element message");
         v.into_iter().next().expect("non-empty message")
@@ -249,21 +267,21 @@ pub trait Communicator: Sized {
 
     /// Broadcast from `root`. `data` must be `Some` on the root and is
     /// ignored elsewhere; every rank returns the payload.
-    fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T>;
+    fn bcast<T: Wire>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T>;
 
     /// Gather variable-length contributions to `root`. Root returns one
     /// vector per rank (in rank order); other ranks return `None`.
-    fn gatherv<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>>;
+    fn gatherv<T: Wire>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>>;
 
     /// Personalized all-to-all: `data` holds exactly one item per rank;
     /// returns the item received from each rank, in rank order.
-    fn alltoall<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T>;
+    fn alltoall<T: Wire>(&self, data: &[T]) -> Vec<T>;
 
     /// Variable all-to-all when the receive counts are already known.
     /// `data` is partitioned by `send_counts` (one contiguous run per
     /// destination, in rank order); returns the received data concatenated
     /// in source-rank order.
-    fn alltoallv_given_counts<T: Clone + Send + 'static>(
+    fn alltoallv_given_counts<T: Wire>(
         &self,
         data: &[T],
         send_counts: &[usize],
@@ -273,7 +291,7 @@ pub trait Communicator: Sized {
     /// Begin an asynchronous variable all-to-all with pre-exchanged receive
     /// counts; completed per-peer chunks are retrieved incrementally with
     /// [`AsyncExchange::wait_any`].
-    fn alltoallv_async_given_counts<T: Clone + Send + 'static>(
+    fn alltoallv_async_given_counts<T: Wire>(
         &self,
         data: &[T],
         send_counts: &[usize],
@@ -289,14 +307,14 @@ pub trait Communicator: Sized {
 
     /// Gather equal-length contributions to `root`, concatenated in rank
     /// order. Other ranks return `None`.
-    fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
+    fn gather<T: Wire>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
         self.gatherv(root, data)
             .map(|parts| parts.into_iter().flatten().collect())
     }
 
     /// All ranks obtain the concatenation (rank order) of every rank's
     /// contribution; returns the flat data and per-rank counts.
-    fn allgatherv<T: Clone + Send + 'static>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
+    fn allgatherv<T: Wire>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
         let root = 0;
         let parts = self.gatherv(root, data);
         let (flat, counts) = if self.rank() == root {
@@ -326,17 +344,13 @@ pub trait Communicator: Sized {
     }
 
     /// All ranks obtain the concatenation of equal-length contributions.
-    fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+    fn allgather<T: Wire>(&self, data: &[T]) -> Vec<T> {
         self.allgatherv(data).0
     }
 
     /// Variable all-to-all (`MPI_Alltoallv`): exchanges counts first, then
     /// the data. Returns the received data and per-source counts.
-    fn alltoallv<T: Clone + Send + 'static>(
-        &self,
-        data: &[T],
-        send_counts: &[usize],
-    ) -> (Vec<T>, Vec<usize>) {
+    fn alltoallv<T: Wire>(&self, data: &[T], send_counts: &[usize]) -> (Vec<T>, Vec<usize>) {
         let p = self.size();
         assert_eq!(send_counts.len(), p, "one send count per rank");
         let total: usize = send_counts.iter().sum();
@@ -348,23 +362,14 @@ pub trait Communicator: Sized {
 
     /// Begin an asynchronous variable all-to-all, exchanging the per-source
     /// receive counts synchronously first.
-    fn alltoallv_async<T: Clone + Send + 'static>(
-        &self,
-        data: &[T],
-        send_counts: &[usize],
-    ) -> Self::Async<T> {
+    fn alltoallv_async<T: Wire>(&self, data: &[T], send_counts: &[usize]) -> Self::Async<T> {
         let recv_counts = self.alltoall(send_counts);
         self.alltoallv_async_given_counts(data, send_counts, recv_counts)
     }
 
     /// Reduce to `root` with `op`, folding contributions in rank order (so
     /// results are deterministic even for non-commutative closures).
-    fn reduce<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        value: T,
-        op: impl Fn(T, T) -> T,
-    ) -> Option<T> {
+    fn reduce<T: Wire>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         self.gatherv(root, std::slice::from_ref(&value))
             .map(|parts| {
                 parts
@@ -376,7 +381,7 @@ pub trait Communicator: Sized {
     }
 
     /// Allreduce with `op` (deterministic rank-order fold).
-    fn allreduce<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+    fn allreduce<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         let root = 0;
         let reduced = self.reduce(root, value, op);
         let v = self.bcast(root, reduced.map(|r| vec![r]));
@@ -385,7 +390,7 @@ pub trait Communicator: Sized {
 
     /// Exclusive prefix scan: rank r returns `op` folded over ranks `0..r`,
     /// or `None` on rank 0.
-    fn exscan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+    fn exscan<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         let all = self.allgather(std::slice::from_ref(&value));
         let r = self.rank();
         if r == 0 {
@@ -396,7 +401,7 @@ pub trait Communicator: Sized {
     }
 
     /// Inclusive prefix scan: rank r returns `op` folded over ranks `0..=r`.
-    fn scan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+    fn scan<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         let all = self.allgather(std::slice::from_ref(&value));
         all[..=self.rank()]
             .iter()
@@ -409,14 +414,10 @@ pub trait Communicator: Sized {
     /// vector per rank (in rank order) and every rank returns its chunk.
     /// A traffic-generating primitive (root sends on a reserved collective
     /// tag), so backends implement it natively.
-    fn scatterv<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        chunks: Option<Vec<Vec<T>>>,
-    ) -> Vec<T>;
+    fn scatterv<T: Wire>(&self, root: usize, chunks: Option<Vec<Vec<T>>>) -> Vec<T>;
 
     /// Scatter equal-length chunks of `data` from `root` (`MPI_Scatter`).
-    fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+    fn scatter<T: Wire>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
         let p = self.size();
         let chunks = if self.rank() == root {
             let data = data.expect("root must supply data");
@@ -431,11 +432,7 @@ pub trait Communicator: Sized {
 
     /// Reduce-scatter: element-wise reduce a per-rank vector of length `p`
     /// with `op`, then rank r returns element r of the reduction.
-    fn reduce_scatter<T: Clone + Send + 'static>(
-        &self,
-        contributions: &[T],
-        op: impl Fn(T, T) -> T,
-    ) -> T {
+    fn reduce_scatter<T: Wire>(&self, contributions: &[T], op: impl Fn(T, T) -> T) -> T {
         let p = self.size();
         assert_eq!(contributions.len(), p, "one contribution per rank");
         let received = self.alltoall(contributions);

@@ -1,0 +1,351 @@
+//! Wire encoding for message payloads.
+//!
+//! The simulator and the threads backend move payloads through one address
+//! space, so they never serialize: a `Vec<T>` is boxed, handed over, and
+//! downcast on the receiving rank. A *distributed* backend (process per
+//! rank over sockets, `crates/sockcomm`) has no shared address space — every
+//! payload must cross the wire as bytes. [`Wire`] is the contract that makes
+//! that possible: any `T` sent through a [`crate::Communicator`] knows how to
+//! encode itself onto a byte buffer and decode itself back.
+//!
+//! ## Format
+//!
+//! Host-native byte order, fixed layouts per type (documented on each impl).
+//! The format never crosses machines: the launcher re-execs *the same
+//! binary* for every rank on one host, so native endianness and pointer
+//! width are identical on both ends by construction. What the format *does*
+//! guarantee is self-consistency: `get` inverts `put` and `get_vec` inverts
+//! `put_slice`, byte for byte.
+//!
+//! ## Zero-copy record buffers
+//!
+//! The hot path of a sort exchange is a large `Vec<K>` of keys or records.
+//! For the primitive pod types (no padding, every bit pattern valid — the
+//! same contract as `sdssort`'s `PlainData`), [`Wire::put_slice`] and
+//! [`Wire::get_vec`] are overridden with a single `memcpy` instead of an
+//! element loop, so encoding a million-key buffer costs one copy.
+//! Composite types (tuples, `Record`-style structs with padding) fall back
+//! to the element-wise loop, which sidesteps padding bytes entirely.
+
+/// A value that can cross a process boundary as bytes.
+///
+/// Implementations must be self-consistent round-trips:
+/// `get(put(x)) == x` and `get_vec(put_slice(xs)) == xs`. Decoding must be
+/// total over the format — malformed input returns `None`, never panics —
+/// because the bytes arrive from another process.
+pub trait Wire: Clone + Send + 'static {
+    /// Append this value's encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `src`, advancing the slice past
+    /// the consumed bytes. `None` if `src` is truncated or malformed.
+    fn get(src: &mut &[u8]) -> Option<Self>;
+
+    /// Bulk-encode a slice (element-wise by default; pod types override
+    /// with a single copy).
+    fn put_slice(items: &[Self], out: &mut Vec<u8>) {
+        for item in items {
+            item.put(out);
+        }
+    }
+
+    /// Decode an entire buffer into a vector, consuming every byte. `None`
+    /// if the buffer is truncated mid-element or has trailing garbage
+    /// (pod override: length not a multiple of the element size).
+    fn get_vec(src: &[u8]) -> Option<Vec<Self>> {
+        let mut cursor = src;
+        let mut out = Vec::new();
+        while !cursor.is_empty() {
+            out.push(Self::get(&mut cursor)?);
+        }
+        Some(out)
+    }
+}
+
+/// Split `count` bytes off the front of `src`, advancing it.
+#[inline]
+fn take<'a>(src: &mut &'a [u8], count: usize) -> Option<&'a [u8]> {
+    if src.len() < count {
+        return None;
+    }
+    let (head, tail) = src.split_at(count);
+    *src = tail;
+    Some(head)
+}
+
+/// Implements [`Wire`] for pod scalars: no padding, every bit pattern
+/// valid, encoded as their native-endian bytes. Bulk paths are a single
+/// `memcpy` of the whole buffer.
+macro_rules! wire_pod {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Wire for $ty {
+            #[inline]
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_ne_bytes());
+            }
+
+            #[inline]
+            fn get(src: &mut &[u8]) -> Option<Self> {
+                let bytes = take(src, std::mem::size_of::<$ty>())?;
+                Some(<$ty>::from_ne_bytes(bytes.try_into().ok()?))
+            }
+
+            fn put_slice(items: &[Self], out: &mut Vec<u8>) {
+                // SAFETY: `$ty` is a primitive scalar — no padding bytes,
+                // so every byte of the slice is initialized and may be
+                // viewed as `u8`.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        items.as_ptr().cast::<u8>(),
+                        std::mem::size_of_val(items),
+                    )
+                };
+                out.extend_from_slice(bytes);
+            }
+
+            fn get_vec(src: &[u8]) -> Option<Vec<Self>> {
+                let size = std::mem::size_of::<$ty>();
+                if src.len() % size != 0 {
+                    return None;
+                }
+                let n = src.len() / size;
+                let mut out = Vec::<$ty>::with_capacity(n);
+                // SAFETY: every bit pattern of `$ty` is a valid value, the
+                // destination has capacity for `n` elements, and the source
+                // holds exactly `n * size` bytes (checked above).
+                // `copy_nonoverlapping` via u8 pointers tolerates any
+                // source alignment.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        src.as_ptr(),
+                        out.as_mut_ptr().cast::<u8>(),
+                        src.len(),
+                    );
+                    out.set_len(n);
+                }
+                Some(out)
+            }
+        }
+    )+};
+}
+
+wire_pod!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+// `usize`/`isize` encode as their native width (the two ends are the same
+// binary on the same host, so widths agree by construction).
+wire_pod!(usize, isize);
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        match u8::get(src)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for char {
+    fn put(&self, out: &mut Vec<u8>) {
+        u32::from(*self).put(out);
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        char::from_u32(u32::get(src)?)
+    }
+}
+
+/// Length-prefixed (u64 count) UTF-8 bytes.
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(u64::get(src)?).ok()?;
+        let bytes = take(src, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Length-prefixed (u64 count) element sequence.
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(u64::get(src)?).ok()?;
+        // Cap the pre-allocation: a corrupt length must not OOM the decoder.
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::get(src)?);
+        }
+        Some(out)
+    }
+}
+
+/// One presence byte, then the value.
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        match u8::get(src)? {
+            0 => Some(None),
+            1 => Some(Some(T::get(src)?)),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-count element sequence (no length prefix; the count is the type).
+impl<T: Wire + Copy + Default, const N: usize> Wire for [T; N] {
+    fn put(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.put(out);
+        }
+    }
+
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::get(src)?;
+        }
+        Some(out)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($(($($name:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn put(&self, out: &mut Vec<u8>) {
+                $(self.$idx.put(out);)+
+            }
+
+            fn get(src: &mut &[u8]) -> Option<Self> {
+                Some(($($name::get(src)?,)+))
+            }
+        }
+    )+};
+}
+
+wire_tuple!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6),
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.put(&mut buf);
+        let mut src = &buf[..];
+        assert_eq!(T::get(&mut src), Some(v));
+        assert!(src.is_empty(), "decode must consume every byte");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-17i64);
+        round_trip(u128::MAX - 5);
+        round_trip(3.25f64);
+        round_trip(f32::NEG_INFINITY);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip('λ');
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip("hëllo wire".to_string());
+        round_trip(String::new());
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip(Some(42u64));
+        round_trip(Option::<u64>::None);
+        round_trip((1u8, 2u64, -3i32));
+        round_trip((true, Some(7u64), "x".to_string(), vec![1u16]));
+        round_trip([1.5f32, -2.0, 0.0]);
+        round_trip((false, Option::<u64>::None, Option::<u64>::Some(9)));
+    }
+
+    #[test]
+    fn bulk_pod_matches_element_wise() {
+        let items: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut bulk = Vec::new();
+        u64::put_slice(&items, &mut bulk);
+        let mut elem = Vec::new();
+        for it in &items {
+            it.put(&mut elem);
+        }
+        assert_eq!(bulk, elem, "pod bulk path must match the element loop");
+        assert_eq!(u64::get_vec(&bulk), Some(items));
+    }
+
+    #[test]
+    fn get_vec_rejects_ragged_pod_buffers() {
+        let mut buf = Vec::new();
+        u64::put_slice(&[1u64, 2], &mut buf);
+        buf.pop();
+        assert_eq!(u64::get_vec(&buf), None);
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let mut buf = Vec::new();
+        ("abc".to_string(), 7u64).put(&mut buf);
+        for cut in 0..buf.len() {
+            let mut src = &buf[..cut];
+            assert_eq!(<(String, u64)>::get(&mut src), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bogus_discriminants_rejected() {
+        let mut src: &[u8] = &[2u8];
+        assert_eq!(bool::get(&mut src), None);
+        let mut src: &[u8] = &[9u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(Option::<u64>::get(&mut src), None);
+        // Surrogate code point is not a char.
+        let mut buf = Vec::new();
+        0xD800u32.put(&mut buf);
+        let mut src = &buf[..];
+        assert_eq!(char::get(&mut src), None);
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_preallocate_unbounded() {
+        let mut buf = Vec::new();
+        u64::MAX.put(&mut buf); // absurd element count, no elements
+        let mut src = &buf[..];
+        assert_eq!(Vec::<u64>::get(&mut src), None);
+    }
+}

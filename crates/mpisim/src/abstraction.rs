@@ -10,10 +10,10 @@
 
 use crate::async_a2a::AsyncAlltoallv;
 use crate::comm::Comm;
-use ::comm::{AsyncExchange, Communicator, OomError};
+use ::comm::{AsyncExchange, Communicator, OomError, Wire};
 
 impl Communicator for Comm {
-    type Async<T: Clone + Send + 'static> = AsyncAlltoallv<T>;
+    type Async<T: Wire> = AsyncAlltoallv<T>;
 
     fn size(&self) -> usize {
         Comm::size(self)
@@ -95,23 +95,23 @@ impl Communicator for Comm {
         Comm::memory_pressure_with(self, extra)
     }
 
-    fn send_vec<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    fn send_vec<T: Wire>(&self, dst: usize, tag: u64, data: Vec<T>) {
         Comm::send_vec(self, dst, tag, data);
     }
 
-    fn send_slice<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: &[T]) {
+    fn send_slice<T: Wire>(&self, dst: usize, tag: u64, data: &[T]) {
         Comm::send_slice(self, dst, tag, data);
     }
 
-    fn send_val<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+    fn send_val<T: Wire>(&self, dst: usize, tag: u64, value: T) {
         Comm::send_val(self, dst, tag, value);
     }
 
-    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+    fn recv_vec<T: Wire>(&self, src: usize, tag: u64) -> Vec<T> {
         Comm::recv_vec(self, src, tag)
     }
 
-    fn recv_val<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    fn recv_val<T: Wire>(&self, src: usize, tag: u64) -> T {
         Comm::recv_val(self, src, tag)
     }
 
@@ -119,19 +119,19 @@ impl Communicator for Comm {
         Comm::barrier(self);
     }
 
-    fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+    fn bcast<T: Wire>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
         Comm::bcast(self, root, data)
     }
 
-    fn gatherv<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+    fn gatherv<T: Wire>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
         Comm::gatherv(self, root, data)
     }
 
-    fn alltoall<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+    fn alltoall<T: Wire>(&self, data: &[T]) -> Vec<T> {
         Comm::alltoall(self, data)
     }
 
-    fn alltoallv_given_counts<T: Clone + Send + 'static>(
+    fn alltoallv_given_counts<T: Wire>(
         &self,
         data: &[T],
         send_counts: &[usize],
@@ -140,7 +140,7 @@ impl Communicator for Comm {
         Comm::alltoallv_given_counts(self, data, send_counts, recv_counts)
     }
 
-    fn alltoallv_async_given_counts<T: Clone + Send + 'static>(
+    fn alltoallv_async_given_counts<T: Wire>(
         &self,
         data: &[T],
         send_counts: &[usize],
@@ -153,72 +153,51 @@ impl Communicator for Comm {
         Comm::split(self, color, key)
     }
 
-    fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
+    fn gather<T: Wire>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
         Comm::gather(self, root, data)
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
+    fn allgatherv<T: Wire>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
         Comm::allgatherv(self, data)
     }
 
-    fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+    fn allgather<T: Wire>(&self, data: &[T]) -> Vec<T> {
         Comm::allgather(self, data)
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(
-        &self,
-        data: &[T],
-        send_counts: &[usize],
-    ) -> (Vec<T>, Vec<usize>) {
+    fn alltoallv<T: Wire>(&self, data: &[T], send_counts: &[usize]) -> (Vec<T>, Vec<usize>) {
         Comm::alltoallv(self, data, send_counts)
     }
 
-    fn alltoallv_async<T: Clone + Send + 'static>(
-        &self,
-        data: &[T],
-        send_counts: &[usize],
-    ) -> AsyncAlltoallv<T> {
+    fn alltoallv_async<T: Wire>(&self, data: &[T], send_counts: &[usize]) -> AsyncAlltoallv<T> {
         Comm::alltoallv_async(self, data, send_counts)
     }
 
-    fn reduce<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        value: T,
-        op: impl Fn(T, T) -> T,
-    ) -> Option<T> {
+    fn reduce<T: Wire>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         Comm::reduce(self, root, value, op)
     }
 
-    fn allreduce<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+    fn allreduce<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         Comm::allreduce(self, value, op)
     }
 
-    fn exscan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+    fn exscan<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         Comm::exscan(self, value, op)
     }
 
-    fn scan<T: Clone + Send + 'static>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+    fn scan<T: Wire>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
         Comm::scan(self, value, op)
     }
 
-    fn scatterv<T: Clone + Send + 'static>(
-        &self,
-        root: usize,
-        chunks: Option<Vec<Vec<T>>>,
-    ) -> Vec<T> {
+    fn scatterv<T: Wire>(&self, root: usize, chunks: Option<Vec<Vec<T>>>) -> Vec<T> {
         Comm::scatterv(self, root, chunks)
     }
 
-    fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+    fn scatter<T: Wire>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
         Comm::scatter(self, root, data)
     }
 
-    fn reduce_scatter<T: Clone + Send + 'static>(
-        &self,
-        contributions: &[T],
-        op: impl Fn(T, T) -> T,
-    ) -> T {
+    fn reduce_scatter<T: Wire>(&self, contributions: &[T], op: impl Fn(T, T) -> T) -> T {
         Comm::reduce_scatter(self, contributions, op)
     }
 

@@ -31,7 +31,7 @@ pub enum PivotMethod {
 ///
 /// `local_pivots` must be sorted (they are regular samples of sorted local
 /// data). Returns the same pivot vector on every rank.
-pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static + comm::Wire, C: Communicator>(
     comm: &C,
     local_pivots: &[K],
     method: PivotMethod,
@@ -82,7 +82,7 @@ pub fn select_global_pivots<K: Ord + Copy + Send + Sync + 'static, C: Communicat
     flat.into_iter().map(|(_, k)| k).collect()
 }
 
-fn gather_select<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+fn gather_select<K: Ord + Copy + Send + Sync + 'static + comm::Wire, C: Communicator>(
     comm: &C,
     local: &[K],
 ) -> Vec<K> {
@@ -98,7 +98,7 @@ fn gather_select<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
 /// One merge-split step: exchange blocks with `partner`, merge, keep the
 /// low or high half. Blocks must be sorted and equal-length; the kept half
 /// has the caller's original block length.
-fn merge_split<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+fn merge_split<K: Ord + Copy + Send + Sync + 'static + comm::Wire, C: Communicator>(
     comm: &C,
     block: &mut Vec<K>,
     partner: usize,
@@ -137,7 +137,7 @@ fn merge_two_keys<K: Ord + Copy>(a: &[K], b: &[K]) -> Vec<K> {
 
 /// Block bitonic sort across a power-of-two number of ranks. On return,
 /// every rank's block is sorted and blocks ascend with rank.
-pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static + comm::Wire, C: Communicator>(
     comm: &C,
     mut block: Vec<K>,
 ) -> Vec<K> {
@@ -171,7 +171,7 @@ pub fn bitonic_block_sort<K: Ord + Copy + Send + Sync + 'static, C: Communicator
 
 /// Block odd-even transposition sort across any number of ranks. `p`
 /// rounds of pairwise merge-splits.
-pub fn odd_even_block_sort<K: Ord + Copy + Send + Sync + 'static, C: Communicator>(
+pub fn odd_even_block_sort<K: Ord + Copy + Send + Sync + 'static + comm::Wire, C: Communicator>(
     comm: &C,
     mut block: Vec<K>,
 ) -> Vec<K> {

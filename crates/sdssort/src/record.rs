@@ -10,14 +10,21 @@
 //! Floating-point keys (the PTF real-bogus scores are `f32`) are handled
 //! with [`OrderedF32`]/[`OrderedF64`], monotone total-order bit encodings.
 
+use comm::Wire;
+
 /// A record that can be sorted by SDS-Sort and the baseline sorters.
 ///
 /// `Key` must be totally ordered ([`Ord`]); comparisons look only at the
 /// key, so equal-key records are genuinely indistinguishable to the sorter
 /// — exactly the regime where skew-aware partitioning matters.
-pub trait Sortable: Copy + Send + Sync + 'static {
+///
+/// Records and keys must additionally be [`Wire`]: every record crosses
+/// the transport during the exchange phase, and the distributed sockets
+/// backend needs to serialize it. For in-process backends the bound costs
+/// nothing (nothing is encoded).
+pub trait Sortable: Copy + Send + Sync + 'static + Wire {
     /// The sort key type.
-    type Key: Ord + Copy + Send + Sync + 'static;
+    type Key: Ord + Copy + Send + Sync + 'static + Wire;
 
     /// Extract this record's sort key.
     fn key(&self) -> Self::Key;
@@ -194,6 +201,15 @@ impl RadixKey for OrderedF32 {
     }
 }
 
+impl Wire for OrderedF32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+    }
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        u32::get(src).map(Self)
+    }
+}
+
 impl Sortable for OrderedF32 {
     type Key = OrderedF32;
     #[inline]
@@ -244,6 +260,15 @@ impl RadixKey for OrderedF64 {
     }
 }
 
+impl Wire for OrderedF64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+    }
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        u64::get(src).map(Self)
+    }
+}
+
 impl Sortable for OrderedF64 {
     type Key = OrderedF64;
     #[inline]
@@ -275,10 +300,29 @@ impl<K, P> Record<K, P> {
     }
 }
 
+/// Field-wise encoding (key then payload) — any compiler-inserted padding
+/// between the fields never touches the wire.
+impl<K, P> Wire for Record<K, P>
+where
+    K: Wire + Copy,
+    P: Wire + Copy,
+{
+    fn put(&self, out: &mut Vec<u8>) {
+        self.key.put(out);
+        self.payload.put(out);
+    }
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            key: K::get(src)?,
+            payload: P::get(src)?,
+        })
+    }
+}
+
 impl<K, P> Sortable for Record<K, P>
 where
-    K: Ord + Copy + Send + Sync + 'static + RadixKey,
-    P: Copy + Send + Sync + 'static,
+    K: Ord + Copy + Send + Sync + 'static + RadixKey + Wire,
+    P: Copy + Send + Sync + 'static + Wire,
 {
     type Key = K;
     #[inline]
@@ -305,6 +349,15 @@ pub struct Pad<const N: usize>(pub [u8; N]);
 impl<const N: usize> Default for Pad<N> {
     fn default() -> Self {
         Self([0u8; N])
+    }
+}
+
+impl<const N: usize> Wire for Pad<N> {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        <[u8; N]>::get(src).map(Self)
     }
 }
 

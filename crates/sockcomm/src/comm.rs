@@ -1,44 +1,59 @@
-//! The threads-backend communicator: [`ThreadComm`] implements
-//! [`comm::Communicator`] over bounded mailboxes and real wall-clock time.
+//! The sockets-backend communicator: [`SockComm`] implements
+//! [`comm::Communicator`] over per-peer socket links and the shared
+//! bounded-mailbox matching discipline.
 //!
-//! The collective primitives are the *shared* algorithm bodies in
-//! [`comm::raw`] — dissemination barrier, binomial broadcast, rank-order
-//! gatherv, staggered `alltoallv`, async self-first protocol — which
-//! reproduce the simulator's algorithms and wire patterns exactly.
-//! `ThreadComm` supplies only the raw substrate ([`comm::raw::RawComm`]):
-//! mailbox-backed reserved-tag send/recv and the collective tag allocator.
-//! The composed collectives come from the trait's provided defaults, which
-//! mirror the simulator's decompositions. Together with the identical
-//! reserved-tag scheme this keeps the backends' collective *results*
-//! (including deterministic rank-order reduction folds) bit-identical;
-//! only arrival timing differs.
+//! The collective algorithms are the shared bodies in [`comm::raw`] — the
+//! same dissemination barrier, binomial broadcast, rank-order gatherv,
+//! staggered `alltoallv` and async self-first protocol as the simulator
+//! and the threads backend — so collective *results* (including
+//! deterministic rank-order reduction folds) are bit-identical across all
+//! three backends. `SockComm` supplies only the raw substrate: frame
+//! encoding/decoding at the send/recv boundary, mailbox matching, and the
+//! identical `MAX_USER_TAG + (op_seq << 12)` collective tag reservation.
 
-use crate::mailbox::{Envelope, SrcSel};
-use crate::universe::Universe;
+use crate::frame::{Frame, FrameKind};
+use crate::universe::SockUniverse;
+use ::comm::mailbox::{Envelope, SrcSel};
 use ::comm::raw::{self, RawAsync, RawComm};
 use ::comm::{Communicator, OomError, Wire, MAX_USER_TAG};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Panic payload used when a rank unwinds *because another rank panicked*
-/// (the world was aborted). The runtime filters these out so the original
-/// failure is the one re-raised to the caller.
+/// Panic payload used when a rank unwinds because the world aborted
+/// (typically: a peer process died). The child runtime catches it and
+/// turns the recorded [`crate::DeadPeer`] into the diagnostic.
 #[derive(Debug)]
-pub struct ShmemAborted {
+pub struct SockAborted {
     /// Communicator rank that was interrupted.
     pub rank: usize,
 }
 
-/// Handle to an in-flight asynchronous `alltoallv` on the threads backend:
+/// Handle to an in-flight asynchronous `alltoallv` on the sockets backend:
 /// the shared raw-substrate handle from [`comm::raw`].
-pub type ShmemAsync<T> = RawAsync<T>;
+pub type SockAsync<T> = RawAsync<T>;
 
-/// A rank-local handle to a threads-backend communicator. `!Send` by
+/// Derive a child communicator context id from the parent's: a splitmix64
+/// hash chain over `(parent_ctx, split_seq, color)`. Every member of a
+/// split computes this locally from values all members agree on, so no
+/// shared registry (which a process-per-rank world cannot have) is needed;
+/// the high bit is forced so a derived context never collides with the
+/// world context 0.
+pub(crate) fn split_ctx(parent: u64, split_seq: u64, color: i64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(mix(parent) ^ split_seq) ^ color as u64) | (1 << 63)
+}
+
+/// A rank-local handle to a sockets-backend communicator. `!Send` by
 /// construction (collective sequence counters are `Cell`s): a rank's
-/// communicator lives on that rank's thread.
-pub struct ThreadComm {
-    uni: Arc<Universe>,
+/// communicator lives on that rank process's main thread.
+pub struct SockComm {
+    uni: Arc<SockUniverse>,
     /// Context id distinguishing this communicator's traffic.
     ctx: u64,
     /// World ranks of the members, ordered by communicator rank.
@@ -53,9 +68,9 @@ pub struct ThreadComm {
     coll_seq: Cell<u64>,
 }
 
-impl ThreadComm {
+impl SockComm {
     pub(crate) fn new(
-        uni: Arc<Universe>,
+        uni: Arc<SockUniverse>,
         ctx: u64,
         members: Arc<[usize]>,
         my_index: usize,
@@ -78,16 +93,9 @@ impl ThreadComm {
         }
     }
 
-    /// The shared world state.
-    pub fn universe(&self) -> &Arc<Universe> {
-        &self.uni
-    }
-
     fn check_alive(&self) {
         if self.uni.is_aborted() {
-            std::panic::panic_any(ShmemAborted {
-                rank: self.my_index,
-            });
+            self.abort_unwind();
         }
     }
 
@@ -100,28 +108,43 @@ impl ThreadComm {
         );
     }
 
-    fn open_envelope<T: Send + 'static>(&self, env: Envelope) -> (usize, Vec<T>) {
+    fn abort_unwind(&self) -> ! {
+        // resume_unwind, not panic_any: this is deliberate control flow to
+        // the catch_unwind in the rank runtime (which reports the dead
+        // peer), so the panic hook's backtrace would be pure noise.
+        std::panic::resume_unwind(Box::new(SockAborted {
+            rank: self.my_index,
+        }))
+    }
+
+    fn open_envelope<T: Wire>(&self, env: Envelope) -> (usize, Vec<T>) {
         let src_comm = self
             .world_to_comm
             .get(&env.src)
             .copied()
             .expect("sender is a member of this communicator");
-        let data = env
+        let bytes = env
             .data
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| panic!("type mismatch on recv (tag {})", env.tag));
-        debug_assert_eq!(env.bytes, std::mem::size_of::<T>() * data.len());
-        (src_comm, *data)
+            .downcast::<Vec<u8>>()
+            .unwrap_or_else(|_| panic!("non-byte payload in sockets mailbox (tag {})", env.tag));
+        let data = T::get_vec(&bytes).unwrap_or_else(|| {
+            panic!(
+                "undecodable payload from world rank {} (ctx {}, tag {}, {} bytes): \
+                 sender and receiver disagree on the element type",
+                env.src,
+                env.ctx,
+                env.tag,
+                bytes.len()
+            )
+        });
+        (src_comm, data)
     }
 
-    fn recv_sel_raw<T: Send + 'static>(&self, src: SrcSel, tag: u64) -> (usize, Vec<T>) {
+    fn recv_sel_raw<T: Wire>(&self, src: SrcSel, tag: u64) -> (usize, Vec<T>) {
         self.check_alive();
-        let me_w = self.members[self.my_index];
-        match self.uni.mailboxes[me_w].take(self.ctx, src, tag, &self.uni.aborted) {
+        match self.uni.mailbox.take(self.ctx, src, tag, &self.uni.aborted) {
             Some(env) => self.open_envelope(env),
-            None => std::panic::panic_any(ShmemAborted {
-                rank: self.my_index,
-            }),
+            None => self.abort_unwind(),
         }
     }
 
@@ -132,9 +155,9 @@ impl ThreadComm {
     }
 }
 
-impl std::fmt::Debug for ThreadComm {
+impl std::fmt::Debug for SockComm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadComm")
+        f.debug_struct("SockComm")
             .field("ctx", &self.ctx)
             .field("rank", &self.my_index)
             .field("size", &self.members.len())
@@ -143,28 +166,47 @@ impl std::fmt::Debug for ThreadComm {
     }
 }
 
-impl RawComm for ThreadComm {
+impl RawComm for SockComm {
     fn send_raw<T: Wire>(&self, dst: usize, tag: u64, data: Vec<T>) {
         self.check_alive();
-        let bytes = std::mem::size_of::<T>() * data.len();
         let src_w = self.members[self.my_index];
         let dst_w = self.members[dst];
+        let mut payload = Vec::new();
+        T::put_slice(&data, &mut payload);
+        let bytes = payload.len();
         self.uni.stats.record(bytes);
         self.uni.recorder.on_send(src_w, dst_w, bytes);
-        let delivered = self.uni.mailboxes[dst_w].push(
-            Envelope {
-                ctx: self.ctx,
-                src: src_w,
-                tag,
-                data: Box::new(data),
-                bytes,
-            },
-            &self.uni.aborted,
-        );
-        if !delivered {
-            std::panic::panic_any(ShmemAborted {
-                rank: self.my_index,
-            });
+        if dst_w == src_w {
+            // Self-send: straight into the local mailbox, no socket.
+            let delivered = self.uni.mailbox.push(
+                Envelope {
+                    ctx: self.ctx,
+                    src: src_w,
+                    tag,
+                    data: Box::new(payload),
+                    bytes,
+                },
+                &self.uni.aborted,
+            );
+            if !delivered {
+                self.abort_unwind();
+            }
+            return;
+        }
+        let frame = Frame {
+            kind: FrameKind::Data,
+            ctx: self.ctx,
+            src: src_w as u32,
+            tag,
+            payload,
+        };
+        if let Err(e) = self.uni.send_frame(dst_w, &frame) {
+            // A write error means the peer's socket is gone: record the
+            // death (EPIPE/ECONNRESET arrive here because Rust ignores
+            // SIGPIPE) and unwind.
+            self.uni
+                .peer_died(dst_w, format!("send to rank {dst_w} failed: {e}"));
+            self.abort_unwind();
         }
     }
 
@@ -178,8 +220,8 @@ impl RawComm for ThreadComm {
 
     fn try_recv_any_raw<T: Wire>(&self, tag: u64) -> Option<(usize, Vec<T>)> {
         self.check_alive();
-        let me_w = self.members[self.my_index];
-        self.uni.mailboxes[me_w]
+        self.uni
+            .mailbox
             .try_take(self.ctx, SrcSel::Any, tag)
             .map(|env| self.open_envelope(env))
     }
@@ -191,14 +233,13 @@ impl RawComm for ThreadComm {
             seq < (1 << 15),
             "collective sequence number overflow risk (seq {seq})"
         );
-        // Same reservation as the simulator: the space above MAX_USER_TAG,
-        // with round numbers (< 4096) added by the caller.
+        // Same reservation as the simulator and the threads backend.
         MAX_USER_TAG + (seq << 12)
     }
 }
 
-impl Communicator for ThreadComm {
-    type Async<T: Wire> = ShmemAsync<T>;
+impl Communicator for SockComm {
+    type Async<T: Wire> = SockAsync<T>;
 
     fn size(&self) -> usize {
         self.members.len()
@@ -238,9 +279,7 @@ impl Communicator for ThreadComm {
     }
 
     fn charge_compute(&self, seconds: f64) {
-        // Modeled charges shape *virtual* time; on a wall-clock backend the
-        // work takes the time it takes, so the charge is recorded for the
-        // ledger but the thread is not stalled.
+        // Wall-clock backend: record the modeled charge, don't stall.
         self.uni.recorder.add_compute(self.world_rank(), seconds);
     }
 
@@ -253,7 +292,7 @@ impl Communicator for ThreadComm {
     }
 
     fn try_alloc(&self, _bytes: usize) -> Result<(), OomError> {
-        // No simulated budget on the real backend: host RAM is the budget.
+        // No simulated budget: each rank process is bounded by host RAM.
         Ok(())
     }
 
@@ -303,7 +342,7 @@ impl Communicator for ThreadComm {
         data: &[T],
         send_counts: &[usize],
         recv_counts: Vec<usize>,
-    ) -> ShmemAsync<T> {
+    ) -> SockAsync<T> {
         raw::alltoallv_async_given_counts(self, data, send_counts, recv_counts)
     }
 
@@ -311,11 +350,10 @@ impl Communicator for ThreadComm {
         raw::scatterv(self, root, chunks)
     }
 
-    fn split(&self, color: Option<i64>, key: i64) -> Option<ThreadComm> {
-        // Shared group computation (allgather of (color, key) with the
-        // i64::MIN sentinel encoding, identical to the simulator's split);
-        // the split sequence number advances on every member, color or not,
-        // so later splits agree on context ids.
+    fn split(&self, color: Option<i64>, key: i64) -> Option<SockComm> {
+        // Shared group computation (identical wire pattern to the other
+        // backends); the context id is derived by hashing, not a registry —
+        // see `split_ctx`.
         let group = raw::split_group(self, color, key);
         let split_seq = self.next_split_seq();
         let (old_ranks, my_index) = group?;
@@ -325,12 +363,25 @@ impl Communicator for ThreadComm {
             .iter()
             .map(|&old| self.world_rank_of(old))
             .collect();
-        let ctx = self.uni.context_for_split(self.ctx, split_seq, my_color);
-        Some(ThreadComm::new(
-            Arc::clone(&self.uni),
-            ctx,
-            members,
-            my_index,
-        ))
+        let ctx = split_ctx(self.ctx, split_seq, my_color);
+        Some(SockComm::new(Arc::clone(&self.uni), ctx, members, my_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ctx_is_deterministic_distinct_and_nonzero() {
+        let a = split_ctx(0, 0, 0);
+        assert_eq!(a, split_ctx(0, 0, 0), "pure function of its inputs");
+        assert_ne!(a, 0);
+        // Distinct along every axis a correct split varies.
+        assert_ne!(split_ctx(0, 0, 0), split_ctx(0, 0, 1));
+        assert_ne!(split_ctx(0, 0, 0), split_ctx(0, 1, 0));
+        assert_ne!(split_ctx(0, 0, 0), split_ctx(a, 0, 0));
+        // Negative colors are fine (split colors are i64).
+        assert_ne!(split_ctx(0, 0, -1), split_ctx(0, 0, 1));
     }
 }

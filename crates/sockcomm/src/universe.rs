@@ -1,0 +1,198 @@
+//! Per-process shared state for one rank of a sockets world.
+//!
+//! Where the threads backend has one `Universe` shared by every rank, the
+//! sockets backend has one [`SockUniverse`] *per OS process*: this rank's
+//! mailbox, its links to every peer, the abort flag its socket-reader
+//! threads trip when a peer dies, and the network counters it ships back
+//! to the launcher with its result.
+
+use crate::frame::{write_frame, Frame, FrameKind};
+use crate::net::Stream;
+use comm::mailbox::Mailbox;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Point-to-point traffic counters for this rank process.
+#[derive(Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(bytes as u64, Ordering::SeqCst);
+    }
+
+    /// Messages sent by this rank (self-deliveries through the local
+    /// mailbox included, mirroring the threads backend's accounting).
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::SeqCst)
+    }
+
+    /// Encoded payload bytes sent by this rank.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::SeqCst)
+    }
+}
+
+/// The first peer death observed by this process.
+#[derive(Debug, Clone)]
+pub struct DeadPeer {
+    /// World rank of the peer whose connection dropped without a goodbye.
+    pub rank: usize,
+    /// What the socket reported (EOF, ECONNRESET, ...).
+    pub detail: String,
+}
+
+/// Write half of the link to one peer. Sends from the rank thread and the
+/// occasional teardown goodbye serialize on the mutex; the buffered writer
+/// is flushed per frame (a frame is the unit of progress — there is no
+/// later "batch" moment that could flush it).
+pub struct PeerLink {
+    pub(crate) writer: Mutex<BufWriter<Stream>>,
+    /// Unbuffered clone used to shut the socket down on abort, unblocking
+    /// both this process's reader thread and the remote peer.
+    pub(crate) raw: Stream,
+}
+
+/// Shared state for one rank process of a sockets world.
+pub struct SockUniverse {
+    pub(crate) size: usize,
+    pub(crate) my_world_rank: usize,
+    pub(crate) cores_per_node: usize,
+    /// This rank's mailbox; socket reader threads push, the rank thread
+    /// takes. Bounded: a full mailbox blocks the reader, which stops
+    /// draining that peer's socket, which backpressures the sender through
+    /// the kernel buffers.
+    pub(crate) mailbox: Mailbox,
+    /// `peers[w]` is the link to world rank `w` (`None` for self).
+    pub(crate) peers: Vec<Option<PeerLink>>,
+    pub(crate) aborted: AtomicBool,
+    pub(crate) dead_peer: Mutex<Option<DeadPeer>>,
+    pub(crate) stats: NetStats,
+    pub(crate) recorder: telemetry::Recorder,
+    pub(crate) start: Instant,
+    /// Count of goodbye frames received; the close barrier waits for
+    /// `size - 1` of them before tearing sockets down.
+    goodbyes: Mutex<usize>,
+    goodbye_or_abort: Condvar,
+}
+
+impl SockUniverse {
+    pub(crate) fn new(
+        size: usize,
+        my_world_rank: usize,
+        cores_per_node: usize,
+        mailbox_capacity: usize,
+        peers: Vec<Option<PeerLink>>,
+    ) -> Self {
+        let node_of: Vec<usize> = (0..size).map(|r| r / cores_per_node).collect();
+        Self {
+            size,
+            my_world_rank,
+            cores_per_node,
+            mailbox: Mailbox::new(mailbox_capacity),
+            peers,
+            aborted: AtomicBool::new(false),
+            dead_peer: Mutex::new(None),
+            stats: NetStats::default(),
+            recorder: telemetry::Recorder::new(node_of, false),
+            start: Instant::now(),
+            goodbyes: Mutex::new(0),
+            goodbye_or_abort: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Record a peer death (first one wins), abort the rank, and wake
+    /// everything that might be blocked: the mailbox (rank thread waiting
+    /// on a recv or a full queue) and the close barrier.
+    pub(crate) fn peer_died(&self, rank: usize, detail: String) {
+        {
+            let mut dead = self.dead_peer.lock().expect("dead_peer mutex poisoned");
+            if dead.is_none() {
+                *dead = Some(DeadPeer { rank, detail });
+            }
+        }
+        self.abort();
+    }
+
+    /// Abort without naming a dead peer (local failure paths).
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.mailbox.interrupt();
+        // Same lock-then-notify discipline as Mailbox::interrupt: the store
+        // above cannot race past a barrier waiter between check and wait.
+        drop(self.goodbyes.lock().expect("goodbye mutex poisoned"));
+        self.goodbye_or_abort.notify_all();
+    }
+
+    /// The first observed peer death, if any.
+    pub(crate) fn dead_peer(&self) -> Option<DeadPeer> {
+        self.dead_peer
+            .lock()
+            .expect("dead_peer mutex poisoned")
+            .clone()
+    }
+
+    /// Send one frame to world rank `dst`. `Err` means the link is gone —
+    /// the caller decides whether that is a peer death (data sends) or
+    /// ignorable (teardown best-effort).
+    pub(crate) fn send_frame(&self, dst: usize, frame: &Frame) -> std::io::Result<()> {
+        let link = self.peers[dst]
+            .as_ref()
+            .expect("no self-link: self-sends go through the mailbox");
+        let mut w = link.writer.lock().expect("peer writer mutex poisoned");
+        write_frame(&mut *w, frame)?;
+        w.flush()
+    }
+
+    /// Send a goodbye to world rank `dst` (orderly-teardown marker).
+    pub(crate) fn send_goodbye(&self, dst: usize) -> std::io::Result<()> {
+        self.send_frame(
+            dst,
+            &Frame::control(FrameKind::Goodbye, self.my_world_rank as u32, Vec::new()),
+        )
+    }
+
+    /// Called by a reader thread when its peer says goodbye.
+    pub(crate) fn note_goodbye(&self) {
+        let mut n = self.goodbyes.lock().expect("goodbye mutex poisoned");
+        *n += 1;
+        drop(n);
+        self.goodbye_or_abort.notify_all();
+    }
+
+    /// Block until every peer has said goodbye (clean teardown) or the
+    /// world aborted. Returns `true` on a clean barrier.
+    pub(crate) fn wait_goodbyes(&self) -> bool {
+        let mut n = self.goodbyes.lock().expect("goodbye mutex poisoned");
+        loop {
+            if self.is_aborted() {
+                return false;
+            }
+            if *n >= self.size - 1 {
+                return true;
+            }
+            n = self
+                .goodbye_or_abort
+                .wait(n)
+                .expect("goodbye mutex poisoned while waiting");
+        }
+    }
+
+    /// Shut down every peer socket (abort path): unblocks local reader
+    /// threads and lets remote peers observe the failure promptly.
+    pub(crate) fn shutdown_links(&self) {
+        for link in self.peers.iter().flatten() {
+            link.raw.shutdown();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the sockcomm frame codec: arbitrary
+//! `(kind, ctx, src, tag, payload)` frames round-trip bit-exactly through
+//! both the pure buffer codec and the stream IO path, and malformed input
+//! (truncation anywhere, oversized or undersized length prefixes) is
+//! rejected rather than misparsed or over-allocated.
+
+use proptest::prelude::*;
+use sockcomm::frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind,
+    HEADER_BYTES, MAX_PAYLOAD,
+};
+
+fn kind_from(byte: u8) -> FrameKind {
+    match byte % 8 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::Addr,
+        2 => FrameKind::Params,
+        3 => FrameKind::Table,
+        4 => FrameKind::Data,
+        5 => FrameKind::Goodbye,
+        6 => FrameKind::Result,
+        _ => FrameKind::Abort,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_frame_round_trips(
+        kind_byte in any::<u8>(),
+        ctx in any::<u64>(),
+        src in any::<u32>(),
+        tag in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame { kind: kind_from(kind_byte), ctx, src, tag, payload };
+
+        // Pure codec round-trip.
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        prop_assert_eq!(buf.len(), 8 + HEADER_BYTES + frame.payload.len());
+        let (decoded, consumed) = decode_frame(&buf).expect("well-formed frame must decode");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(&decoded, &frame);
+
+        // Stream round-trip (the path real connections take), plus clean
+        // EOF at the frame boundary.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).expect("vec write cannot fail");
+        prop_assert_eq!(&wire, &buf);
+        let mut cursor = std::io::Cursor::new(wire);
+        let back = read_frame(&mut cursor).expect("read").expect("one frame present");
+        prop_assert_eq!(&back, &frame);
+        prop_assert!(read_frame(&mut cursor).expect("boundary EOF is clean").is_none());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected(
+        kind_byte in any::<u8>(),
+        ctx in any::<u64>(),
+        src in any::<u32>(),
+        tag in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = Frame { kind: kind_from(kind_byte), ctx, src, tag, payload };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        // Cut the buffer strictly short at an arbitrary point.
+        let cut = (cut_seed as usize) % buf.len();
+        let short = &buf[..cut];
+
+        prop_assert_eq!(decode_frame(short).unwrap_err(), FrameError::Truncated);
+
+        let mut cursor = std::io::Cursor::new(short.to_vec());
+        match read_frame(&mut cursor) {
+            // Zero bytes is a clean between-frames EOF by design.
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(f)) => prop_assert!(false, "parsed a frame from a truncated buffer: {f:?}"),
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        }
+    }
+
+    #[test]
+    fn bad_length_prefixes_are_rejected(raw_len in any::<u64>(), tail in any::<u8>()) {
+        // Only lengths outside [HEADER_BYTES, HEADER_BYTES + MAX_PAYLOAD]
+        // are invalid; fold the generated value onto the invalid set.
+        let len = if (HEADER_BYTES as u64..=(HEADER_BYTES + MAX_PAYLOAD) as u64).contains(&raw_len) {
+            if tail.is_multiple_of(2) { raw_len % HEADER_BYTES as u64 } else { u64::MAX - raw_len % 1024 }
+        } else {
+            raw_len
+        };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_ne_bytes());
+        buf.extend_from_slice(&[tail; 64]);
+
+        prop_assert_eq!(decode_frame(&buf).unwrap_err(), FrameError::BadLength(len));
+
+        // The IO path must reject before allocating `len` bytes.
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).expect_err("bad length must error");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_kind_bytes_are_rejected(bad_kind in 9u8..=255u8, payload_len in 0usize..32) {
+        let frame = Frame::control(FrameKind::Hello, 1, vec![0xAB; payload_len]);
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        buf[8] = bad_kind;
+        prop_assert_eq!(decode_frame(&buf).unwrap_err(), FrameError::BadKind(bad_kind));
+    }
+}

@@ -27,6 +27,21 @@ pub struct Kinematics {
     pub vel: [f32; 3],
 }
 
+/// Field-wise wire encoding (safe element loop: this crate forbids
+/// `unsafe`), so `Particle` exchanges work on the sockets backend too.
+impl comm::Wire for Kinematics {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.pos.put(out);
+        self.vel.put(out);
+    }
+    fn get(src: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            pos: comm::Wire::get(src)?,
+            vel: comm::Wire::get(src)?,
+        })
+    }
+}
+
 /// A particle record: cluster-ID key + kinematics payload.
 pub type Particle = Record<u64, Kinematics>;
 

@@ -77,13 +77,28 @@ run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
 # git_rev/backend meta — asserted inside the binary after read-back).
 run env BENCH_METRICS_OUT="$tmp/quick" cargo run --release -q "${CARGO_OPTS[@]}" \
     -p bench --bin bench_quick
-test -s "$tmp/quick/BENCH_pr7.json" || {
-    echo "ci: bench_quick did not write BENCH_pr7.json" >&2
+test -s "$tmp/quick/BENCH_pr8.json" || {
+    echo "ci: bench_quick did not write BENCH_pr8.json" >&2
     exit 1
 }
 
+# Sockets-backend smoke: the distributed process-per-rank backend (one OS
+# process per rank over Unix-domain sockets) must rendezvous, sort,
+# validate, and emit a metrics report that sortcli itself can validate.
+run cargo test -q "${CARGO_OPTS[@]}" -p sockcomm
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --backend sockets --transport uds --sorter sds --workload zipf:1.2 \
+    --ranks 4 --records 5000 --metrics-out "$tmp/sockets"
+test -s "$tmp/sockets/BENCH_sortcli.json" || {
+    echo "ci: sockets backend did not write BENCH_sortcli.json" >&2
+    exit 1
+}
+run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
+    --validate-metrics "$tmp/sockets/BENCH_sortcli.json"
+
 # Backend equivalence: same seed => bit-identical sorted output on the
-# simulator and the threads backend (the PR 5 acceptance gate).
+# simulator, the threads backend, and the sockets backend (the PR 5
+# acceptance gate, extended to three columns in PR 8).
 run cargo test -q "${CARGO_OPTS[@]}" --test backend_equivalence
 
 # Resident-service smoke: the long-lived SortService (persistent rank

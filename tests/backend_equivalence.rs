@@ -1,10 +1,11 @@
 //! Backend equivalence: the same sort on the same seed must produce the
 //! same answer whether it runs on the deterministic virtual-time simulator
-//! (`mpisim`) or on real OS threads (`shmem`).
+//! (`mpisim`), on real OS threads (`shmem`), or on real OS *processes*
+//! over sockets (`sockcomm`).
 //!
-//! The shmem collectives reproduce the simulator's algorithms and
-//! rank-order reduction folds, so this holds *bit-for-bit per rank*, not
-//! just as a global multiset:
+//! All backends share the collective algorithms and rank-order reduction
+//! folds in `comm::raw`, so this holds *bit-for-bit per rank*, not just as
+//! a global multiset:
 //!
 //! - `u64` keys (any variant): identical per-rank output vectors.
 //! - Stable variant over tagged records: identical per-rank `(key, tag)`
@@ -15,7 +16,12 @@
 //!   one place real-thread arrival order is allowed to show through.
 //!
 //! Also runs the Theorem 1 `O(4N/p)` skew-bound assertions on the threads
-//! backend: the bound is a property of the partition, not the simulator.
+//! and sockets backends: the bound is a property of the partition, not the
+//! simulator.
+//!
+//! Sockets worlds re-exec this test binary for their rank processes,
+//! targeting the [`sockcomm_child_entry`] test by exact name; in a normal
+//! parent test run that test is a no-op.
 
 use mpisim::{NetModel, World};
 use sdssort::{sds_sort, Record, SdsConfig, Tagged};
@@ -65,6 +71,86 @@ fn run_threads_u64(
         sds_sort(comm, data, cfg).expect("no memory budget").data
     });
     report.results
+}
+
+// ---- sockets backend: entry plumbing -------------------------------------
+
+const ENTRY_SORT_U64: &str = "equiv-sort-u64";
+const ENTRY_SORT_TAGGED: &str = "equiv-sort-tagged";
+
+/// (workload, records per rank, seed, stable, force node merge).
+type U64Params = (String, u64, u64, bool, bool);
+
+fn sockets_u64_entry(comm: &sockcomm::SockComm, params: U64Params) -> Vec<u64> {
+    use comm::Communicator;
+    let (workload, n, seed, stable, force_merge) = params;
+    let mut cfg = cfg_for(stable);
+    if force_merge {
+        cfg.tau_m_bytes = usize::MAX;
+    }
+    let data = gen_keys(&workload, n as usize, seed, comm.rank());
+    sds_sort(comm, data, &cfg).expect("no memory budget").data
+}
+
+/// (records per rank, seed, stable).
+type TaggedParams = (u64, u64, bool);
+
+fn sockets_tagged_entry(
+    comm: &sockcomm::SockComm,
+    params: TaggedParams,
+) -> (Vec<Tagged<u32>>, Vec<Tagged<u32>>) {
+    use comm::Communicator;
+    let (n, seed, stable) = params;
+    let cfg = cfg_for(stable);
+    let data = tagged_input(n as usize, 64, seed, comm.rank());
+    let out = sds_sort(comm, data.clone(), &cfg).expect("no memory budget");
+    (data, out.data)
+}
+
+/// Rank processes of the sockets worlds below re-enter this binary with
+/// `sockcomm_child_entry --exact` and divert inside one of these
+/// `child_rank` calls (which never return). In a parent test run no
+/// `SOCKCOMM_*` environment is set, every call is a no-op, and the test
+/// trivially passes.
+#[test]
+fn sockcomm_child_entry() {
+    sockcomm::child_rank(ENTRY_SORT_U64, sockets_u64_entry);
+    sockcomm::child_rank(ENTRY_SORT_TAGGED, sockets_tagged_entry);
+}
+
+fn sockets_world(p: usize) -> sockcomm::SocketWorld {
+    sockcomm::SocketWorld::new(p)
+        .cores_per_node(4)
+        .child_args(["sockcomm_child_entry", "--exact"])
+}
+
+fn run_sockets_u64(
+    p: usize,
+    workload: &str,
+    n: usize,
+    seed: u64,
+    stable: bool,
+    force_merge: bool,
+) -> Vec<Vec<u64>> {
+    sockets_world(p)
+        .run::<U64Params, Vec<u64>>(
+            ENTRY_SORT_U64,
+            &(workload.to_string(), n as u64, seed, stable, force_merge),
+        )
+        .expect("sockets world")
+        .results
+}
+
+fn run_sockets_tagged(p: usize, n: usize, seed: u64, stable: bool) -> (RankRecords, RankRecords) {
+    sockets_world(p)
+        .run::<TaggedParams, (Vec<Tagged<u32>>, Vec<Tagged<u32>>)>(
+            ENTRY_SORT_TAGGED,
+            &(n as u64, seed, stable),
+        )
+        .expect("sockets world")
+        .results
+        .into_iter()
+        .unzip()
 }
 
 #[test]
@@ -171,6 +257,87 @@ fn fast_variant_keys_match_and_tags_are_a_permutation() {
         let mut got: Vec<u64> = out.iter().flatten().map(|t| t.payload).collect();
         got.sort_unstable();
         assert_eq!(got, want, "output is not a permutation of the input");
+    }
+}
+
+#[test]
+fn sockets_u64_output_is_bit_identical_to_sim_and_threads() {
+    for p in [2usize, 4] {
+        for workload in ["uniform", "zipf", "adversarial", "identical"] {
+            for stable in [false, true] {
+                let cfg = cfg_for(stable);
+                let seed = 0xE9 + p as u64;
+                let sim = run_sim_u64(p, &cfg, workload, 800, seed);
+                let thr = run_threads_u64(p, &cfg, workload, 800, seed);
+                let sock = run_sockets_u64(p, workload, 800, seed, stable, false);
+                assert_eq!(
+                    sim, sock,
+                    "sim vs sockets divergence: p={p} workload={workload} stable={stable}"
+                );
+                assert_eq!(
+                    thr, sock,
+                    "threads vs sockets divergence: p={p} workload={workload} stable={stable}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sockets_u64_output_matches_with_node_merge_enabled() {
+    // τm forced on, multi-rank nodes: the node-merge path (communicator
+    // split + leader gather) over real processes must agree too.
+    for stable in [false, true] {
+        let mut cfg = cfg_for(stable);
+        cfg.tau_m_bytes = usize::MAX;
+        let p = 4;
+        let sim = run_sim_u64(p, &cfg, "zipf", 800, 0x5EED);
+        let sock = run_sockets_u64(p, "zipf", 800, 0x5EED, stable, true);
+        assert_eq!(
+            sim, sock,
+            "node-merge divergence on sockets (stable={stable})"
+        );
+    }
+}
+
+#[test]
+fn sockets_stable_ties_are_bit_identical_to_sim() {
+    let p = 4;
+    let cfg = cfg_for(true);
+    let seed = 0xAB + p as u64;
+    let (_, sim) = run_sim_tagged(p, &cfg, 800, seed);
+    let (input, sock) = run_sockets_tagged(p, 800, seed, true);
+    // Stability pins equal-key order to global input order: even across
+    // address spaces, payloads match record-for-record.
+    assert_eq!(sim, sock, "stable tagged divergence on sockets at p={p}");
+    let mut want: Vec<u64> = input.iter().flatten().map(|t| t.payload).collect();
+    want.sort_unstable();
+    let mut got: Vec<u64> = sock.iter().flatten().map(|t| t.payload).collect();
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "sockets output is not a permutation of the input"
+    );
+}
+
+#[test]
+fn skew_bound_holds_on_sockets_backend() {
+    // Theorem 1 over real processes: every generator emits exactly n
+    // records per rank, so N = p·n.
+    for (p, workload) in [
+        (4usize, "uniform"),
+        (4, "zipf"),
+        (4, "adversarial"),
+        (4, "identical"),
+    ] {
+        let out = run_sockets_u64(p, workload, 2000, 3, false, false);
+        let n_total = p * 2000;
+        let max = out.iter().map(|r| r.len()).max().expect("p >= 1");
+        assert!(
+            max <= bound(n_total, p),
+            "sockets backend: {workload} p={p}: max {max} > bound {}",
+            bound(n_total, p)
+        );
     }
 }
 

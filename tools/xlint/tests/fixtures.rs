@@ -106,6 +106,35 @@ fn wallclock_scope_excludes_the_resident_service() {
 }
 
 #[test]
+fn wallclock_scope_excludes_the_sockets_backend() {
+    // The distributed process-per-rank backend is the third real-time
+    // substrate: rendezvous deadlines, peer-death timeouts, and reported
+    // wall seconds are all genuine clock reads, so `wallclock` must not
+    // fire there — while `no-unwrap` and the other library-hygiene rules
+    // cover it like shmem and service.
+    let src = fixture("banned_patterns.rs");
+    let rules: BTreeSet<_> = xlint::scan_source("crates/sockcomm/src/fixture.rs", &src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    assert!(
+        !rules.contains("wallclock"),
+        "wallclock fired outside the virtual-time crates: {rules:?}"
+    );
+    for expected in [
+        "relaxed-ordering",
+        "safety-comment",
+        "no-unwrap",
+        "tag-discipline",
+    ] {
+        assert!(
+            rules.contains(expected),
+            "rule `{expected}` should still cover crates/sockcomm: {rules:?}"
+        );
+    }
+}
+
+#[test]
 fn stale_allowlist_entries_are_reported() {
     let dir = scratch_dir("xlint-stale-test");
     fs::create_dir_all(dir.join("src")).expect("create scratch src dir");
