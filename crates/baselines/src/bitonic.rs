@@ -30,7 +30,11 @@ fn merge_split<T: Sortable>(
     if keep_low {
         block.extend_from_slice(&merged[..keep]);
     } else {
-        block.extend_from_slice(&merged[merged.len() - keep..]);
+        let lo = merged
+            .len()
+            .checked_sub(keep)
+            .expect("merged holds ours + theirs, so merged.len() >= keep");
+        block.extend_from_slice(&merged[lo..]);
     }
 }
 

@@ -168,7 +168,11 @@ fn stage<T: Sortable>(
     let me = comm.rank();
     let mut send_counts = vec![0usize; p];
     for (b, &cnt) in bucket_counts.iter().enumerate() {
-        send_counts[b * g + (me % g)] = cnt;
+        let dst = b
+            .checked_mul(g)
+            .and_then(|bg| bg.checked_add(me % g))
+            .expect("bucket destination b*g + (me%g) < p, which fit in usize above");
+        send_counts[dst] = cnt;
     }
     let recv_counts = comm.alltoall(&send_counts);
     let m: usize = recv_counts.iter().sum();

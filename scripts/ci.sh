@@ -28,10 +28,15 @@ run cargo clippy --workspace --all-targets "${CARGO_OPTS[@]}" -- -D warnings
 run cargo build --release --workspace "${CARGO_OPTS[@]}"
 run cargo test -q --workspace "${CARGO_OPTS[@]}"
 
-# Workspace source lint: dependency-free lexer-based rules (wall-clock and
-# Relaxed-ordering bans, SAFETY comments, unwrap discipline, tag literals,
-# workload determinism). Exceptions live in xlint.allow with justifications.
-run cargo run --release -q "${CARGO_OPTS[@]}" -p xlint
+# Workspace source lint: dependency-free AST-driven semantic pass (SPMD
+# rank-divergence, partition arithmetic, tag ranges, dispatcher blocking,
+# plus the hygiene rules — see DESIGN.md §13). Exceptions live in
+# xlint.allow with justifications; stale entries fail the run. Emits the
+# versioned JSON report for CI artifact upload, then gates on the exit
+# code (the --out report is written even when the run fails).
+XLINT_REPORT="${XLINT_REPORT:-target/xlint-report.json}"
+run cargo run --release -q "${CARGO_OPTS[@]}" -p xlint -- \
+    --format json --out "$XLINT_REPORT"
 
 # Happens-before determinism/race checker: re-run the runtime and sorter
 # suites with vector-clock checking enabled for every simulated world.

@@ -1,0 +1,36 @@
+// xlint fixture: the sanctioned spellings of everything
+// unchecked_arith.rs does wrong, plus the benign shapes the rule must
+// not flag. Zero unchecked-partition-arith findings. Never compiled.
+
+fn scaled_index(counts: &mut [usize], b: usize, g: usize, me: usize) {
+    let dst = b
+        .checked_mul(g)
+        .and_then(|bg| bg.checked_add(me % g))
+        .expect("destination rank fits: b < k and k*g == p");
+    counts[dst] = 1;
+}
+
+fn tail_window(merged: &[u64], keep: usize) -> &[u64] {
+    let lo = merged
+        .len()
+        .checked_sub(keep)
+        .expect("merged holds both halves, so len >= keep");
+    &merged[lo..]
+}
+
+fn interpolated_cut(data: &[u64], num: usize, den: usize) -> (&[u64], &[u64]) {
+    // Widening to u128 is the PR 2 fix: the product cannot wrap.
+    let cut = (num as u128 * data.len() as u128 / den as u128) as usize;
+    data.split_at(cut)
+}
+
+fn benign_shapes(v: &[u64], i: usize, k: usize, runs: &[u64], hist: &mut [u64]) {
+    // Literal-scaled and literal-offset arithmetic is exempt: the loser
+    // tree (`2 * j`) and cut-table (`i + k + 1`) idioms cannot overflow
+    // before the allocation itself fails.
+    let _w = v[2 * i];
+    let _c = v[i + k + 1];
+    let _last = runs[runs.len() - 1];
+    // Clamped indices are mitigated by construction.
+    hist[(i).min(hist.len() - 1)] += 1;
+}

@@ -1,0 +1,45 @@
+// xlint fixture: the sanctioned SPMD spellings of everything
+// divergent_collective.rs does wrong — every rank reaches every
+// collective; only *data* depends on rank. Must produce zero
+// rank-divergent-collective findings. Never compiled.
+
+fn data_dependent_bcast(comm: &Comm, root: usize) {
+    let rank = comm.rank();
+    // The branch lives inside the call's argument list: every rank still
+    // reaches the bcast itself.
+    let _v = comm.bcast(root, if rank == root { Some(vec![1u64]) } else { None });
+}
+
+fn color_by_rank_split(comm: &Comm) {
+    let rank = comm.rank();
+    // The color-by-rank idiom: rank picks the color, but split is a
+    // collective every rank enters.
+    let _sub = comm.split(if rank % 2 == 0 { Some(0) } else { Some(1) }, rank as i64);
+}
+
+fn unconditional_rounds(comm: &Comm, p: usize) {
+    // Trip count depends on the world size, identical on every rank.
+    for _round in 0..p {
+        let _ = comm.allreduce(1u64, |a, b| a + b);
+    }
+}
+
+fn rank_branch_without_collectives(comm: &Comm, dst: usize) {
+    let rank = comm.rank();
+    if rank == 0 {
+        // Point-to-point inside a rank branch is the correct pattern.
+        comm.send_val(dst, PIVOT_TAG, 42u64);
+    } else if rank == dst {
+        let _: u64 = comm.recv_val(0, PIVOT_TAG);
+    }
+    comm.barrier();
+}
+
+fn string_split_is_not_a_collective(line: &str, rank: usize) {
+    if rank == 0 {
+        // `str::split` takes one argument; `Communicator::split` takes
+        // two. Arity keeps this out of the collective table.
+        let _parts: Vec<&str> = line.split(',').collect();
+        let _sum = [1u64].iter().copied().reduce(|a, b| a + b);
+    }
+}

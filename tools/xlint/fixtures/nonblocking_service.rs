@@ -1,0 +1,24 @@
+// xlint fixture: the sanctioned non-blocking spellings for the resident
+// service — try_recv draining, condvar waits with deadlines on the
+// mailbox, and methods that merely *contain* the banned names. Zero
+// blocking-in-dispatcher findings. Never compiled.
+
+fn drain(rx: &mpsc::Receiver<Outcome>) {
+    while let Ok(outcome) = rx.try_recv() {
+        dispatch(outcome);
+    }
+}
+
+fn wait_on_mailbox(mailbox: &Mailbox) {
+    // The mailbox owns the sanctioned block point: a condvar wait with a
+    // deadline, under the dispatcher's control.
+    mailbox.wait_until_nonempty_or(deadline());
+}
+
+fn lookalike_names(pool: &RankPool) {
+    // An object's own `sleep`/`park`/`recv` methods are not std blocking
+    // primitives... except `.recv()`, which the rule bans by shape: any
+    // blocking receive in this crate needs an allowlist justification.
+    pool.quiesce();
+    let _stats = pool.park_stats();
+}

@@ -1,0 +1,16 @@
+// xlint fixture: unchecked partition arithmetic — the PR 2 / PR 7 bug
+// class (splitter interpolation overflow, merge-cut underfill,
+// radix-carve overshoot). Scanned under a partition-arithmetic path by
+// tools/xlint/tests/fixtures.rs; never compiled.
+
+fn scaled_index(counts: &mut [usize], b: usize, g: usize, me: usize) {
+    counts[b * g + (me % g)] = 1; // unchecked-partition-arith: b*g can wrap
+}
+
+fn tail_window(merged: &[u64], keep: usize) -> &[u64] {
+    &merged[merged.len() - keep..] // unchecked-partition-arith: underflows when keep > len
+}
+
+fn interpolated_cut(data: &[u64], num: usize, den: usize) -> (&[u64], &[u64]) {
+    data.split_at(num * data.len() / den) // unchecked-partition-arith: product wraps before the divide
+}

@@ -1,0 +1,15 @@
+// xlint fixture: the `wallclock` alias false-negative regression anchor.
+//
+// The pre-AST token rule matched the surface name `Instant`, so renaming
+// the import evaded it entirely — this file produced ZERO findings under
+// the old linter. The AST pass resolves names through the `use` tree, so
+// it must flag the binding and both renamed uses. Scanned by
+// tools/xlint/tests/fixtures.rs under a virtual-time path; never compiled.
+
+use std::time::Instant as Stopwatch; // wallclock: binding renames std::time::Instant
+use std::thread::sleep as nap; // wallclock: binding renames std::thread::sleep
+
+fn evasive_timing() {
+    let _t = Stopwatch::now(); // wallclock: resolves to std::time::Instant
+    nap(std::time::Duration::from_millis(1)); // wallclock: resolves to thread::sleep
+}

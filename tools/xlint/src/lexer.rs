@@ -1,10 +1,14 @@
 //! A minimal Rust lexer: just enough to tell code from trivia.
 //!
-//! The linter's rules match identifier and punctuation *tokens*, never raw
+//! The linter's passes match identifier and punctuation *tokens*, never raw
 //! text, so banned names appearing inside string literals, comments, or doc
 //! examples are not flagged. The lexer handles line and (nested) block
 //! comments, plain/byte/raw strings, character literals vs. lifetimes, and
 //! numeric literals with radix prefixes, underscores, and type suffixes.
+//!
+//! Every token carries a full `line:col` span (both 1-based), computed from
+//! byte offsets through a [`LineMap`], so diagnostics can point editors at
+//! the exact column of the offending token.
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,16 +29,60 @@ pub enum TokKind {
     Punct(char),
 }
 
-/// A token with its 1-based source line.
+/// A token with its 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (byte-based) the token starts at.
+    pub col: u32,
     /// Token kind.
     pub kind: TokKind,
 }
 
-/// Output of [`lex`]: the token stream plus comment text for rules that
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// Byte-offset → `(line, col)` translation table.
+pub struct LineMap {
+    /// Byte offset of the start of each line; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// 1-based `(line, col)` of a byte offset.
+    pub fn pos(&self, byte: usize) -> (u32, u32) {
+        let line = match self.starts.binary_search(&byte) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        ((line + 1) as u32, (byte - self.starts[line] + 1) as u32)
+    }
+}
+
+/// Output of [`lex`]: the token stream plus comment text for passes that
 /// inspect comments (the SAFETY rule).
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -49,31 +97,30 @@ pub struct Lexed {
 /// Lex `src` into tokens and comments. Never fails: unterminated constructs
 /// consume to end of input.
 pub fn lex(src: &str) -> Lexed {
+    let map = LineMap::new(src);
     let b = src.as_bytes();
     let mut out = Lexed::default();
     let mut i = 0usize;
-    let mut line: u32 = 1;
 
-    let count_lines = |s: &[u8]| s.iter().filter(|&&c| c == b'\n').count() as u32;
+    let push = |start: usize, kind: TokKind, out: &mut Lexed| {
+        let (line, col) = map.pos(start);
+        out.toks.push(Tok { line, col, kind });
+    };
 
     while i < b.len() {
         let c = b[i];
+        let start = i;
         match c {
-            b'\n' => {
-                line += 1;
-                i += 1;
-            }
             c if c.is_ascii_whitespace() => i += 1,
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                let start = i;
                 while i < b.len() && b[i] != b'\n' {
                     i += 1;
                 }
+                let (line, _) = map.pos(start);
                 out.comments
                     .push((line, String::from_utf8_lossy(&b[start..i]).into_owned()));
             }
             b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let start = i;
                 let mut depth = 1usize;
                 i += 2;
                 while i < b.len() && depth > 0 {
@@ -88,13 +135,12 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
                 let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                let (line, _) = map.pos(start);
                 for (k, l) in text.lines().enumerate() {
                     out.comments.push((line + k as u32, l.to_string()));
                 }
-                line += count_lines(&b[start..i]);
             }
             b'"' => {
-                let tline = line;
                 i += 1;
                 while i < b.len() {
                     match b[i] {
@@ -103,52 +149,39 @@ pub fn lex(src: &str) -> Lexed {
                             i += 1;
                             break;
                         }
-                        b'\n' => {
-                            line += 1;
-                            i += 1;
-                        }
                         _ => i += 1,
                     }
                 }
-                out.toks.push(Tok {
-                    line: tline,
-                    kind: TokKind::Str,
-                });
+                push(start, TokKind::Str, &mut out);
             }
             b'\'' => {
                 // Distinguish 'a' (char) from 'a (lifetime).
-                let tline = line;
                 if i + 1 < b.len() && b[i + 1] == b'\\' {
-                    // Escaped char literal: consume to the closing quote.
+                    // Escaped char literal: skip the backslash and the
+                    // escaped character unconditionally (so `'\\'` and
+                    // `'\''` terminate correctly), then scan to the
+                    // closing quote (covers `'\u{..}'`).
                     i += 2;
+                    if i < b.len() {
+                        i += 1;
+                    }
                     while i < b.len() && b[i] != b'\'' {
-                        i += if b[i] == b'\\' { 2 } else { 1 };
+                        i += 1;
                     }
                     i = (i + 1).min(b.len());
-                    out.toks.push(Tok {
-                        line: tline,
-                        kind: TokKind::Char,
-                    });
+                    push(start, TokKind::Char, &mut out);
                 } else if i + 2 < b.len() && b[i + 2] == b'\'' {
                     i += 3;
-                    out.toks.push(Tok {
-                        line: tline,
-                        kind: TokKind::Char,
-                    });
+                    push(start, TokKind::Char, &mut out);
                 } else {
                     i += 1;
                     while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
-                    out.toks.push(Tok {
-                        line: tline,
-                        kind: TokKind::Lifetime,
-                    });
+                    push(start, TokKind::Lifetime, &mut out);
                 }
             }
             c if c.is_ascii_digit() => {
-                let start = i;
-                let tline = line;
                 i += 1;
                 while i < b.len() {
                     let d = b[i];
@@ -174,14 +207,9 @@ pub fn lex(src: &str) -> Lexed {
                     .chars()
                     .filter(|&ch| ch != '_')
                     .collect();
-                out.toks.push(Tok {
-                    line: tline,
-                    kind: classify_number(&text),
-                });
+                push(start, classify_number(&text), &mut out);
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
-                let start = i;
-                let tline = line;
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
@@ -205,11 +233,6 @@ pub fn lex(src: &str) -> Lexed {
                             if j >= b.len() {
                                 break;
                             }
-                            if b[j] == b'\n' {
-                                line += 1;
-                                j += 1;
-                                continue;
-                            }
                             if !is_raw && b[j] == b'\\' {
                                 j = (j + 2).min(b.len());
                                 continue;
@@ -224,25 +247,16 @@ pub fn lex(src: &str) -> Lexed {
                             j += 1;
                         }
                         i = j;
-                        out.toks.push(Tok {
-                            line: tline,
-                            kind: TokKind::Str,
-                        });
+                        push(start, TokKind::Str, &mut out);
                         continue;
                     }
                     // `b'x'` byte literal: fall through to normal handling —
                     // the `'` branch above will classify it next iteration.
                 }
-                out.toks.push(Tok {
-                    line: tline,
-                    kind: TokKind::Ident(ident),
-                });
+                push(start, TokKind::Ident(ident), &mut out);
             }
             other => {
-                out.toks.push(Tok {
-                    line,
-                    kind: TokKind::Punct(other as char),
-                });
+                push(start, TokKind::Punct(other as char), &mut out);
                 i += 1;
             }
         }
@@ -273,80 +287,6 @@ fn classify_number(text: &str) -> TokKind {
         return TokKind::Float;
     }
     TokKind::Int(u128::from_str_radix(val, radix).ok())
-}
-
-/// Strip tokens belonging to `#[cfg(test)]` items (test modules and
-/// functions): returns the token stream with those spans removed. The
-/// scan recognizes the attribute token sequence and then skips either to
-/// the end of a `{...}` body or to a terminating `;`.
-pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
-    let mut out = Vec::with_capacity(toks.len());
-    let mut i = 0usize;
-    while i < toks.len() {
-        if is_cfg_test_at(toks, i) {
-            // Skip the attribute itself (to its closing `]`).
-            i += 7;
-            // Skip any further attributes.
-            while matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct('#'))) {
-                let mut depth = 0usize;
-                i += 1;
-                while let Some(t) = toks.get(i) {
-                    match t.kind {
-                        TokKind::Punct('[') => depth += 1,
-                        TokKind::Punct(']') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                i += 1;
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    i += 1;
-                }
-            }
-            // Skip the item: up to a top-level `;` or a balanced `{...}`.
-            let mut brace = 0usize;
-            while let Some(t) = toks.get(i) {
-                match t.kind {
-                    TokKind::Punct('{') => brace += 1,
-                    TokKind::Punct('}') => {
-                        brace = brace.saturating_sub(1);
-                        if brace == 0 {
-                            i += 1;
-                            break;
-                        }
-                    }
-                    TokKind::Punct(';') if brace == 0 => {
-                        i += 1;
-                        break;
-                    }
-                    _ => {}
-                }
-                i += 1;
-            }
-        } else {
-            out.push(toks[i].clone());
-            i += 1;
-        }
-    }
-    out
-}
-
-fn is_cfg_test_at(toks: &[Tok], i: usize) -> bool {
-    let kinds: Vec<&TokKind> = toks[i..].iter().take(7).map(|t| &t.kind).collect();
-    matches!(
-        kinds.as_slice(),
-        [
-            TokKind::Punct('#'),
-            TokKind::Punct('['),
-            TokKind::Ident(cfg),
-            TokKind::Punct('('),
-            TokKind::Ident(test),
-            TokKind::Punct(')'),
-            TokKind::Punct(']'),
-        ] if cfg == "cfg" && test == "test"
-    )
 }
 
 #[cfg(test)]
@@ -427,38 +367,6 @@ mod tests {
     }
 
     #[test]
-    fn cfg_test_mod_is_stripped() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap() } }\nfn tail() {}";
-        let l = lex(src);
-        let kept = strip_cfg_test(&l.toks);
-        let ids: Vec<String> = kept
-            .into_iter()
-            .filter_map(|t| match t.kind {
-                TokKind::Ident(s) => Some(s),
-                _ => None,
-            })
-            .collect();
-        assert!(ids.contains(&"lib".to_string()));
-        assert!(ids.contains(&"tail".to_string()));
-        assert!(!ids.contains(&"unwrap".to_string()));
-    }
-
-    #[test]
-    fn cfg_test_fn_with_extra_attrs_is_stripped() {
-        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { bad() }\nfn keep() {}";
-        let l = lex(src);
-        let kept = strip_cfg_test(&l.toks);
-        let ids: Vec<String> = kept
-            .into_iter()
-            .filter_map(|t| match t.kind {
-                TokKind::Ident(s) => Some(s),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(ids, vec!["fn", "keep"]);
-    }
-
-    #[test]
     fn line_numbers_survive_multiline_strings() {
         let src = "let a = \"line\nline\nline\";\nlet b = 1;";
         let l = lex(src);
@@ -467,6 +375,36 @@ mod tests {
             .iter()
             .find(|t| t.kind == TokKind::Ident("b".into()))
             .expect("b token");
-        assert_eq!(b_tok.line, 4);
+        assert_eq!((b_tok.line, b_tok.col), (4, 5));
+    }
+
+    #[test]
+    fn columns_are_byte_exact() {
+        let src = "fn f() { let abc = 42; }";
+        let l = lex(src);
+        let abc = l
+            .toks
+            .iter()
+            .find(|t| t.ident() == Some("abc"))
+            .expect("abc token");
+        assert_eq!((abc.line, abc.col), (1, 14));
+        let forty_two = l
+            .toks
+            .iter()
+            .find(|t| matches!(t.kind, TokKind::Int(Some(42))))
+            .expect("42 token");
+        assert_eq!((forty_two.line, forty_two.col), (1, 20));
+    }
+
+    #[test]
+    fn raw_string_swallows_lines_but_following_span_is_right() {
+        let src = "let r = r#\"a\nb\"#;\nlet z = 1;";
+        let l = lex(src);
+        let z = l
+            .toks
+            .iter()
+            .find(|t| t.ident() == Some("z"))
+            .expect("z token");
+        assert_eq!((z.line, z.col), (3, 5));
     }
 }

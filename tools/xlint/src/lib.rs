@@ -1,12 +1,23 @@
-//! xlint: a dependency-free, lexer-based linter for this workspace's
-//! simulation invariants.
+//! xlint: a dependency-free, AST-driven semantic linter for this
+//! workspace's simulation and SPMD-protocol invariants.
 //!
-//! Rules operate on a real token stream (comments, strings, and `#[cfg(test)]`
-//! items are handled by the lexer), not on text matching, so `// unsafe` in a
-//! comment or `"Instant"` in a string never trips a rule. See
-//! [`rules`] for the catalog and [`config`] for the `xlint.allow` format.
+//! The pipeline is [`lexer`] (tokens with `line:col` spans) → [`ast`] (a
+//! structural parse: items, `use`-alias resolution, branch/loop/match
+//! bodies) → [`rules`] (the catalog of passes) → [`diag`] (structured
+//! diagnostics and the `--format json` report). Rules operate on parsed
+//! structure, not text matching: `// unsafe` in a comment never trips a
+//! rule, `use std::time::Instant as T` cannot evade `wallclock`, and the
+//! rank-divergence pass reasons about lexical containment that token
+//! streams cannot express. See [`rules`] for the catalog and [`config`]
+//! for the `xlint.allow` format.
+//!
+//! The tool is dependency-free on purpose: this workspace builds offline
+//! (every external crate is a std-only stub), so the parser and JSON
+//! support live in-tree, sized to exactly what the passes need.
 
+pub mod ast;
 pub mod config;
+pub mod diag;
 pub mod lexer;
 pub mod rules;
 
@@ -15,14 +26,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use config::AllowEntry;
-use rules::Violation;
+use diag::Diagnostic;
 
 /// Result of scanning a workspace root.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Violations not covered by any allowlist entry, sorted by path/line.
-    pub violations: Vec<Violation>,
-    /// Count of violations suppressed by the allowlist.
+    /// Diagnostics not covered by any allowlist entry, sorted by
+    /// path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of diagnostics suppressed by the allowlist.
     pub suppressed: usize,
     /// Allowlist entries that suppressed nothing (each is an error: the
     /// allowlist may only shrink).
@@ -35,7 +47,12 @@ pub struct Report {
 
 impl Report {
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty() && self.stale.is_empty() && self.config_errors.is_empty()
+        self.diagnostics.is_empty() && self.stale.is_empty() && self.config_errors.is_empty()
+    }
+
+    /// The report in the versioned machine-readable schema.
+    pub fn to_json(&self) -> String {
+        diag::report_to_json(self)
     }
 }
 
@@ -44,7 +61,7 @@ const SKIP_DIRS: [&str; 4] = ["target", "devstubs", ".git", "tools/xlint/fixture
 
 /// Lint a single file's contents under its workspace-relative path.
 /// Applies rule scopes but no allowlist — used by rule tests and fixtures.
-pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     rules::check_file(rel_path, src)
 }
 
@@ -78,16 +95,16 @@ pub fn scan_root(root: &Path) -> io::Result<Report> {
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
         report.files_scanned += 1;
-        for v in rules::check_file(&rel, &src) {
+        for d in rules::check_file(&rel, &src) {
             let hit = allow
                 .iter()
-                .position(|entry| entry.matches(v.rule, &v.path));
+                .position(|entry| entry.matches(d.rule, &d.path));
             match hit {
                 Some(i) => {
                     used[i] = true;
                     report.suppressed += 1;
                 }
-                None => report.violations.push(v),
+                None => report.diagnostics.push(d),
             }
         }
     }

@@ -1,0 +1,137 @@
+//! `unchecked-partition-arith`: index/count arithmetic feeding slice
+//! bounds must not be able to overflow or underflow silently.
+//!
+//! This rule descends from two real bug families in this repo: PR 2
+//! widened splitter-position interpolation to `u128` after `usize`
+//! products overflowed on large synthetic inputs, and PR 7 fixed both a
+//! merge-cut underfill and a radix-carve overshoot where `a - b` / `a *
+//! b` index math walked off the end of a partition. In release builds
+//! (tier-2 runs `--release`) these wrap silently and corrupt the sort
+//! instead of panicking.
+//!
+//! What counts as a *bound context*: the inside of an index bracket
+//! `v[...]` (which also covers range bounds `&v[a..b]`) and the
+//! arguments of `split_at`/`split_at_mut`. Within a context:
+//!
+//! * binary `*` is flagged unless one operand is a literal (scaling by a
+//!   constant like `2 * j` cannot overflow before the allocation itself
+//!   would have failed);
+//! * binary `-` is flagged unless the right operand is a literal
+//!   (`len - 1` is the guarded-by-emptiness idiom used throughout);
+//! * `+` alone is never flagged — index `i + 1` cannot overflow unless
+//!   the container already occupies all of memory;
+//! * any mitigation marker in the context suppresses it: `checked_*`,
+//!   `saturating_*`, a `u128`/`i128` widening cast, or a clamping
+//!   `min`/`clamp` call.
+//!
+//! One diagnostic per context, anchored at the first flagged operator.
+
+use super::{is_value_end, is_value_start, method_calls, FileCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    super::walk_runs(ctx.ast, false, &mut |run| {
+        // Index-bracket contexts: `expr [ ... ]` where the `[` follows a
+        // value (otherwise it is an array/attr literal).
+        let mut i = 0usize;
+        while i < run.len() {
+            if run[i].is_punct('[') && i > 0 && is_value_end(&run[i - 1]) {
+                let start = i + 1;
+                let mut depth = 1i32;
+                let mut j = start;
+                while j < run.len() {
+                    match &run[j].kind {
+                        TokKind::Punct('[' | '(' | '{') => depth += 1,
+                        TokKind::Punct(']' | ')' | '}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                check_context(ctx, &run[start..j.min(run.len())], out);
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        // `split_at` / `split_at_mut` arguments are slice bounds too.
+        for call in method_calls(run) {
+            if matches!(call.name, "split_at" | "split_at_mut") {
+                for arg in &call.args {
+                    check_context(ctx, arg, out);
+                }
+            }
+        }
+    });
+}
+
+/// Scan one bound context for unchecked arithmetic.
+fn check_context(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    if toks.iter().any(is_mitigated) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Punct(op @ ('*' | '-')) = t.kind else {
+            continue;
+        };
+        // Binary only: a left operand must precede and a value must follow
+        // (rules out deref `*p`, unary `-1`, `->`, and range `..-`).
+        let prev = match i.checked_sub(1).and_then(|k| toks.get(k)) {
+            Some(p) if is_value_end(p) => p,
+            _ => continue,
+        };
+        let Some(next) = toks.get(i + 1).filter(|n| is_value_start(n)) else {
+            continue;
+        };
+        let lhs_lit = matches!(prev.kind, TokKind::Int(_));
+        let rhs_lit = matches!(next.kind, TokKind::Int(_));
+        let flagged = match op {
+            '*' => !lhs_lit && !rhs_lit,
+            '-' => !rhs_lit,
+            _ => false,
+        };
+        if flagged {
+            let (verb, bug) = if op == '*' {
+                ("overflow", "the radix-carve overshoot class")
+            } else {
+                ("underflow", "the merge-cut underfill class")
+            };
+            out.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "unchecked-partition-arith",
+                msg: format!(
+                    "unchecked `{op}` in index arithmetic feeding a slice bound: a \
+                     silent {verb} here corrupts the partition in release builds ({bug})"
+                ),
+                suggestion: Some(
+                    "widen the intermediate to `u128`, or use `checked_*`/`saturating_*` \
+                     with an explicit `.expect(\"<why it fits>\")`"
+                        .to_string(),
+                ),
+            });
+            return; // one diagnostic per context
+        }
+    }
+}
+
+/// Mitigation markers that make a context's arithmetic sound.
+fn is_mitigated(t: &Tok) -> bool {
+    match t.ident() {
+        Some(name) => {
+            name.starts_with("checked_")
+                || name.starts_with("saturating_")
+                || name == "u128"
+                || name == "i128"
+                || name == "min"
+                || name == "clamp"
+        }
+        None => false,
+    }
+}

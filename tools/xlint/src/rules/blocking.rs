@@ -1,0 +1,71 @@
+//! `blocking-in-dispatcher`: the resident service must not block.
+//!
+//! The `SortService` dispatcher (PR 6) is a single loop that owns the
+//! bounded submission mailbox; its overload-graceful degradation only
+//! works if no code path parks the thread elsewhere. A `thread::sleep`
+//! or a blocking channel `recv` anywhere in `crates/service` holds a
+//! pool rank (or the dispatcher itself) hostage: queued jobs age past
+//! their deadline and the backpressure signal never fires. The single
+//! sanctioned block point — the client-side wait on a job ticket —
+//! carries an `xlint.allow` justification.
+
+use super::{walk_runs, FileCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    walk_runs(ctx.ast, false, &mut |run| {
+        for (i, t) in run.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            // `thread::sleep` / `thread::park` path calls, plus `use`
+            // renames of them.
+            let is_parkish = matches!(name, "sleep" | "park" | "park_timeout");
+            if is_parkish
+                && i >= 2
+                && run[i - 1].is_punct(':')
+                && run[i - 2].is_punct(':')
+                && run[..i - 2]
+                    .iter()
+                    .rev()
+                    .find_map(Tok::ident)
+                    .is_some_and(|p| p == "thread")
+            {
+                out.push(diag(
+                    ctx,
+                    t,
+                    &format!("`thread::{name}` in the service"),
+                    "sleeping holds a pool rank hostage; wait on the mailbox condvar \
+                     with a deadline instead",
+                ));
+                continue;
+            }
+            // Blocking channel receives: `.recv()`, `.recv_timeout(..)`,
+            // `.recv_deadline(..)`.
+            if i > 0
+                && run[i - 1].is_punct('.')
+                && matches!(name, "recv" | "recv_timeout" | "recv_deadline")
+                && run.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(diag(
+                    ctx,
+                    t,
+                    &format!("blocking `.{name}()` in the service"),
+                    "the dispatcher's only sanctioned block point is the submission \
+                     mailbox; use `try_recv` plus the mailbox wakeup, or move the \
+                     wait to the client side under an xlint.allow justification",
+                ));
+            }
+        }
+    });
+}
+
+fn diag(ctx: &FileCtx<'_>, t: &Tok, msg: &str, help: &str) -> Diagnostic {
+    Diagnostic {
+        path: ctx.path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule: "blocking-in-dispatcher",
+        msg: msg.to_string(),
+        suggestion: Some(help.to_string()),
+    }
+}

@@ -1,0 +1,55 @@
+//! `workload-determinism`: workload generators draw only from seeded RNGs.
+//!
+//! Datasets must be reproducible from an explicit `u64` seed; any entropy
+//! source (thread-local RNG, OS randomness, clock reads) makes a
+//! benchmark run unrepeatable. Runs over the full token stream — test
+//! code in `workloads` generates datasets too. Alias-proof via the
+//! file's `use` tree (`use rand::thread_rng as rng` still flags).
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+const ENTROPY_NAMES: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "SystemTime",
+    "Instant",
+];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let banned = if ENTROPY_NAMES.contains(&name) {
+            true
+        } else if name == "random" {
+            // `rand::random` only; a field or method named random is fine.
+            i >= 3
+                && ctx.toks[i - 1].is_punct(':')
+                && ctx.toks[i - 2].is_punct(':')
+                && ctx.toks[i - 3].ident() == Some("rand")
+        } else if i == 0 || !(ctx.toks[i - 1].is_punct('.') || ctx.toks[i - 1].is_punct(':')) {
+            // A rename of an entropy source (`use rand::thread_rng as r`).
+            ctx.resolve(name).is_some_and(|canon| {
+                ENTROPY_NAMES
+                    .iter()
+                    .any(|e| canon.rsplit("::").next() == Some(e))
+                    || canon == "rand::random"
+            })
+        } else {
+            false
+        };
+        if banned {
+            out.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "workload-determinism",
+                msg: format!("`{name}` in a workload generator: datasets must be reproducible"),
+                suggestion: Some(
+                    "accept an explicit `u64` seed and use `StdRng::seed_from_u64`".to_string(),
+                ),
+            });
+        }
+    }
+}

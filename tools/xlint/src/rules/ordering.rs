@@ -1,0 +1,65 @@
+//! `relaxed-ordering`: `Ordering::Relaxed` only in allowlisted fast paths.
+//!
+//! Cross-rank shared state in this workspace is `SeqCst` by policy;
+//! `Relaxed` is reserved for measured hot paths that carry an
+//! `xlint.allow` justification. Alias-proof: `use
+//! std::sync::atomic::Ordering::Relaxed as R` flags the binding and each
+//! use of `R`.
+
+use super::{walk_runs, FileCtx};
+use crate::diag::Diagnostic;
+
+/// True when a canonical `use` path names the relaxed memory ordering.
+fn is_relaxed_path(path: &[String]) -> bool {
+    path.len() >= 2 && path[path.len() - 2] == "Ordering" && path[path.len() - 1] == "Relaxed"
+}
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for b in ctx.aliases.values() {
+        if is_relaxed_path(&b.path) && b.name != "Relaxed" {
+            out.push(diag(
+                ctx,
+                b.line,
+                b.col,
+                &format!(
+                    "`use {} as {}` renames the relaxed memory ordering",
+                    b.canonical(),
+                    b.name
+                ),
+            ));
+        }
+    }
+    walk_runs(ctx.ast, false, &mut |run| {
+        for t in run {
+            let Some(name) = t.ident() else { continue };
+            let hit = name == "Relaxed"
+                || ctx
+                    .aliases
+                    .get(name)
+                    .is_some_and(|b| is_relaxed_path(&b.path));
+            if hit {
+                out.push(diag(
+                    ctx,
+                    t.line,
+                    t.col,
+                    "`Ordering::Relaxed` outside an allowlisted fast path",
+                ));
+            }
+        }
+    });
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, col: u32, msg: &str) -> Diagnostic {
+    Diagnostic {
+        path: ctx.path.to_string(),
+        line,
+        col,
+        rule: "relaxed-ordering",
+        msg: format!("{msg}: cross-rank shared state uses `SeqCst`"),
+        suggestion: Some(
+            "use `Ordering::SeqCst`, or allowlist the file in xlint.allow with a \
+             justification if this is a measured hot path"
+                .to_string(),
+        ),
+    }
+}

@@ -1,0 +1,39 @@
+//! `safety-comment`: every `unsafe` carries a nearby `// SAFETY:` comment
+//! (or a `# Safety` doc section for `unsafe fn`/`unsafe trait`
+//! declarations) stating the invariant that makes it sound.
+//!
+//! This pass runs over the raw token stream — including `#[cfg(test)]`
+//! code — because unsound test helpers are just as unsound.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+
+/// How many lines above the `unsafe` token the comment may appear.
+const WINDOW: u32 = 6;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in ctx.toks {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        let documented = ctx.comments.iter().any(|(line, text)| {
+            *line <= t.line
+                && t.line - *line <= WINDOW
+                && (text.contains("SAFETY:") || text.contains("# Safety"))
+        });
+        if !documented {
+            out.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "safety-comment",
+                msg: "`unsafe` without a `// SAFETY:` comment in the preceding lines".to_string(),
+                suggestion: Some(
+                    "state the invariant that makes this sound in a `// SAFETY:` comment \
+                     directly above (or a `# Safety` doc section for declarations)"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `no-unwrap`: library code panics only on documented invariants.
+//!
+//! Bare `.unwrap()` is banned; `.expect(..)` must carry a string-literal
+//! message (a computed message documents nothing at the call site).
+
+use super::{walk_runs, FileCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    walk_runs(ctx.ast, false, &mut |run| {
+        for (i, t) in run.iter().enumerate() {
+            if i == 0 || !run[i - 1].is_punct('.') {
+                continue;
+            }
+            match t.ident() {
+                Some("unwrap")
+                    if run.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && run.get(i + 2).is_some_and(|t| t.is_punct(')')) =>
+                {
+                    out.push(Diagnostic {
+                        path: ctx.path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        rule: "no-unwrap",
+                        msg: "bare `.unwrap()` in library code".to_string(),
+                        suggestion: Some(
+                            "use `.expect(\"<invariant>\")`, or return an error".to_string(),
+                        ),
+                    });
+                }
+                Some("expect")
+                    if run.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && !matches!(run.get(i + 2).map(|t| &t.kind), Some(TokKind::Str)) =>
+                {
+                    out.push(Diagnostic {
+                        path: ctx.path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        rule: "no-unwrap",
+                        msg: "`.expect()` without a string-literal message in library code"
+                            .to_string(),
+                        suggestion: Some(
+                            "the message documents the invariant being relied on — make it \
+                             a string literal"
+                                .to_string(),
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    });
+}

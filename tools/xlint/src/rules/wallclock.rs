@@ -1,0 +1,105 @@
+//! `wallclock`: virtual-time code must not read host clocks or sleep.
+//!
+//! Simulation crates (`mpisim`, `sdssort`) run on the rank's
+//! `VirtualClock`; any host-time read silently breaks virtual-time
+//! determinism. The rule is alias-proof: `use std::time::Instant as T`
+//! flags both the binding and every later use of `T`, because bindings
+//! are resolved through the file's `use` tree rather than matched by
+//! surface name.
+
+use super::{walk_runs, FileCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+
+/// Canonical paths banned in virtual-time code.
+const BANNED_PATHS: [&str; 3] = [
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "std::thread::sleep",
+];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    // The `use` bindings themselves: this is what catches renames.
+    for b in ctx.aliases.values() {
+        let canon = b.canonical();
+        if BANNED_PATHS.contains(&canon.as_str()) {
+            out.push(diag(
+                ctx,
+                b.line,
+                b.col,
+                &format!("`use {canon}` in simulation code"),
+                &canon,
+            ));
+        }
+    }
+
+    walk_runs(ctx.ast, false, &mut |run| {
+        for (i, t) in run.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            // Direct names, however the path is spelled.
+            if matches!(name, "Instant" | "SystemTime") {
+                out.push(diag(
+                    ctx,
+                    t.line,
+                    t.col,
+                    &format!("`{name}` in simulation code"),
+                    &format!("std::time::{name}"),
+                ));
+                continue;
+            }
+            // `thread::sleep` / `std::thread::sleep` path calls.
+            if name == "sleep"
+                && i >= 2
+                && run[i - 1].is_punct(':')
+                && run[i - 2].is_punct(':')
+                && run[..i - 2]
+                    .iter()
+                    .rev()
+                    .find_map(Tok::ident)
+                    .is_some_and(|p| p == "thread")
+            {
+                out.push(diag(
+                    ctx,
+                    t.line,
+                    t.col,
+                    "`thread::sleep` in simulation code",
+                    "std::thread::sleep",
+                ));
+                continue;
+            }
+            // Anything else that *resolves* to a banned path through a
+            // `use ... as` rename. Skip method/field positions (`x.sleep()`
+            // is some object's own method, not std's).
+            if i > 0 && (run[i - 1].is_punct('.') || run[i - 1].is_punct(':')) {
+                continue;
+            }
+            if let Some(canon) = ctx.resolve(name) {
+                if BANNED_PATHS.contains(&canon.as_str()) {
+                    out.push(diag(
+                        ctx,
+                        t.line,
+                        t.col,
+                        &format!("`{name}` (= `{canon}` via `use`) in simulation code"),
+                        &canon,
+                    ));
+                }
+            }
+        }
+    });
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, col: u32, what: &str, canon: &str) -> Diagnostic {
+    let suggestion = if canon.ends_with("sleep") {
+        "charge virtual seconds with `clock.charge(..)` instead of sleeping"
+    } else {
+        "read time from the rank's VirtualClock (wall time breaks virtual-time determinism)"
+    };
+    Diagnostic {
+        path: ctx.path.to_string(),
+        line,
+        col,
+        rule: "wallclock",
+        msg: format!("{what}: simulation code runs on virtual clocks"),
+        suggestion: Some(suggestion.to_string()),
+    }
+}

@@ -1,7 +1,8 @@
-//! Proves the linter fails on seeded violations (fixtures/banned_patterns.rs),
-//! accepts the sanctioned spellings (fixtures/clean.rs), detects stale
-//! allowlist entries, and — the real gate — that the workspace tree itself
-//! scans clean.
+//! Proves the linter fails on seeded violations (one paired fail/pass
+//! fixture per semantic rule), accepts the sanctioned spellings, pins
+//! exact `path:line:col [rule]` spans, round-trips the JSON report
+//! schema, detects stale allowlist entries, and — the real gate — that
+//! the workspace tree itself scans clean.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -14,125 +15,328 @@ fn fixture(name: &str) -> String {
     fs::read_to_string(&path).expect("fixture file is committed next to this test")
 }
 
-/// Fake scoped paths that together activate every rule for the fixtures.
-const SCOPED_PATHS: [&str; 2] = [
-    "crates/mpisim/src/fixture.rs", // wallclock, relaxed-ordering, safety-comment, no-unwrap
-    "crates/workloads/src/fixture.rs", // workload-determinism, tag-discipline (+ the above three)
-];
+/// Scan a fixture under a fake scoped path and return `(line, col)` spans
+/// of the diagnostics for one rule.
+fn spans_of(fixture_name: &str, scoped_path: &str, rule: &str) -> Vec<(u32, u32)> {
+    xlint::scan_source(scoped_path, &fixture(fixture_name))
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.col))
+        .collect()
+}
+
+fn rules_hit(fixture_name: &str, scoped_path: &str) -> BTreeSet<&'static str> {
+    xlint::scan_source(scoped_path, &fixture(fixture_name))
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+// ---- every rule is exercised by some fixture ------------------------------
 
 #[test]
-fn banned_fixture_trips_every_rule() {
-    let src = fixture("banned_patterns.rs");
+fn every_rule_fires_on_some_fixture() {
+    let sweep = [
+        ("banned_patterns.rs", "crates/mpisim/src/fixture.rs"),
+        ("banned_patterns.rs", "crates/workloads/src/fixture.rs"),
+        ("wallclock_alias.rs", "crates/sdssort/src/fixture.rs"),
+        ("divergent_collective.rs", "crates/sdssort/src/fixture.rs"),
+        ("unchecked_arith.rs", "crates/baselines/src/fixture.rs"),
+        ("tag_range.rs", "crates/sdssort/src/fixture.rs"),
+        ("blocking_service.rs", "crates/service/src/fixture.rs"),
+    ];
     let mut hit = BTreeSet::new();
-    for path in SCOPED_PATHS {
-        for v in xlint::scan_source(path, &src) {
-            hit.insert(v.rule);
-        }
+    for (fixture_name, path) in sweep {
+        hit.extend(rules_hit(fixture_name, path));
     }
     for rule in xlint::rules::RULES {
         assert!(
             hit.contains(rule),
-            "rule `{rule}` did not fire on the seeded fixture"
+            "rule `{rule}` did not fire on any seeded fixture"
         );
     }
 }
 
 #[test]
 fn clean_fixture_passes_every_scope() {
-    let src = fixture("clean.rs");
-    for path in SCOPED_PATHS {
-        let violations = xlint::scan_source(path, &src);
+    for path in [
+        "crates/mpisim/src/fixture.rs",
+        "crates/workloads/src/fixture.rs",
+    ] {
+        let diags = xlint::scan_source(path, &fixture("clean.rs"));
         assert!(
-            violations.is_empty(),
-            "clean fixture flagged under {path}: {violations:?}"
+            diags.is_empty(),
+            "clean fixture flagged under {path}: {diags:?}"
         );
     }
 }
 
+// ---- wallclock: the alias false-negative regression anchor ----------------
+
 #[test]
-fn wallclock_scope_excludes_the_real_time_backend() {
-    // The same banned fixture, scanned as if it lived in the real
-    // shared-memory backend: every rule that applies there still fires,
-    // but `wallclock` must not — crates/shmem measures wall time by
-    // design, without needing an xlint.allow entry.
-    let src = fixture("banned_patterns.rs");
-    let rules: BTreeSet<_> = xlint::scan_source("crates/shmem/src/fixture.rs", &src)
-        .into_iter()
-        .map(|v| v.rule)
-        .collect();
-    assert!(
-        !rules.contains("wallclock"),
-        "wallclock fired outside the virtual-time crates: {rules:?}"
+fn wallclock_rule_is_alias_proof() {
+    // The pre-AST token rule matched surface names, so `use
+    // std::time::Instant as Stopwatch` produced ZERO findings on this
+    // fixture. The AST pass resolves through the `use` tree: the two
+    // bindings and both renamed uses must all be flagged, at exact spans.
+    let spans = spans_of(
+        "wallclock_alias.rs",
+        "crates/sdssort/src/fixture.rs",
+        "wallclock",
     );
-    for expected in [
-        "relaxed-ordering",
-        "safety-comment",
-        "no-unwrap",
-        "tag-discipline",
-    ] {
-        assert!(
-            rules.contains(expected),
-            "rule `{expected}` should still cover crates/shmem: {rules:?}"
-        );
-    }
+    assert_eq!(
+        spans,
+        vec![(9, 16), (10, 18), (13, 14), (14, 5)],
+        "binding for Instant-as-Stopwatch, binding for sleep-as-nap, \
+         Stopwatch::now() use, nap() use"
+    );
+    // Nothing else fires: the fixture is clean apart from the aliases.
+    let other: Vec<_> = xlint::scan_source(
+        "crates/sdssort/src/fixture.rs",
+        &fixture("wallclock_alias.rs"),
+    )
+    .into_iter()
+    .filter(|d| d.rule != "wallclock")
+    .collect();
+    assert!(other.is_empty(), "unexpected extra diagnostics: {other:?}");
+}
+
+// ---- rank-divergent-collective --------------------------------------------
+
+#[test]
+fn divergent_collectives_are_reported_at_exact_spans() {
+    // The fixture mirrors the PR 2 deadlock test: `if rank == 0 {
+    // comm.barrier(); }` is the exact shape mpisim's runtime detector
+    // catches dynamically. The static rule must report each divergent
+    // call site: barrier in an if, bcast in a branch arm, allreduce under
+    // a rank-bounded loop, split_shared_node in a match arm, and alltoall
+    // nested two branches deep.
+    let spans = spans_of(
+        "divergent_collective.rs",
+        "crates/sdssort/src/fixture.rs",
+        "rank-divergent-collective",
+    );
+    assert_eq!(
+        spans,
+        vec![(10, 14), (16, 23), (25, 22), (32, 29), (41, 18)],
+        "one finding per divergent collective call site"
+    );
+    // The message names the collective, so the fix is obvious from logs.
+    let diags = xlint::scan_source(
+        "crates/sdssort/src/fixture.rs",
+        &fixture("divergent_collective.rs"),
+    );
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == "rank-divergent-collective" && d.msg.contains("`barrier`")));
 }
 
 #[test]
-fn wallclock_scope_excludes_the_resident_service() {
-    // The resident sort service lives on the real backend's clock: queue
-    // waits and latency percentiles are wall-clock measurements, so
-    // `wallclock` must not fire there — while the library-hygiene rules
-    // cover it like any other crate.
-    let src = fixture("banned_patterns.rs");
-    let rules: BTreeSet<_> = xlint::scan_source("crates/service/src/fixture.rs", &src)
-        .into_iter()
-        .map(|v| v.rule)
+fn converged_collectives_pass() {
+    // Sanctioned SPMD shapes: rank-dependent *data* inside the call's
+    // parens, the color-by-rank split idiom, p2p inside rank branches,
+    // and same-name std methods disambiguated by arity.
+    let diags = xlint::scan_source(
+        "crates/sdssort/src/fixture.rs",
+        &fixture("converged_collective.rs"),
+    );
+    let divergent: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "rank-divergent-collective")
         .collect();
     assert!(
-        !rules.contains("wallclock"),
-        "wallclock fired outside the virtual-time crates: {rules:?}"
+        divergent.is_empty(),
+        "false positives on sanctioned SPMD shapes: {divergent:?}"
     );
-    for expected in [
-        "relaxed-ordering",
-        "safety-comment",
-        "no-unwrap",
-        "tag-discipline",
-    ] {
-        assert!(
-            rules.contains(expected),
-            "rule `{expected}` should still cover crates/service: {rules:?}"
-        );
-    }
 }
 
 #[test]
-fn wallclock_scope_excludes_the_sockets_backend() {
-    // The distributed process-per-rank backend is the third real-time
-    // substrate: rendezvous deadlines, peer-death timeouts, and reported
-    // wall seconds are all genuine clock reads, so `wallclock` must not
-    // fire there — while `no-unwrap` and the other library-hygiene rules
-    // cover it like shmem and service.
-    let src = fixture("banned_patterns.rs");
-    let rules: BTreeSet<_> = xlint::scan_source("crates/sockcomm/src/fixture.rs", &src)
-        .into_iter()
-        .map(|v| v.rule)
+fn divergence_rule_skips_the_comm_substrate() {
+    // Backend substrate crates implement the collectives themselves —
+    // `if rank == root` around protocol sends is their job.
+    let diags = xlint::scan_source(
+        "crates/comm/src/fixture.rs",
+        &fixture("divergent_collective.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "rank-divergent-collective"),
+        "substrate crates must be out of divergence scope: {diags:?}"
+    );
+}
+
+// ---- unchecked-partition-arith --------------------------------------------
+
+#[test]
+fn unchecked_arith_is_reported_at_exact_spans() {
+    let spans = spans_of(
+        "unchecked_arith.rs",
+        "crates/baselines/src/fixture.rs",
+        "unchecked-partition-arith",
+    );
+    assert_eq!(
+        spans,
+        vec![(7, 14), (11, 26), (15, 23)],
+        "b*g index scale, len-keep underflow, num*len split_at product"
+    );
+}
+
+#[test]
+fn checked_arith_passes() {
+    // checked_*/expect chains, u128 widening, literal-scaled and
+    // literal-offset index math, and min-clamped indices are all exempt.
+    let diags = xlint::scan_source(
+        "crates/baselines/src/fixture.rs",
+        &fixture("checked_arith.rs"),
+    );
+    let arith: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "unchecked-partition-arith")
         .collect();
     assert!(
-        !rules.contains("wallclock"),
-        "wallclock fired outside the virtual-time crates: {rules:?}"
+        arith.is_empty(),
+        "false positives on mitigated arithmetic: {arith:?}"
     );
-    for expected in [
-        "relaxed-ordering",
-        "safety-comment",
-        "no-unwrap",
-        "tag-discipline",
-    ] {
-        assert!(
-            rules.contains(expected),
-            "rule `{expected}` should still cover crates/sockcomm: {rules:?}"
-        );
-    }
 }
+
+#[test]
+fn arith_scope_is_partition_files_only() {
+    // The same source under a non-partition path produces nothing: the
+    // rule is scoped to where slice-bound arithmetic decides rank loads.
+    let diags = xlint::scan_source(
+        "crates/telemetry/src/fixture.rs",
+        &fixture("unchecked_arith.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "unchecked-partition-arith"),
+        "arith rule leaked outside its scope: {diags:?}"
+    );
+}
+
+// ---- user-tag-range --------------------------------------------------------
+
+#[test]
+fn reserved_tags_are_reported_at_exact_spans() {
+    let spans = spans_of(
+        "tag_range.rs",
+        "crates/sdssort/src/fixture.rs",
+        "user-tag-range",
+    );
+    assert_eq!(
+        spans,
+        vec![(7, 7), (8, 7), (11, 22), (15, 22), (19, 19), (20, 10)],
+        "PROBE_TAG decl, STEAL_TAG decl, reserved literal, const-chain \
+         call site, next_coll_tag, send_raw"
+    );
+    // The reserved literal is also an unnamed tag: both rules fire there.
+    let spans = spans_of(
+        "tag_range.rs",
+        "crates/sdssort/src/fixture.rs",
+        "tag-discipline",
+    );
+    assert_eq!(spans, vec![(11, 22)]);
+}
+
+#[test]
+fn user_space_tags_pass() {
+    let diags = xlint::scan_source("crates/sdssort/src/fixture.rs", &fixture("tag_range_ok.rs"));
+    assert!(
+        diags.is_empty(),
+        "sanctioned tag constants were flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn raw_calls_are_sanctioned_inside_the_substrate() {
+    // The same `_raw` calls inside a backend that implements RawComm are
+    // that backend's job.
+    let diags = xlint::scan_source("crates/sockcomm/src/fixture.rs", &fixture("tag_range.rs"));
+    assert!(
+        !diags.iter().any(|d| d.rule == "user-tag-range"),
+        "user-tag-range leaked into the substrate: {diags:?}"
+    );
+}
+
+// ---- blocking-in-dispatcher ------------------------------------------------
+
+#[test]
+fn blocking_calls_in_service_are_reported_at_exact_spans() {
+    let spans = spans_of(
+        "blocking_service.rs",
+        "crates/service/src/fixture.rs",
+        "blocking-in-dispatcher",
+    );
+    assert_eq!(
+        spans,
+        vec![(8, 22), (13, 8), (17, 16), (18, 18)],
+        "thread::sleep, .recv(), .recv_timeout(), thread::park"
+    );
+}
+
+#[test]
+fn nonblocking_service_passes() {
+    let diags = xlint::scan_source(
+        "crates/service/src/fixture.rs",
+        &fixture("nonblocking_service.rs"),
+    );
+    let blocking: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "blocking-in-dispatcher")
+        .collect();
+    assert!(
+        blocking.is_empty(),
+        "false positives on non-blocking spellings: {blocking:?}"
+    );
+}
+
+#[test]
+fn blocking_rule_is_scoped_to_the_service() {
+    let diags = xlint::scan_source(
+        "crates/sdssort/src/fixture.rs",
+        &fixture("blocking_service.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "blocking-in-dispatcher"),
+        "blocking rule leaked outside crates/service: {diags:?}"
+    );
+}
+
+// ---- rule scopes ported from the token-era suite --------------------------
+
+#[test]
+fn wallclock_scope_excludes_the_real_time_backends() {
+    // The real-execution backends and the resident service measure wall
+    // time by design, without needing an xlint.allow entry — while the
+    // library-hygiene rules still cover them in full.
+    let src = fixture("banned_patterns.rs");
+    for path in [
+        "crates/shmem/src/fixture.rs",
+        "crates/service/src/fixture.rs",
+        "crates/sockcomm/src/fixture.rs",
+    ] {
+        let rules: BTreeSet<_> = xlint::scan_source(path, &src)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        assert!(
+            !rules.contains("wallclock"),
+            "wallclock fired outside the virtual-time crates under {path}: {rules:?}"
+        );
+        for expected in ["relaxed-ordering", "safety-comment", "no-unwrap"] {
+            assert!(
+                rules.contains(expected),
+                "rule `{expected}` should still cover {path}: {rules:?}"
+            );
+        }
+    }
+    // The service additionally bans the blocking sleep the fixture seeds.
+    let service_rules: BTreeSet<_> = xlint::scan_source("crates/service/src/fixture.rs", &src)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect();
+    assert!(service_rules.contains("blocking-in-dispatcher"));
+}
+
+// ---- allowlist semantics ---------------------------------------------------
 
 #[test]
 fn stale_allowlist_entries_are_reported() {
@@ -154,7 +358,7 @@ fn stale_allowlist_entries_are_reported() {
 
     let report = xlint::scan_root(&dir).expect("scan scratch dir");
     assert!(
-        report.violations.is_empty(),
+        report.diagnostics.is_empty(),
         "live entry should suppress: {report:?}"
     );
     assert_eq!(report.suppressed, 1);
@@ -169,6 +373,82 @@ fn stale_allowlist_entries_are_reported() {
     fs::remove_dir_all(&dir).ok();
 }
 
+// ---- JSON report schema ----------------------------------------------------
+
+#[test]
+fn json_report_round_trips_the_schema() {
+    let dir = scratch_dir("xlint-json-test");
+    fs::create_dir_all(dir.join("src")).expect("create scratch src dir");
+    fs::write(
+        dir.join("src/lib.rs"),
+        "fn f(x: &std::sync::atomic::AtomicU64) { x.load(std::sync::atomic::Ordering::Relaxed); }\n",
+    )
+    .expect("write scratch source");
+    fs::write(
+        dir.join("xlint.allow"),
+        "wallclock src/lib.rs stale: nothing here uses Instant\n",
+    )
+    .expect("write scratch allowlist");
+
+    let report = xlint::scan_root(&dir).expect("scan scratch dir");
+    let doc = xlint::diag::json::parse(&report.to_json()).expect("report emits valid JSON");
+
+    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("files_scanned").and_then(|v| v.as_u64()),
+        Some(report.files_scanned as u64)
+    );
+    assert_eq!(doc.get("clean").and_then(|v| v.as_bool()), Some(false));
+
+    let diags = doc
+        .get("diagnostics")
+        .and_then(|v| v.as_arr())
+        .expect("diagnostics array");
+    assert_eq!(diags.len(), report.diagnostics.len());
+    let (d_json, d) = (&diags[0], &report.diagnostics[0]);
+    assert_eq!(
+        d_json.get("path").and_then(|v| v.as_str()),
+        Some(d.path.as_str())
+    );
+    assert_eq!(
+        d_json.get("line").and_then(|v| v.as_u64()),
+        Some(u64::from(d.line))
+    );
+    assert_eq!(
+        d_json.get("col").and_then(|v| v.as_u64()),
+        Some(u64::from(d.col))
+    );
+    assert_eq!(d_json.get("rule").and_then(|v| v.as_str()), Some(d.rule));
+    assert_eq!(
+        d_json.get("message").and_then(|v| v.as_str()),
+        Some(d.msg.as_str())
+    );
+    match &d.suggestion {
+        Some(s) => assert_eq!(
+            d_json.get("suggestion").and_then(|v| v.as_str()),
+            Some(s.as_str())
+        ),
+        None => assert_eq!(
+            d_json.get("suggestion"),
+            Some(&xlint::diag::json::Value::Null)
+        ),
+    }
+
+    let stale = doc
+        .get("stale_allow_entries")
+        .and_then(|v| v.as_arr())
+        .expect("stale array");
+    assert_eq!(stale.len(), 1);
+    assert_eq!(
+        stale[0].get("rule").and_then(|v| v.as_str()),
+        Some("wallclock")
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---- the real gate ---------------------------------------------------------
+
 #[test]
 fn workspace_tree_scans_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -181,11 +461,11 @@ fn workspace_tree_scans_clean() {
     let report = xlint::scan_root(&root).expect("scan workspace");
     assert!(
         report.is_clean(),
-        "workspace has lint violations:\n{}",
+        "workspace has lint diagnostics:\n{}",
         report
-            .violations
+            .diagnostics
             .iter()
-            .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg))
+            .map(std::string::ToString::to_string)
             .chain(report.stale.iter().map(|e| format!(
                 "xlint.allow:{}: stale entry `{} {}`",
                 e.line, e.rule, e.path_prefix
