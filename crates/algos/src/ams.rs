@@ -1,0 +1,360 @@
+//! Multi-level AMS-sort (Axtmann, Bingmann, Sanders, Schulz — *Practical
+//! Massively Parallel Sorting*, SPAA'15).
+//!
+//! AMS-sort recursively partitions the ranks into `k` *groups*: each
+//! level selects splitters from an **overpartitioned** bucket set (`o·k`
+//! buckets for `k` groups), assigns consecutive buckets to groups so that
+//! group loads track the ideal `1/k` share, and moves data with a
+//! two-stage exchange:
+//!
+//! 1. **Delivery** — every rank sends bucket `b` to *one* deterministic
+//!    member of `b`'s group (`group·g + rank mod g`), so the stage is a
+//!    sparse all-to-all with `k` messages per rank instead of `p`.
+//! 2. **Group rebalance** — within each group the delivered records are
+//!    redistributed *by position* so every member holds an equal share
+//!    before recursing. This is AMS-sort's balanced data delivery: no
+//!    member of a group can be overloaded by an unlucky delivery pattern,
+//!    whatever the bucket skew did to stage 1.
+//!
+//! The recursion then repeats inside each group until groups are single
+//! ranks; the final balance is the overpartitioned assignment's
+//! `(1+ε)`-style bound, with ε shrinking as [`AmsConfig::overpartition`]
+//! grows. *Hierarchy awareness*: when the rank layout is node-block and
+//! the node count permits, the first level uses one group per node, so
+//! every level after the first exchanges intra-node only. On the input
+//! side the `τm` node-merge machinery of `sdssort` is reused verbatim
+//! ([`sdssort::node_merge`]): below the threshold, node data is merged
+//! onto leaders first and AMS runs over the leader communicator.
+//!
+//! Like HykSort, bucketing is duplicate-blind (`classic_cuts`): all
+//! duplicates of a splitter land in one bucket, so a single heavy key
+//! still defeats the assignment — the skew-sweep shoot-out shows exactly
+//! where. Splitter selection reuses `sdssort::sampling::regular_sample`
+//! and `sdssort::pivots::reference_pivots`; merging reuses the loser-tree
+//! `kway_merge_offsets`. Everything is deterministic (regular sampling,
+//! synchronous rank-order exchanges, tie-to-lower-run merges), so output
+//! is bit-identical across the sim/threads/sockets backends.
+
+use crate::{charged, collective_alloc};
+use comm::Communicator;
+use sdssort::merge::kway_merge_offsets;
+use sdssort::node_merge::node_merge;
+use sdssort::partition::{classic_cuts, cuts_to_counts};
+use sdssort::pivots::reference_pivots;
+use sdssort::sampling::regular_sample;
+use sdssort::stats::SortStats;
+use sdssort::{ComputeCharge, SortError, SortOutput, Sortable};
+
+/// AMS-sort configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AmsConfig {
+    /// Maximum groups per level (fan-out). Small values force multiple
+    /// levels; the SPAA'15 evaluation uses modest k per level.
+    pub kmax: usize,
+    /// Overpartitioning factor `o`: each level carves `o·k` buckets and
+    /// assigns consecutive buckets to the `k` groups by load. Larger `o`
+    /// tightens the group-balance bound at the cost of more splitters.
+    pub overpartition: usize,
+    /// Regular samples contributed per rank *per bucket* for splitter
+    /// selection.
+    pub oversample: usize,
+    /// Node-merge threshold in bytes (τm, reusing the SDS-Sort decision
+    /// rule): when the average exchange message is at or below this, node
+    /// data is merged onto leaders before sorting. 0 keeps merging off for
+    /// any non-empty input.
+    pub tau_m_bytes: usize,
+    /// Compute charging (see [`ComputeCharge`]).
+    pub charge: ComputeCharge,
+}
+
+impl Default for AmsConfig {
+    fn default() -> Self {
+        Self {
+            kmax: 8,
+            overpartition: 2,
+            oversample: 4,
+            tau_m_bytes: 0,
+            charge: ComputeCharge::Measured,
+        }
+    }
+}
+
+/// Largest divisor of `p` that is ≤ `kmax` and ≥ 2; `p` itself when `p`
+/// is prime and exceeds `kmax` (single-level fallback, as in HykSort).
+fn choose_k(p: usize, kmax: usize) -> usize {
+    debug_assert!(p >= 2);
+    let mut best = 1usize;
+    let mut d = 2usize;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            if d <= kmax {
+                best = best.max(d);
+            }
+            let q = p / d;
+            if q <= kmax {
+                best = best.max(q);
+            }
+        }
+        d += 1;
+    }
+    if p <= kmax {
+        best = best.max(p);
+    }
+    if best >= 2 {
+        best
+    } else {
+        p
+    }
+}
+
+/// Fan-out for one level. The first level prefers one group per node
+/// (`k = p/c`) when the node count divides the rank count and fits
+/// `kmax` — with a block rank layout this makes every later level
+/// intra-node (the hierarchy-aware choice). Other levels, and layouts
+/// where that does not apply, fall back to the largest divisor ≤ `kmax`.
+fn choose_fanout<C: Communicator>(comm: &C, cfg: &AmsConfig, depth: u64) -> usize {
+    let p = comm.size();
+    let kmax = cfg.kmax.max(2);
+    if depth == 0 {
+        let c = comm.cores_per_node();
+        if c > 1 && p.is_multiple_of(c) {
+            let nodes = p / c;
+            if nodes >= 2 && nodes <= kmax {
+                return nodes;
+            }
+        }
+    }
+    choose_k(p, kmax)
+}
+
+/// Sort `data` across `comm` with multi-level AMS-sort. Unstable. Fails
+/// collectively with [`SortError`] when any rank's receive buffer exceeds
+/// the (simulated) memory budget.
+pub fn ams_sort<T: Sortable, C: Communicator>(
+    comm: &C,
+    mut data: Vec<T>,
+    cfg: &AmsConfig,
+) -> Result<SortOutput<T>, SortError> {
+    let t0 = comm.now();
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
+    comm.trace_phase("local-sort");
+    let n0 = data.len();
+    charged(
+        comm,
+        cfg.charge,
+        |m| m.sort_cost(n0),
+        || data.sort_unstable_by_key(|r| r.key()),
+    );
+    stats.local_order_s += comm.now() - t0;
+    let p = comm.size();
+    if p == 1 {
+        stats.recv_count = data.len();
+        return Ok(SortOutput { data, stats });
+    }
+
+    // τm node merging on the input side, the SDS-Sort §2.3 machinery: the
+    // decision is uniform (global average), merging gathers each node's
+    // runs onto its leader, and AMS then runs over the leader communicator.
+    let n_sum = comm.allreduce(data.len() as u64, |a, b| a + b);
+    let n_avg = (n_sum / p as u64) as usize;
+    let c = comm.cores_per_node();
+    let avg_msg_bytes = n_avg / p * std::mem::size_of::<T>();
+    if c > 1 && avg_msg_bytes <= cfg.tau_m_bytes {
+        stats.node_merged = true;
+        comm.trace_phase("node-merge");
+        let t1 = comm.now();
+        let (cg, cl) = comm.refine_comm();
+        let node_n = cl.allreduce(data.len(), |a, b| a + b);
+        let runs = cl.size();
+        let merged = charged(
+            comm,
+            cfg.charge,
+            |m| m.kway_merge_cost(node_n, runs),
+            || node_merge(&cl, &data),
+        );
+        drop(data);
+        stats.other_s += comm.now() - t1;
+        return match (cg, merged) {
+            (Some(cg), Some(merged)) => {
+                let out = levels(&cg, merged, cfg, &mut stats, 0)?;
+                stats.recv_count = out.len();
+                Ok(SortOutput { data: out, stats })
+            }
+            (None, None) => {
+                // Non-leader: its data now lives on the node leader.
+                stats.recv_count = 0;
+                Ok(SortOutput {
+                    data: Vec::new(),
+                    stats,
+                })
+            }
+            _ => unreachable!("leader status must agree between cg and node_merge"),
+        };
+    }
+
+    let out = levels(comm, data, cfg, &mut stats, 0)?;
+    stats.recv_count = out.len();
+    Ok(SortOutput { data: out, stats })
+}
+
+/// One recursion level: splitters → bucket assignment → two-stage exchange
+/// → recurse within the group. `data` is locally sorted.
+fn levels<T: Sortable, C: Communicator>(
+    comm: &C,
+    data: Vec<T>,
+    cfg: &AmsConfig,
+    stats: &mut SortStats,
+    depth: u64,
+) -> Result<Vec<T>, SortError> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(data);
+    }
+    let k = choose_fanout(comm, cfg, depth);
+    let g = p / k;
+
+    // Splitter selection: pooled regular samples, overpartitioned buckets.
+    comm.trace_phase("ams-pivot");
+    let t0 = comm.now();
+    let kb_want = k.saturating_mul(cfg.overpartition.max(1));
+    let mine = regular_sample(&data, cfg.oversample.max(1).saturating_mul(kb_want));
+    let (mut pooled, _) = comm.allgatherv(&mine);
+    let pool_n = pooled.len();
+    let splitters = charged(
+        comm,
+        cfg.charge,
+        |m| m.sort_cost(pool_n),
+        || reference_pivots(&mut pooled, kb_want),
+    );
+    // Tiny inputs can pool fewer samples than requested pivots; the bucket
+    // count follows what we actually got (identical on every rank).
+    let kb = splitters.len() + 1;
+    let counts = cuts_to_counts(&classic_cuts(&data, &splitters));
+    debug_assert_eq!(counts.len(), kb);
+
+    // Global bucket loads → contiguous bucket-to-group assignment. Each
+    // bucket goes to the group its load midpoint falls in on the ideal
+    // cumulative curve (monotone, deterministic, replicated on all ranks).
+    let loads: Vec<u64> = counts.iter().map(|&n| n as u64).collect();
+    let global = comm.allreduce(loads, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+    let total: u128 = global.iter().map(|&l| u128::from(l)).sum();
+    let mut group_of = Vec::with_capacity(kb);
+    let mut cum: u128 = 0;
+    for (b, &load) in global.iter().enumerate() {
+        let mid = cum + u128::from(load) / 2;
+        let grp = match (mid * k as u128).checked_div(total) {
+            None => b * k / kb,
+            Some(q) => q.min(k as u128 - 1) as usize,
+        };
+        group_of.push(grp);
+        cum += u128::from(load);
+    }
+    stats.pivot_s += comm.now() - t0;
+
+    // Stage 1: deliver bucket b to member (rank mod g) of its group. The
+    // destination sequence is non-decreasing in b, so sorted `data` is
+    // already laid out in rank order for the exchange.
+    comm.trace_phase("ams-deliver");
+    let t1 = comm.now();
+    let me = comm.rank();
+    let mut send = vec![0usize; p];
+    for (b, &cnt) in counts.iter().enumerate() {
+        let dst = group_of[b]
+            .checked_mul(g)
+            .and_then(|base| base.checked_add(me % g))
+            .expect("destination group*g + (me%g) < p, which fit in usize");
+        send[dst] += cnt;
+    }
+    let recv = comm.alltoall(&send);
+    let m: usize = recv.iter().sum();
+    let bytes = m * std::mem::size_of::<T>();
+    collective_alloc(comm, bytes)?;
+    let buf = comm.alltoallv_given_counts(&data, &send, &recv);
+    drop(data);
+    let mut disp = Vec::with_capacity(p + 1);
+    disp.push(0usize);
+    for &r in &recv {
+        disp.push(disp.last().copied().unwrap_or(0) + r);
+    }
+    let delivered = charged(
+        comm,
+        cfg.charge,
+        |mo| mo.kway_merge_cost(m, p),
+        || kway_merge_offsets(&buf, &disp),
+    );
+    drop(buf);
+    comm.free(bytes);
+
+    // Stage 2: exact positional rebalance within the group, then recurse.
+    let group = me / g;
+    let sub = comm
+        .split(Some(group as i64), (me % g) as i64)
+        .expect("every rank is in a group");
+    let rebalanced = rebalance(&sub, delivered, cfg)?;
+    stats.exchange_s += comm.now() - t1;
+    levels(&sub, rebalanced, cfg, stats, depth + 1)
+}
+
+/// Redistribute the group's records so member `r` holds exactly the
+/// `[r·M/g, (r+1)·M/g)` slice of the group's concatenated (locally
+/// sorted) data — AMS-sort's balanced delivery guarantee. Order across
+/// members is positional, not by key: the next level re-partitions by key
+/// anyway, and each member's slice set is re-merged locally.
+fn rebalance<T: Sortable, C: Communicator>(
+    sub: &C,
+    mine: Vec<T>,
+    cfg: &AmsConfig,
+) -> Result<Vec<T>, SortError> {
+    let gsz = sub.size();
+    if gsz == 1 {
+        return Ok(mine);
+    }
+    let n = mine.len() as u64;
+    let total = sub.allreduce(n, |a, b| a + b);
+    let before = sub.exscan(n, |a, b| a + b).unwrap_or(0);
+    let mut send = vec![0usize; gsz];
+    for (r, s) in send.iter_mut().enumerate() {
+        let lo = (r as u128 * u128::from(total) / gsz as u128) as u64;
+        let hi = ((r + 1) as u128 * u128::from(total) / gsz as u128) as u64;
+        let a = lo.max(before);
+        let b = hi.min(before + n);
+        *s = b.saturating_sub(a) as usize;
+    }
+    let recv = sub.alltoall(&send);
+    let m: usize = recv.iter().sum();
+    let bytes = m * std::mem::size_of::<T>();
+    collective_alloc(sub, bytes)?;
+    let buf = sub.alltoallv_given_counts(&mine, &send, &recv);
+    drop(mine);
+    let mut disp = Vec::with_capacity(gsz + 1);
+    disp.push(0usize);
+    for &r in &recv {
+        disp.push(disp.last().copied().unwrap_or(0) + r);
+    }
+    let out = charged(
+        sub,
+        cfg.charge,
+        |mo| mo.kway_merge_cost(m, gsz),
+        || kway_merge_offsets(&buf, &disp),
+    );
+    drop(buf);
+    sub.free(bytes);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_k_prefers_largest_divisor() {
+        assert_eq!(choose_k(16, 8), 8);
+        assert_eq!(choose_k(12, 5), 4);
+        assert_eq!(choose_k(9, 3), 3);
+        assert_eq!(choose_k(7, 4), 7); // prime above kmax: single level
+        assert_eq!(choose_k(2, 8), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! Histogram Sort with Sampling (Harsh, Kale, Solomonik — SPAA'19).
+//!
+//! HSS is a single-stage partitioning sort whose splitter selection
+//! carries a provable quality guarantee: iterative histogramming refines
+//! a sampled candidate set until every part of the partition is within
+//! `(1+ε)` of the ideal `N/p`, using far fewer samples than one-shot
+//! sample sort needs for the same bound.
+//!
+//! Two things distinguish this implementation from the HykSort-style
+//! histogramming already in `sdssort::histogram`:
+//!
+//! 1. **Boundaries are positions, not key values.** A cut is an
+//!    [`HssCut`]: a key plus a *tie split* — how many duplicates of that
+//!    key (counted in global rank order) fall left of the boundary. A
+//!    candidate key `c` with global `lower/upper`-bound ranks `l(c)` and
+//!    `u(c)` can therefore realize **any** boundary position in
+//!    `[l(c), u(c)]` exactly. Duplicate mass, which defeats value-only
+//!    splitters (one key heavier than `(1+ε)·N/p` makes the HykSort
+//!    guarantee unachievable — §2.4 of the SDS-Sort paper), instead makes
+//!    a candidate *more* useful here: the heavier the key, the wider the
+//!    interval of positions it can hit. This mirrors how SDS-Sort's
+//!    skew-aware partition splits replicated runs, applied to HSS's
+//!    histogram refinement.
+//! 2. **A deterministic exact fallback.** If a target position is still
+//!    outside tolerance after `max_rounds` (degenerate sampling luck),
+//!    the exact boundary key is found with
+//!    [`sdssort::selection::kth_smallest_key`] — so the `(1+ε)` bound is
+//!    a postcondition, not a hope. The splitter-quality suite asserts it
+//!    across the whole skew matrix.
+//!
+//! Sampling is seeded xorshift (per rank), histogramming is one
+//! `allreduce` per round, the exchange is a synchronous rank-order
+//! `alltoallv`, ties split by global rank order, and the final merge
+//! breaks ties toward lower source ranks: output is bit-identical across
+//! the sim/threads/sockets backends.
+
+use crate::{charged, collective_alloc};
+use comm::Communicator;
+use sdssort::merge::kway_merge_offsets;
+use sdssort::search::{lower_bound, upper_bound};
+use sdssort::selection::kth_smallest_key;
+use sdssort::stats::SortStats;
+use sdssort::{ComputeCharge, SortError, SortOutput, Sortable};
+
+/// HSS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HssConfig {
+    /// Part-size guarantee: every part of the final partition is at most
+    /// `(1+ε)` times the ideal `N/p` (plus integer rounding).
+    pub eps: f64,
+    /// Candidate keys sampled per rank per histogram round.
+    pub samples_per_round: usize,
+    /// Histogram refinement rounds before the exact-selection fallback.
+    pub max_rounds: usize,
+    /// Compute charging (see [`ComputeCharge`]).
+    pub charge: ComputeCharge,
+    /// Seed for candidate sampling.
+    pub seed: u64,
+}
+
+impl Default for HssConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.1,
+            samples_per_round: 24,
+            max_rounds: 12,
+            charge: ComputeCharge::Measured,
+            seed: 0x4855_5353, // "HSS"
+        }
+    }
+}
+
+/// One partition boundary: records with key `< key` fall left, plus the
+/// first `take_equal` duplicates of `key` in global rank order. `position`
+/// is the realized global rank of the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HssCut<K> {
+    /// Boundary key.
+    pub key: K,
+    /// Duplicates of `key` (global rank order) that fall left.
+    pub take_equal: u64,
+    /// Realized global boundary position, `lower(key) + take_equal`.
+    pub position: u64,
+}
+
+/// xorshift64* — deterministic candidate sampling without an RNG crate
+/// dependency (same generator as `sdssort::histogram`).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Best candidate so far for one target: key, its global `[lower, upper]`
+/// rank interval, and its distance to the target (0 when the target lies
+/// inside the interval).
+#[derive(Clone, Copy)]
+struct Best<K> {
+    key: K,
+    lo: u64,
+    hi: u64,
+    err: u64,
+}
+
+fn interval_err(lo: u64, hi: u64, target: u64) -> u64 {
+    if target < lo {
+        lo - target
+    } else {
+        target.saturating_sub(hi)
+    }
+}
+
+/// Select the `parts-1` partition boundaries over the distributed, locally
+/// sorted `data` by iterative histogramming with tie-splitting. Returns
+/// identical cuts on every rank, with every realized `position` within
+/// `⌊ε·(N/parts)/2⌋` of its ideal target — by refinement when sampling
+/// converges, by exact selection when it does not.
+pub fn hss_splitters<T: Sortable, C: Communicator>(
+    comm: &C,
+    data: &[T],
+    parts: usize,
+    cfg: &HssConfig,
+) -> Vec<HssCut<T::Key>> {
+    debug_assert!(sdssort::merge::is_sorted_by_key(data));
+    let total = comm.allreduce(data.len() as u64, |a, b| a + b);
+    let want = parts.saturating_sub(1);
+    if want == 0 || total == 0 {
+        return Vec::new();
+    }
+    let targets: Vec<u64> = (1..parts)
+        .map(|i| i as u64 * total / parts as u64)
+        .collect();
+    let ideal = total as f64 / parts as f64;
+    let tol = (cfg.eps.max(0.0) * ideal / 2.0).floor() as u64;
+
+    let mut best: Vec<Option<Best<T::Key>>> = vec![None; want];
+    let mut rng = (cfg.seed ^ 0x4157_0002 ^ ((comm.rank() as u64) << 17)) | 1;
+
+    for round in 0..cfg.max_rounds {
+        // Sample candidates from local data (plus the extremes on the
+        // first round so every rank contributes structure).
+        let mut mine: Vec<T::Key> = Vec::with_capacity(cfg.samples_per_round + 2);
+        if !data.is_empty() {
+            for _ in 0..cfg.samples_per_round {
+                let idx = (xorshift(&mut rng) % data.len() as u64) as usize;
+                mine.push(data[idx].key());
+            }
+            if round == 0 {
+                mine.push(data[0].key());
+                mine.push(data[data.len() - 1].key());
+            }
+        }
+        let (mut candidates, _) = comm.allgatherv(&mine);
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            break;
+        }
+        // One reduction gives every candidate's global [lower, upper]
+        // rank interval: the positions a tie-split at it can realize.
+        let local: Vec<u64> = candidates
+            .iter()
+            .flat_map(|&c| [lower_bound(data, c) as u64, upper_bound(data, c) as u64])
+            .collect();
+        let global = comm.allreduce(local, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
+        for (t, &target) in targets.iter().enumerate() {
+            for (c, &cand) in candidates.iter().enumerate() {
+                let (lo, hi) = (global[2 * c], global[2 * c + 1]);
+                let err = interval_err(lo, hi, target);
+                let better = match &best[t] {
+                    None => true,
+                    Some(b) => err < b.err,
+                };
+                if better {
+                    best[t] = Some(Best {
+                        key: cand,
+                        lo,
+                        hi,
+                        err,
+                    });
+                }
+            }
+        }
+        if best.iter().all(|b| matches!(b, Some(b) if b.err <= tol)) {
+            break;
+        }
+    }
+
+    // Deterministic exact fallback for any still-unmet target: select the
+    // exact boundary key, then rank it with one more reduction.
+    for (t, &target) in targets.iter().enumerate() {
+        let met = matches!(&best[t], Some(b) if b.err <= tol);
+        let any_unmet = comm.allreduce(u8::from(!met), |a, b| a.max(b)) > 0;
+        if !any_unmet {
+            continue;
+        }
+        // (The decision above is an allreduce over replicated state, so
+        // every rank takes this branch together.)
+        let key = kth_smallest_key(comm, data, target);
+        let local = [lower_bound(data, key) as u64, upper_bound(data, key) as u64];
+        let global = comm.allreduce(local.to_vec(), |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        });
+        best[t] = Some(Best {
+            key,
+            lo: global[0],
+            hi: global[1],
+            err: 0,
+        });
+    }
+
+    // Realize each boundary as close to its target as the chosen key
+    // allows, then enforce monotone positions (replicated computation:
+    // identical fix-ups everywhere).
+    let mut cuts: Vec<HssCut<T::Key>> = Vec::with_capacity(want);
+    let mut prev_pos = 0u64;
+    for (t, &target) in targets.iter().enumerate() {
+        let b = best[t].expect("every target was ranked (fallback is exact)");
+        let pos = target.clamp(b.lo, b.hi).max(prev_pos);
+        let take = pos.saturating_sub(b.lo).min(b.hi.saturating_sub(b.lo));
+        let cut = HssCut {
+            key: b.key,
+            take_equal: take,
+            position: b.lo + take,
+        };
+        if let Some(last) = cuts.last().copied() {
+            if cut.position < last.position {
+                cuts.push(last);
+                prev_pos = last.position;
+                continue;
+            }
+        }
+        prev_pos = cut.position;
+        cuts.push(cut);
+    }
+    cuts
+}
+
+/// This rank's local cut indices for the replicated `cuts`: for each
+/// boundary, local records below the key plus this rank's share of the
+/// tie split (duplicates are taken from ranks in ascending rank order).
+/// Returns `cuts.len()` indices into the locally sorted `data`.
+fn local_cuts<T: Sortable, C: Communicator>(
+    comm: &C,
+    data: &[T],
+    cuts: &[HssCut<T::Key>],
+) -> Vec<usize> {
+    if cuts.is_empty() {
+        return Vec::new();
+    }
+    // Global exscan of per-boundary equal-run lengths gives each rank its
+    // offset into the tie split.
+    let equals: Vec<u64> = cuts
+        .iter()
+        .map(|c| (upper_bound(data, c.key) - lower_bound(data, c.key)) as u64)
+        .collect();
+    let offsets = comm
+        .exscan(equals.clone(), |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        })
+        .unwrap_or_else(|| vec![0; cuts.len()]);
+    let mut out = Vec::with_capacity(cuts.len());
+    let mut prev = 0usize;
+    for (i, cut) in cuts.iter().enumerate() {
+        let below = lower_bound(data, cut.key);
+        let my_take = cut.take_equal.saturating_sub(offsets[i]).min(equals[i]) as usize;
+        let idx = below
+            .checked_add(my_take)
+            .expect("cut index below + my_take <= data.len()")
+            .max(prev);
+        debug_assert!(idx <= data.len());
+        out.push(idx);
+        prev = idx;
+    }
+    out
+}
+
+/// Sort `data` across `comm` with Histogram Sort with Sampling. Unstable
+/// between ranks only in the sense of sample sort: equal keys are ordered
+/// by source rank (the tie split is by global rank order), and the merge
+/// breaks ties toward lower sources, so the output is deterministic.
+/// Fails collectively with [`SortError`] when any rank's receive buffer
+/// exceeds the (simulated) memory budget.
+pub fn hss_sort<T: Sortable, C: Communicator>(
+    comm: &C,
+    mut data: Vec<T>,
+    cfg: &HssConfig,
+) -> Result<SortOutput<T>, SortError> {
+    let t0 = comm.now();
+    let mut stats = SortStats {
+        input_count: data.len(),
+        ..SortStats::default()
+    };
+    comm.trace_phase("local-sort");
+    let n0 = data.len();
+    charged(
+        comm,
+        cfg.charge,
+        |m| m.sort_cost(n0),
+        || data.sort_unstable_by_key(|r| r.key()),
+    );
+    stats.local_order_s += comm.now() - t0;
+    let p = comm.size();
+    if p == 1 {
+        stats.recv_count = data.len();
+        return Ok(SortOutput { data, stats });
+    }
+
+    comm.trace_phase("hss-pivot");
+    let t1 = comm.now();
+    let cuts = hss_splitters(comm, &data, p, cfg);
+    let idx = local_cuts(comm, &data, &cuts);
+    stats.pivot_s += comm.now() - t1;
+
+    comm.trace_phase("hss-exchange");
+    let t2 = comm.now();
+    let mut send = Vec::with_capacity(p);
+    let mut prev = 0usize;
+    for &i in &idx {
+        send.push(i - prev);
+        prev = i;
+    }
+    send.push(data.len() - prev);
+    // Degenerate inputs can yield fewer cuts than p-1 boundaries; the
+    // remaining ranks receive nothing.
+    send.resize(p, 0);
+    let recv = comm.alltoall(&send);
+    let m: usize = recv.iter().sum();
+    let bytes = m * std::mem::size_of::<T>();
+    collective_alloc(comm, bytes)?;
+    let buf = comm.alltoallv_given_counts(&data, &send, &recv);
+    drop(data);
+    stats.exchange_s += comm.now() - t2;
+
+    let t3 = comm.now();
+    let mut disp = Vec::with_capacity(p + 1);
+    disp.push(0usize);
+    for &r in &recv {
+        disp.push(disp.last().copied().unwrap_or(0) + r);
+    }
+    let out = charged(
+        comm,
+        cfg.charge,
+        |mo| mo.kway_merge_cost(m, p),
+        || kway_merge_offsets(&buf, &disp),
+    );
+    drop(buf);
+    comm.free(bytes);
+    stats.local_order_s += comm.now() - t3;
+    stats.recv_count = out.len();
+    Ok(SortOutput { data: out, stats })
+}

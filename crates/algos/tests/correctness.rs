@@ -1,0 +1,284 @@
+//! Correctness suite for the peer algorithms on the virtual-time
+//! simulator: global sortedness, permutation (no record lost or
+//! invented), multi-level recursion, the `τm` node-merge path, the HSS
+//! `(1+ε)` part-size guarantee across the skew matrix, and collective
+//! OOM behavior. Cross-backend bit-equality lives in the workspace-level
+//! `backend_equivalence` suite.
+
+use algos::{ams_sort, hss_sort, hss_splitters, AmsConfig, HssConfig};
+use mpisim::{NetModel, World};
+use workloads::keys_by_name;
+
+fn world(p: usize) -> World {
+    World::new(p).cores_per_node(4).net(NetModel::zero())
+}
+
+/// The skew matrix: uniform, moderate and heavy Zipf, the staircase of
+/// duplication levels, heavy hitters, and a single repeated key.
+const WORKLOADS: [&str; 6] = [
+    "uniform",
+    "zipf:1.05",
+    "zipf:1.8",
+    "staircase:4",
+    "adversarial",
+    "identical",
+];
+
+fn keys(name: &str, n: usize, seed: u64, rank: usize) -> Vec<u64> {
+    if name == "identical" {
+        return workloads::all_equal(n, 42);
+    }
+    keys_by_name(name, n, seed, rank).expect("workload name from the fixed matrix")
+}
+
+/// Assert the per-rank outputs, concatenated in rank order, are globally
+/// sorted and a permutation of the inputs.
+fn assert_sorted_permutation(inputs: &[Vec<u64>], outputs: &[Vec<u64>]) {
+    let flat: Vec<u64> = outputs.iter().flatten().copied().collect();
+    assert!(flat.windows(2).all(|w| w[0] <= w[1]), "globally sorted");
+    let mut expect: Vec<u64> = inputs.iter().flatten().copied().collect();
+    expect.sort_unstable();
+    assert_eq!(flat, expect, "permutation of the input");
+}
+
+#[test]
+fn ams_sorts_the_skew_matrix() {
+    let p = 8;
+    for name in WORKLOADS {
+        let report = world(p).run(move |comm| {
+            let data = keys(name, 600, 11, comm.rank());
+            let out = ams_sort(comm, data.clone(), &AmsConfig::default()).expect("no budget set");
+            (data, out.data)
+        });
+        let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_sorted_permutation(&ins, &outs);
+    }
+}
+
+#[test]
+fn ams_recurses_multi_level() {
+    // kmax=2 at p=8 forces three levels of 2-way splits; the result must
+    // still be exact.
+    let p = 8;
+    let mut cfg = AmsConfig::default();
+    cfg.kmax = 2;
+    let report = world(p).run(move |comm| {
+        let data = keys("zipf:1.3", 500, 23, comm.rank());
+        let out = ams_sort(comm, data.clone(), &cfg).expect("no budget set");
+        (data, out.data)
+    });
+    let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+    assert_sorted_permutation(&ins, &outs);
+}
+
+#[test]
+fn ams_node_merge_path_engages_and_stays_correct() {
+    // A huge τm forces the node-merge prelude: node-local ranks gather to
+    // their leader, and only leaders run the multi-level exchange.
+    let p = 8;
+    let mut cfg = AmsConfig::default();
+    cfg.tau_m_bytes = usize::MAX;
+    let report = world(p).run(move |comm| {
+        let data = keys("staircase:4", 300, 7, comm.rank());
+        let out = ams_sort(comm, data.clone(), &cfg).expect("no budget set");
+        (data, out.data, out.stats.node_merged)
+    });
+    let merged = report.results.iter().any(|(_, _, m)| *m);
+    assert!(merged, "tau_m = MAX must engage the node merge");
+    let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().map(|(i, o, _)| (i, o)).unzip();
+    assert_sorted_permutation(&ins, &outs);
+}
+
+#[test]
+fn ams_deterministic_across_runs() {
+    let p = 8;
+    let run = || {
+        world(p)
+            .run(|comm| {
+                let data = keys("zipf:1.5", 400, 3, comm.rank());
+                ams_sort(comm, data, &AmsConfig::default())
+                    .expect("no budget set")
+                    .data
+            })
+            .results
+    };
+    assert_eq!(run(), run(), "bit-identical per-rank outputs");
+}
+
+#[test]
+fn ams_tiny_and_empty_inputs() {
+    let p = 8;
+    for n in [0usize, 1, 3] {
+        let report = world(p).run(move |comm| {
+            let data = keys("uniform", n, 2, comm.rank());
+            let out = ams_sort(comm, data.clone(), &AmsConfig::default()).expect("no budget set");
+            (data, out.data)
+        });
+        let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_sorted_permutation(&ins, &outs);
+    }
+}
+
+#[test]
+fn hss_sorts_the_skew_matrix() {
+    let p = 8;
+    for name in WORKLOADS {
+        let report = world(p).run(move |comm| {
+            let data = keys(name, 600, 17, comm.rank());
+            let out = hss_sort(comm, data.clone(), &HssConfig::default()).expect("no budget set");
+            (data, out.data)
+        });
+        let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_sorted_permutation(&ins, &outs);
+    }
+}
+
+#[test]
+fn hss_part_sizes_within_one_plus_eps() {
+    // The headline HSS guarantee: every part of the final partition is at
+    // most (1+ε)·(N/p) — *including* under total duplication, where
+    // value-only splitters cannot achieve any bound at all. `recv_count`
+    // is exactly the realized part size. The +2 absorbs the integer
+    // rounding of targets (⌊iN/p⌋) and of the tolerance.
+    let p = 8;
+    let n = 600usize;
+    let eps = 0.1;
+    for name in WORKLOADS {
+        let mut cfg = HssConfig::default();
+        cfg.eps = eps;
+        let report = world(p).run(move |comm| {
+            let data = keys(name, n, 29, comm.rank());
+            hss_sort(comm, data, &cfg)
+                .expect("no budget set")
+                .stats
+                .recv_count
+        });
+        let total: usize = n * p;
+        let ideal = total as f64 / p as f64;
+        let bound = ((1.0 + eps) * ideal).floor() as usize + 2;
+        for (rank, &part) in report.results.iter().enumerate() {
+            assert!(
+                part <= bound,
+                "{name}: part on rank {rank} is {part} > (1+eps)*ideal bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hss_splitters_hit_targets_within_tolerance() {
+    // Stronger than the part-size bound: every realized boundary position
+    // is within tol = ⌊ε·ideal/2⌋ of its ideal target ⌊iN/p⌋, whether by
+    // histogram refinement or by the exact-selection fallback.
+    let p = 8;
+    let n = 600usize;
+    let eps = 0.1;
+    for name in WORKLOADS {
+        let mut cfg = HssConfig::default();
+        cfg.eps = eps;
+        let report = world(p).run(move |comm| {
+            let data = {
+                let mut d = keys(name, n, 31, comm.rank());
+                d.sort_unstable();
+                d
+            };
+            hss_splitters(comm, &data, comm.size(), &cfg)
+        });
+        let total = (n * p) as u64;
+        let ideal = total as f64 / p as f64;
+        let tol = (eps * ideal / 2.0).floor() as u64;
+        let first = &report.results[0];
+        assert_eq!(first.len(), p - 1, "{name}: one cut per boundary");
+        for cuts in &report.results {
+            assert_eq!(cuts, first, "{name}: cuts replicated on every rank");
+        }
+        for (i, cut) in first.iter().enumerate() {
+            let target = (i as u64 + 1) * total / p as u64;
+            let err = cut.position.abs_diff(target);
+            assert!(
+                err <= tol,
+                "{name}: boundary {i} realized {} vs target {target} (err {err} > tol {tol})",
+                cut.position
+            );
+        }
+    }
+}
+
+#[test]
+fn hss_forced_fallback_is_exact() {
+    // Zero histogram rounds: every boundary must come from the exact
+    // kth_smallest_key fallback, so positions hit targets with err 0.
+    let p = 8;
+    let n = 500usize;
+    let mut cfg = HssConfig::default();
+    cfg.max_rounds = 0;
+    let report = world(p).run(move |comm| {
+        let data = {
+            let mut d = keys("zipf:1.8", n, 41, comm.rank());
+            d.sort_unstable();
+            d
+        };
+        hss_splitters(comm, &data, comm.size(), &cfg)
+    });
+    let total = (n * p) as u64;
+    for cuts in &report.results {
+        for (i, cut) in cuts.iter().enumerate() {
+            let target = (i as u64 + 1) * total / p as u64;
+            assert_eq!(cut.position, target, "boundary {i} exact under fallback");
+        }
+    }
+}
+
+#[test]
+fn hss_deterministic_across_runs() {
+    let p = 8;
+    let run = || {
+        world(p)
+            .run(|comm| {
+                let data = keys("adversarial", 400, 5, comm.rank());
+                hss_sort(comm, data, &HssConfig::default())
+                    .expect("no budget set")
+                    .data
+            })
+            .results
+    };
+    assert_eq!(run(), run(), "bit-identical per-rank outputs");
+}
+
+#[test]
+fn hss_tiny_and_empty_inputs() {
+    let p = 8;
+    for n in [0usize, 1, 3] {
+        let report = world(p).run(move |comm| {
+            let data = keys("uniform", n, 2, comm.rank());
+            let out = hss_sort(comm, data.clone(), &HssConfig::default()).expect("no budget set");
+            (data, out.data)
+        });
+        let (ins, outs): (Vec<_>, Vec<_>) = report.results.into_iter().unzip();
+        assert_sorted_permutation(&ins, &outs);
+    }
+}
+
+#[test]
+fn both_fail_collectively_under_memory_pressure() {
+    // A budget far below the receive volume must fail on every rank —
+    // either locally (Oom) or in sympathy (PeerOom) — never deadlock or
+    // succeed partially.
+    let p = 4;
+    for algo in ["ams", "hss"] {
+        let report = World::new(p)
+            .cores_per_node(2)
+            .net(NetModel::zero())
+            .memory_budget(64)
+            .run(move |comm| {
+                let data = keys("uniform", 1000, 9, comm.rank());
+                match algo {
+                    "ams" => ams_sort(comm, data, &AmsConfig::default()).map(|o| o.data),
+                    _ => hss_sort(comm, data, &HssConfig::default()).map(|o| o.data),
+                }
+            });
+        for (rank, r) in report.results.iter().enumerate() {
+            assert!(r.is_err(), "{algo}: rank {rank} must report the OOM");
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //! overflows a rank's memory. The per-rank budget here is set between
 //! SDS-Sort's `O(4N/p)`-bounded footprint and HykSort's `δ·N + N/p`
 //! concentration, exactly the regime of the paper's 64 GB nodes.
+//!
+//! The AMS-sort and HSS peers (`crates/algos`) ride along as context
+//! columns; the full 4-way comparison lives in `shootout_pr10`.
 
 use bench::{by_scale, fmt_opt_time, header, model, run_sorter, verdict, Sorter, Table};
 use workloads::{zipf_keys, PAPER_ALPHA_DELTA_TABLE2};
@@ -30,20 +33,37 @@ fn main() {
     );
     let m = model();
 
-    let mut table = Table::new(["δ (%)", "alpha", "HykSort", "SDS-Sort", "SDS-Sort/stable"]);
+    let mut table = Table::new([
+        "δ (%)",
+        "alpha",
+        "HykSort",
+        "SDS-Sort",
+        "SDS-Sort/stable",
+        "AMS-sort",
+        "HSS",
+    ]);
     let mut hyk_fails_high = false;
     let mut hyk_ok_low = false;
     let mut sds_all_ok = true;
     for &(alpha, delta) in &PAPER_ALPHA_DELTA_TABLE2 {
-        let times: Vec<Option<f64>> = [Sorter::HykSort, Sorter::Sds, Sorter::SdsStable]
-            .into_iter()
-            .map(|s| {
-                run_sorter(s, p, Some(budget), m, move |r| {
-                    zipf_keys(n_rank, alpha, 0x6C, r)
-                })
-                .time_s
+        // AMS and HSS (crates/algos) ride along as context columns: both
+        // split ties by position, so like the SDS variants they should
+        // survive every δ — the verdict still hinges on HykSort vs SDS.
+        let times: Vec<Option<f64>> = [
+            Sorter::HykSort,
+            Sorter::Sds,
+            Sorter::SdsStable,
+            Sorter::Ams,
+            Sorter::Hss,
+        ]
+        .into_iter()
+        .map(|s| {
+            run_sorter(s, p, Some(budget), m, move |r| {
+                zipf_keys(n_rank, alpha, 0x6C, r)
             })
-            .collect();
+            .time_s
+        })
+        .collect();
         if times[0].is_some() && delta <= 0.5 {
             hyk_ok_low = true;
         }
@@ -59,6 +79,8 @@ fn main() {
             fmt_opt_time(times[0]),
             fmt_opt_time(times[1]),
             fmt_opt_time(times[2]),
+            fmt_opt_time(times[3]),
+            fmt_opt_time(times[4]),
         ]);
     }
     table.print();

@@ -4,7 +4,12 @@
 //! Usage: sortcli [OPTIONS]
 //!
 //!   --sorter   sds | sds-stable | hyksort | samplesort | bitonic | radix
-//!   --workload uniform | zipf:<alpha> | ptf-like | adversarial
+//!              | ams | hss        (`--algo` is an alias for `--sorter`;
+//!                                  `ams` is multi-level AMS-sort and `hss`
+//!                                  is Histogram Sort with Sampling, both
+//!                                  from crates/algos)
+//!   --workload uniform | zipf:<alpha> | staircase[:<steps>] | ptf-like
+//!              | adversarial
 //!   --backend  sim | threads | sockets
 //!                                  (default sim). `sim` runs on the
 //!                                  deterministic virtual-time simulator;
@@ -13,7 +18,8 @@
 //!                                  each rank as a real OS *process*
 //!                                  connected by sockets (crates/sockcomm).
 //!                                  Both real backends report wall-clock
-//!                                  times and support the sds sorters;
+//!                                  times and support the transport-generic
+//!                                  sorters (sds, sds-stable, ams, hss);
 //!                                  fault injection, memory budgets,
 //!                                  tracing and resilience are
 //!                                  simulator-only
@@ -122,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--sorter" => args.sorter = take(&mut i)?,
+            "--sorter" | "--algo" => args.sorter = take(&mut i)?,
             "--workload" => args.workload = take(&mut i)?,
             "--backend" => args.backend = take(&mut i)?,
             "--transport" => args.transport = take(&mut i)?,
@@ -195,6 +201,31 @@ fn sds_cfg(args: &Args) -> Option<SdsConfig> {
     }
 }
 
+/// Whether this sorter is generic over `comm::Communicator` and therefore
+/// runs on the threads and sockets backends (the baselines are
+/// simulator-only).
+fn transport_generic(sorter: &str) -> bool {
+    matches!(sorter, "sds" | "sds-stable" | "ams" | "hss")
+}
+
+/// Dispatch a transport-generic sorter on any backend. The baselines never
+/// reach here — `main` validates the sorter/backend combination first.
+fn run_generic<C: comm::Communicator>(
+    args: &Args,
+    comm: &C,
+    input: Vec<u64>,
+) -> Result<sdssort::SortOutput<u64>, SortError> {
+    match args.sorter.as_str() {
+        "sds" | "sds-stable" => {
+            let cfg = sds_cfg(args).expect("sds sorter");
+            sds_sort(comm, input, &cfg)
+        }
+        "ams" => algos::ams_sort(comm, input, &algos::AmsConfig::default()),
+        "hss" => algos::hss_sort(comm, input, &algos::HssConfig::default()),
+        other => panic!("sorter {other} is not transport-generic (validated before launch)"),
+    }
+}
+
 /// Keys for one rank — the shared by-name dispatch, so the CLI, the
 /// service, and the harnesses all agree on what `zipf:0.8` means.
 fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>, String> {
@@ -220,8 +251,7 @@ fn sockets_rank_entry(comm: &sockcomm::SockComm, _params: u64) -> SocketsRankRes
     let args = parse_args().expect("parent validated this argv before launching");
     let input = gen_keys(&args.workload, args.records, args.seed, comm.rank())
         .expect("workload validated before launch");
-    let cfg = sds_cfg(&args).expect("sds sorter validated before launch");
-    let o = sds_sort(comm, input.clone(), &cfg).expect("sort failed on sockets rank");
+    let o = run_generic(&args, comm, input.clone()).expect("sort failed on sockets rank");
     let sorted = is_globally_sorted(comm, &o.data);
     let permutation = is_permutation_of(comm, &input, &o.data, |&k| k);
     (
@@ -236,7 +266,8 @@ fn sockets_rank_entry(comm: &sockcomm::SockComm, _params: u64) -> SocketsRankRes
     )
 }
 
-/// Run the sds sorter with one OS process per rank over real sockets.
+/// Run a transport-generic sorter with one OS process per rank over
+/// real sockets.
 fn run_sorter_sockets(
     a: &Args,
     transport: sockcomm::Transport,
@@ -247,9 +278,8 @@ fn run_sorter_sockets(
         .run::<u64, SocketsRankResult>(SOCKETS_SORT_ENTRY, &0)
 }
 
-/// Run the sds sorter for real on the threads backend (one OS thread per
-/// rank, wall-clock timing). Only the sds sorters are generic over the
-/// transport; baselines stay simulator-only.
+/// Run a transport-generic sorter for real on the threads backend (one OS
+/// thread per rank, wall-clock timing); baselines stay simulator-only.
 fn run_sorter_threads(a: &Args) -> shmem::ThreadReport<RankResult> {
     use comm::Communicator;
     let a2 = a.clone();
@@ -259,8 +289,7 @@ fn run_sorter_threads(a: &Args) -> shmem::ThreadReport<RankResult> {
         .run(move |comm| -> RankResult {
             let input = gen_keys(&a2.workload, a2.records, a2.seed, comm.rank())
                 .expect("workload validated before launch");
-            let cfg = sds_cfg(&a2).expect("sds sorter validated before launch");
-            let o = sds_sort(comm, input.clone(), &cfg)?;
+            let o = run_generic(&a2, comm, input.clone())?;
             let sorted = is_globally_sorted(comm, &o.data);
             let permutation = is_permutation_of(comm, &input, &o.data, |&k| k);
             Ok((sorted, permutation, o.data.len(), o.stats))
@@ -323,6 +352,14 @@ fn run_sorter(a: &Args) -> Result<(RankResult, mpisim::runtime::WorldReport<Rank
                     let out = baselines::bitonic_sort(comm, input.clone());
                     (out, sdssort::SortStats::default())
                 }
+                "ams" => {
+                    let o = algos::ams_sort(comm, input.clone(), &algos::AmsConfig::default())?;
+                    (o.data, o.stats)
+                }
+                "hss" => {
+                    let o = algos::hss_sort(comm, input.clone(), &algos::HssConfig::default())?;
+                    (o.data, o.stats)
+                }
                 other => panic!("unknown sorter {other} (validated before launch)"),
             };
             let sorted = is_globally_sorted(comm, &out);
@@ -370,7 +407,7 @@ fn main() -> ExitCode {
         };
     }
     match args.sorter.as_str() {
-        "sds" | "sds-stable" | "hyksort" | "samplesort" | "bitonic" | "radix" => {}
+        "sds" | "sds-stable" | "hyksort" | "samplesort" | "bitonic" | "radix" | "ams" | "hss" => {}
         other => {
             eprintln!("error: unknown sorter {other}");
             return ExitCode::from(2);
@@ -431,11 +468,17 @@ fn main() -> ExitCode {
     }
     if args.backend == "threads" || args.backend == "sockets" {
         let backend = &args.backend;
-        if sds_cfg(&args).is_none() {
+        if !transport_generic(&args.sorter) {
             eprintln!(
-                "error: the {backend} backend supports the sds sorters only \
-                 (the baselines run on the simulator; drop --backend {backend})"
+                "error: the {backend} backend supports the transport-generic sorters only \
+                 (sds, sds-stable, ams, hss); {} runs on the simulator — \
+                 drop --backend {backend}",
+                args.sorter
             );
+            return ExitCode::from(2);
+        }
+        if args.oversample != 1 && sds_cfg(&args).is_none() {
+            eprintln!("error: --oversample applies to the sds sorters only");
             return ExitCode::from(2);
         }
         let simulator_only = [

@@ -71,6 +71,10 @@ pub enum Sorter {
     SdsStable,
     /// HykSort baseline.
     HykSort,
+    /// Multi-level AMS-sort peer (`crates/algos`).
+    Ams,
+    /// Histogram Sort with Sampling peer (`crates/algos`).
+    Hss,
 }
 
 impl Sorter {
@@ -80,7 +84,38 @@ impl Sorter {
             Sorter::Sds => "SDS-Sort",
             Sorter::SdsStable => "SDS-Sort/stable",
             Sorter::HykSort => "HykSort",
+            Sorter::Ams => "AMS-sort",
+            Sorter::Hss => "HSS",
         }
+    }
+
+    /// Stable wire code for the sockets bench entry (process boundary).
+    pub fn code(self) -> u8 {
+        match self {
+            Sorter::Sds => 0,
+            Sorter::SdsStable => 1,
+            Sorter::HykSort => 2,
+            Sorter::Ams => 3,
+            Sorter::Hss => 4,
+        }
+    }
+
+    /// Inverse of [`Sorter::code`].
+    pub fn from_code(code: u8) -> Option<Sorter> {
+        match code {
+            0 => Some(Sorter::Sds),
+            1 => Some(Sorter::SdsStable),
+            2 => Some(Sorter::HykSort),
+            3 => Some(Sorter::Ams),
+            4 => Some(Sorter::Hss),
+            _ => None,
+        }
+    }
+
+    /// Whether this sorter is generic over [`comm::Communicator`] and so
+    /// runs on the threads and sockets backends, not just the simulator.
+    pub fn transport_generic(self) -> bool {
+        !matches!(self, Sorter::HykSort)
     }
 }
 
@@ -200,31 +235,55 @@ where
     }
 }
 
-/// Run an SDS sorter for real on the threads backend (`crates/shmem`):
-/// one OS thread per rank, wall-clock timing. `time_s` in the outcome is
-/// the measured wall clock of the whole world, so weak-scaling sweeps
-/// report real seconds. Only [`Sorter::Sds`] and [`Sorter::SdsStable`]
-/// are transport-generic; the baselines are simulator-only.
+/// Dispatch a transport-generic sorter (SDS fast/stable, AMS, HSS) on any
+/// [`comm::Communicator`] backend with *measured* compute charging and the
+/// same τ knobs as the simulator harnesses (`τm = 0`, `τo = 16`, `τs = 8`)
+/// so cross-backend sweeps compare identical algorithm configurations.
 ///
-/// The τ knobs match the simulator harnesses (`τm = 0`, `τo = 16`,
-/// `τs = 8`) so cross-backend sweeps compare the same algorithm
-/// configuration; compute is measured, not modeled.
+/// # Panics
+/// Panics for [`Sorter::HykSort`], which is simulator-only — callers gate
+/// on [`Sorter::transport_generic`].
+pub fn run_one_measured<T: Sortable, C: comm::Communicator>(
+    sorter: Sorter,
+    comm: &C,
+    data: Vec<T>,
+) -> Result<SortOutput<T>, SortError> {
+    match sorter {
+        Sorter::Sds | Sorter::SdsStable => {
+            let mut cfg = if sorter == Sorter::SdsStable {
+                SdsConfig::stable()
+            } else {
+                SdsConfig::default()
+            };
+            cfg.tau_m_bytes = 0;
+            cfg.tau_o = 16;
+            cfg.tau_s = 8;
+            sds_sort(comm, data, &cfg)
+        }
+        Sorter::Ams => algos::ams_sort(comm, data, &algos::AmsConfig::default()),
+        Sorter::Hss => algos::hss_sort(comm, data, &algos::HssConfig::default()),
+        Sorter::HykSort => panic!("HykSort is simulator-only, not transport-generic"),
+    }
+}
+
+/// Run a transport-generic sorter for real on the threads backend
+/// (`crates/shmem`): one OS thread per rank, wall-clock timing. `time_s`
+/// in the outcome is the measured wall clock of the whole world, so
+/// weak-scaling sweeps report real seconds. SDS fast/stable, AMS and HSS
+/// run here; the HykSort baseline is simulator-only
+/// (see [`run_one_measured`]).
 pub fn run_sorter_threads<T, G>(sorter: Sorter, p: usize, gen: G) -> RunOutcome
 where
     T: Sortable,
     G: Fn(usize) -> Vec<T> + Send + Sync,
 {
-    let mut cfg = match sorter {
-        Sorter::Sds => SdsConfig::default(),
-        Sorter::SdsStable => SdsConfig::stable(),
-        Sorter::HykSort => panic!("the threads backend runs the sds sorters only"),
-    };
-    cfg.tau_m_bytes = 0;
-    cfg.tau_o = 16;
-    cfg.tau_s = 8;
+    assert!(
+        sorter.transport_generic(),
+        "the threads backend runs the transport-generic sorters only (sds, sds-stable, ams, hss)"
+    );
     let report = shmem::ThreadWorld::new(p).cores_per_node(24).run(|comm| {
         use comm::Communicator;
-        sds_sort(comm, gen(comm.rank()), &cfg)
+        run_one_measured(sorter, comm, gen(comm.rank()))
     });
     let ok = report.results.iter().all(Result::is_ok);
     if !ok {
@@ -268,19 +327,12 @@ type SockBenchResult = (u64, f64, f64, f64, f64, f64, bool, bool);
 pub fn sockets_bench_child() {
     sockcomm::child_rank(
         SOCKETS_BENCH_ENTRY,
-        |comm, (stable, n_rank): (bool, u64)| -> SockBenchResult {
+        |comm, (code, n_rank): (u8, u64)| -> SockBenchResult {
             use comm::Communicator;
-            let mut cfg = if stable {
-                SdsConfig::stable()
-            } else {
-                SdsConfig::default()
-            };
-            cfg.tau_m_bytes = 0;
-            cfg.tau_o = 16;
-            cfg.tau_s = 8;
+            let sorter = Sorter::from_code(code).expect("sockets bench rank: bad sorter code");
             let data = workloads::uniform_u64(n_rank as usize, 0xF167, comm.rank());
             let t0 = Instant::now();
-            let o = sds_sort(comm, data, &cfg).expect("sockets bench rank: sort failed");
+            let o = run_one_measured(sorter, comm, data).expect("sockets bench rank: sort failed");
             (
                 o.data.len() as u64,
                 t0.elapsed().as_secs_f64(),
@@ -302,13 +354,14 @@ pub fn sockets_bench_child() {
 /// launcher's wall clock and additionally includes process spawn and
 /// rendezvous (see EXPERIMENTS.md).
 pub fn run_sorter_sockets(sorter: Sorter, p: usize, n_rank: usize) -> RunOutcome {
-    let stable = match sorter {
-        Sorter::Sds => false,
-        Sorter::SdsStable => true,
-        Sorter::HykSort => panic!("the sockets backend runs the sds sorters only"),
-    };
+    assert!(
+        sorter.transport_generic(),
+        "the sockets backend runs the transport-generic sorters only (sds, sds-stable, ams, hss)"
+    );
     let world = sockcomm::SocketWorld::new(p).cores_per_node(24);
-    match world.run::<(bool, u64), SockBenchResult>(SOCKETS_BENCH_ENTRY, &(stable, n_rank as u64)) {
+    match world
+        .run::<(u8, u64), SockBenchResult>(SOCKETS_BENCH_ENTRY, &(sorter.code(), n_rank as u64))
+    {
         Err(e) => {
             eprintln!("sockets bench world failed: {e}");
             RunOutcome {
@@ -380,6 +433,22 @@ fn run_one<T: Sortable>(
                 ..baselines::HykSortConfig::default()
             };
             baselines::hyksort(comm, data, &cfg)
+        }
+        Sorter::Ams => {
+            let cfg = algos::AmsConfig {
+                charge: ComputeCharge::Modeled(model),
+                // τm = 0 for the same per-rank-budget reason as SDS above.
+                tau_m_bytes: 0,
+                ..algos::AmsConfig::default()
+            };
+            algos::ams_sort(comm, data, &cfg)
+        }
+        Sorter::Hss => {
+            let cfg = algos::HssConfig {
+                charge: ComputeCharge::Modeled(model),
+                ..algos::HssConfig::default()
+            };
+            algos::hss_sort(comm, data, &cfg)
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod cosmology;
 pub mod partial;
 pub mod ptf;
 pub mod staggered;
+pub mod staircase;
 pub mod uniform;
 pub mod zipf;
 
@@ -39,6 +40,7 @@ pub use cosmology::{cosmology_particles, Particle};
 pub use partial::{interleaved_runs, nearly_sorted};
 pub use ptf::{ptf_scores, PtfObject};
 pub use staggered::{presplit, reversed, staggered};
+pub use staircase::{staircase, staircase_into, MAX_STAIRCASE_STEPS};
 pub use uniform::{uniform_f32, uniform_u32, uniform_u64, uniform_u64_into};
 pub use zipf::{zipf_keys, zipf_keys_into, ZipfGen, PAPER_ALPHA_DELTA_TABLE2};
 
@@ -46,10 +48,12 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Generate `n` `u64` keys for `rank` from a workload named on a command
-/// line or in a job spec: `uniform`, `zipf:<alpha>`, `ptf-like` (PTF
-/// scores mapped to their order-preserving bits), or `adversarial`
-/// (heavy-hitter duplicates). Shared by `sortcli` and the sort service so
-/// a job submitted by name reproduces exactly the keys a CLI run draws.
+/// line or in a job spec: `uniform`, `zipf:<alpha>`, `staircase` /
+/// `staircase:<steps>` (descending staircase of duplication levels,
+/// default 8 steps), `ptf-like` (PTF scores mapped to their
+/// order-preserving bits), or `adversarial` (heavy-hitter duplicates).
+/// Shared by `sortcli` and the sort service so a job submitted by name
+/// reproduces exactly the keys a CLI run draws.
 pub fn keys_by_name(name: &str, n: usize, seed: u64, rank: usize) -> Result<Vec<u64>, String> {
     let mut buf = Vec::with_capacity(n);
     fill_keys_by_name(name, &mut buf, n, seed, rank)?;
@@ -74,6 +78,20 @@ pub fn fill_keys_by_name(
     if let Some(alpha) = name.strip_prefix("zipf:") {
         let alpha: f64 = alpha.parse().map_err(|e| format!("zipf alpha: {e}"))?;
         zipf_keys_into(buf, n, alpha, seed, rank);
+        return Ok(());
+    }
+    if let Some(rest) = name.strip_prefix("staircase") {
+        let steps: u32 = match rest.strip_prefix(':') {
+            None if rest.is_empty() => 8,
+            Some(s) => s.parse().map_err(|e| format!("staircase steps: {e}"))?,
+            None => return Err(format!("unknown workload {name}")),
+        };
+        if steps == 0 || steps > MAX_STAIRCASE_STEPS {
+            return Err(format!(
+                "staircase steps must be in 1..={MAX_STAIRCASE_STEPS}, got {steps}"
+            ));
+        }
+        staircase_into(buf, n, steps, seed, rank);
         return Ok(());
     }
     if name == "ptf-like" {
@@ -110,6 +128,21 @@ pub fn replication_ratio_pct<K: Eq + Hash>(keys: impl IntoIterator<Item = K>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn staircase_by_name_matches_direct_call() {
+        assert_eq!(
+            keys_by_name("staircase", 300, 5, 2).expect("valid name"),
+            staircase(300, 8, 5, 2)
+        );
+        assert_eq!(
+            keys_by_name("staircase:4", 300, 5, 2).expect("valid name"),
+            staircase(300, 4, 5, 2)
+        );
+        assert!(keys_by_name("staircase:0", 10, 0, 0).is_err());
+        assert!(keys_by_name("staircase:64", 10, 0, 0).is_err());
+        assert!(keys_by_name("staircases", 10, 0, 0).is_err());
+    }
 
     #[test]
     fn replication_ratio_basics() {

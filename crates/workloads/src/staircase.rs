@@ -1,0 +1,109 @@
+//! Staircase skew — a descending staircase of duplication levels.
+//!
+//! The key space is split into `steps` plateaus of **equal sampling
+//! mass** whose widths *halve* step by step: step `i` draws uniformly
+//! from `2^(steps-1-i)` distinct values, so the per-key replication
+//! doubles at every step and the final plateau is a single key holding
+//! `1/steps` of all mass (δ ≈ `100/steps` %). The density plotted over
+//! the key space is a staircase: flat within a plateau, doubling at each
+//! boundary.
+//!
+//! This sits between `uniform` (every key rare) and `adversarial`
+//! (nearly all mass on one key): a duplicate-blind splitter can land a
+//! boundary *inside* any of the heavy plateaus, and the imbalance it
+//! eats grows smoothly with how deep into the staircase the boundary
+//! falls — which is exactly the knob the 4-way algorithm shoot-out
+//! sweeps. ROADMAP item 4 names it alongside uniform and Zipf.
+//!
+//! Deterministic in `(seed, rank)` like every generator in this crate.
+
+/// Maximum supported number of steps: plateau offsets are spaced
+/// `2^48` apart and plateau widths start at `2^(steps-1)`, so 32 keeps
+/// both well inside `u64`.
+pub const MAX_STAIRCASE_STEPS: u32 = 32;
+
+/// `n` keys for `rank` from a `steps`-level staircase (see module docs).
+/// Each step receives `≈ n/steps` of the mass; step `i` spans the
+/// `2^(steps-1-i)` keys starting at `i·2^48`.
+///
+/// # Panics
+/// If `steps` is 0 or exceeds [`MAX_STAIRCASE_STEPS`].
+pub fn staircase(n: usize, steps: u32, seed: u64, rank: usize) -> Vec<u64> {
+    let mut buf = Vec::with_capacity(n);
+    staircase_into(&mut buf, n, steps, seed, rank);
+    buf
+}
+
+/// Buffer-filling variant of [`staircase`]: appends the identical key
+/// stream to `buf` (the resident service recycles buffers between jobs).
+pub fn staircase_into(buf: &mut Vec<u64>, n: usize, steps: u32, seed: u64, rank: usize) {
+    assert!(
+        (1..=MAX_STAIRCASE_STEPS).contains(&steps),
+        "staircase steps must be in 1..={MAX_STAIRCASE_STEPS}, got {steps}"
+    );
+    buf.reserve(n);
+    let mut x = 0xA076_1D64_78BD_642Fu64 ^ seed ^ ((rank as u64) << 32) | 1;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let step = x % u64::from(steps);
+        let width = 1u64 << (u64::from(steps) - 1 - step);
+        let mut y = x;
+        y ^= y << 13;
+        y ^= y >> 7;
+        y ^= y << 17;
+        x = y;
+        buf.push((step << 48) + y % width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed_and_rank() {
+        assert_eq!(staircase(500, 8, 7, 3), staircase(500, 8, 7, 3));
+        assert_ne!(staircase(500, 8, 7, 3), staircase(500, 8, 7, 4));
+        assert_ne!(staircase(500, 8, 7, 3), staircase(500, 8, 8, 3));
+    }
+
+    #[test]
+    fn keys_live_in_their_plateaus() {
+        let steps = 8u32;
+        for key in staircase(2000, steps, 42, 0) {
+            let step = key >> 48;
+            assert!(step < u64::from(steps));
+            let width = 1u64 << (u64::from(steps) - 1 - step);
+            assert!(
+                key & ((1 << 48) - 1) < width,
+                "key {key:#x} outside plateau"
+            );
+        }
+    }
+
+    #[test]
+    fn last_plateau_concentrates_about_one_over_steps() {
+        let steps = 8u32;
+        let n = 40_000;
+        let keys = staircase(n, steps, 1, 0);
+        // The last plateau is a single key: its count is the most
+        // duplicated key's count, so δ ≈ 1/steps.
+        let top = keys
+            .iter()
+            .filter(|&&k| k == u64::from(steps - 1) << 48)
+            .count();
+        let frac = top as f64 / n as f64;
+        let want = 1.0 / f64::from(steps);
+        assert!(
+            (frac - want).abs() < want * 0.25,
+            "last-plateau mass {frac:.4}, expected ≈ {want:.4}"
+        );
+    }
+
+    #[test]
+    fn single_step_is_all_one_key() {
+        assert!(staircase(100, 1, 9, 2).iter().all(|&k| k == 0));
+    }
+}

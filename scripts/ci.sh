@@ -103,8 +103,25 @@ run cargo run --release -q "${CARGO_OPTS[@]}" -p bench --bin sortcli -- \
 
 # Backend equivalence: same seed => bit-identical sorted output on the
 # simulator, the threads backend, and the sockets backend (the PR 5
-# acceptance gate, extended to three columns in PR 8).
+# acceptance gate, extended to three columns in PR 8 and to the AMS-sort
+# and HSS peer algorithms in PR 10).
 run cargo test -q "${CARGO_OPTS[@]}" --test backend_equivalence
+
+# Peer-algorithm suite (crates/algos): AMS-sort and Histogram Sort with
+# Sampling correctness, the HSS (1+eps) part-size guarantee across the
+# skew matrix, and collective OOM behavior.
+run cargo test -q "${CARGO_OPTS[@]}" -p algos
+
+# 4-way skew shoot-out smoke at p=4: all five sorters must complete every
+# cell, HSS must honour its balance bound, and the emitted BENCH_pr10.json
+# must read back with the git_rev/backend meta and all sorter columns
+# (asserted inside the binary).
+run env BENCH_METRICS_OUT="$tmp/shootout" cargo run --release -q "${CARGO_OPTS[@]}" \
+    -p bench --bin shootout_pr10 -- --ranks 4
+test -s "$tmp/shootout/BENCH_pr10.json" || {
+    echo "ci: shootout_pr10 did not write BENCH_pr10.json" >&2
+    exit 1
+}
 
 # Resident-service smoke: the long-lived SortService (persistent rank
 # pool, bounded queue, arena reuse) must absorb a concurrent Zipf-sized

@@ -26,17 +26,55 @@
 use mpisim::{NetModel, World};
 use sdssort::{sds_sort, Record, SdsConfig, Tagged};
 use shmem::ThreadWorld;
-use workloads::{heavy_hitters, uniform_u64, zipf_keys};
+use workloads::{heavy_hitters, staircase, uniform_u64, zipf_keys};
 
 /// Workload matrix: name → per-rank generator (seeded, rank-dependent).
 fn gen_keys(workload: &str, n: usize, seed: u64, rank: usize) -> Vec<u64> {
     match workload {
         "uniform" => uniform_u64(n, seed, rank),
         "zipf" => zipf_keys(n, 1.2, seed, rank),
+        "staircase" => staircase(n, 4, seed, rank),
         "adversarial" => heavy_hitters(n, 2, 90.0, seed, rank),
         "identical" => vec![seed % 101; n],
         other => panic!("unknown workload {other}"),
     }
+}
+
+/// Dispatch one of the `crates/algos` peers (backend-generic, like
+/// `sds_sort`): both are deterministic end to end, so they join the
+/// bit-identical matrix below as first-class columns.
+fn run_algo<C: comm::Communicator>(algo: &str, comm: &C, data: Vec<u64>) -> Vec<u64> {
+    match algo {
+        "ams" => {
+            algos::ams_sort(comm, data, &algos::AmsConfig::default())
+                .expect("no memory budget")
+                .data
+        }
+        "hss" => {
+            algos::hss_sort(comm, data, &algos::HssConfig::default())
+                .expect("no memory budget")
+                .data
+        }
+        other => panic!("unknown algo {other}"),
+    }
+}
+
+fn run_sim_algo(algo: &str, p: usize, workload: &str, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let world = World::new(p).cores_per_node(4).net(NetModel::zero());
+    let report = world.run(|comm| {
+        let data = gen_keys(workload, n, seed, comm.rank());
+        run_algo(algo, comm, data)
+    });
+    report.results
+}
+
+fn run_threads_algo(algo: &str, p: usize, workload: &str, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    use comm::Communicator;
+    let report = ThreadWorld::new(p).cores_per_node(4).run(|comm| {
+        let data = gen_keys(workload, n, seed, comm.rank());
+        run_algo(algo, comm, data)
+    });
+    report.results
 }
 
 fn cfg_for(stable: bool) -> SdsConfig {
@@ -77,6 +115,7 @@ fn run_threads_u64(
 
 const ENTRY_SORT_U64: &str = "equiv-sort-u64";
 const ENTRY_SORT_TAGGED: &str = "equiv-sort-tagged";
+const ENTRY_SORT_ALGO: &str = "equiv-sort-algo";
 
 /// (workload, records per rank, seed, stable, force node merge).
 type U64Params = (String, u64, u64, bool, bool);
@@ -90,6 +129,16 @@ fn sockets_u64_entry(comm: &sockcomm::SockComm, params: U64Params) -> Vec<u64> {
     }
     let data = gen_keys(&workload, n as usize, seed, comm.rank());
     sds_sort(comm, data, &cfg).expect("no memory budget").data
+}
+
+/// (algo, workload, records per rank, seed).
+type AlgoParams = (String, String, u64, u64);
+
+fn sockets_algo_entry(comm: &sockcomm::SockComm, params: AlgoParams) -> Vec<u64> {
+    use comm::Communicator;
+    let (algo, workload, n, seed) = params;
+    let data = gen_keys(&workload, n as usize, seed, comm.rank());
+    run_algo(&algo, comm, data)
 }
 
 /// (records per rank, seed, stable).
@@ -116,6 +165,7 @@ fn sockets_tagged_entry(
 fn sockcomm_child_entry() {
     sockcomm::child_rank(ENTRY_SORT_U64, sockets_u64_entry);
     sockcomm::child_rank(ENTRY_SORT_TAGGED, sockets_tagged_entry);
+    sockcomm::child_rank(ENTRY_SORT_ALGO, sockets_algo_entry);
 }
 
 fn sockets_world(p: usize) -> sockcomm::SocketWorld {
@@ -154,9 +204,58 @@ fn run_sockets_tagged(p: usize, n: usize, seed: u64, stable: bool) -> (RankRecor
 }
 
 #[test]
+fn ams_and_hss_output_is_bit_identical_across_backends() {
+    // The crates/algos peers join the same guarantee as sds_sort: seeded
+    // sampling, synchronous rank-order exchanges, and tie-to-lower-run
+    // merging leave nothing arrival-dependent, so per-rank outputs match
+    // bit for bit between the simulator and real OS threads.
+    for algo in ["ams", "hss"] {
+        for p in [2usize, 4, 8] {
+            for workload in ["uniform", "zipf", "staircase", "adversarial", "identical"] {
+                let seed = 0xA15 + p as u64;
+                let sim = run_sim_algo(algo, p, workload, 1200, seed);
+                let thr = run_threads_algo(algo, p, workload, 1200, seed);
+                assert_eq!(
+                    sim, thr,
+                    "per-rank divergence: algo={algo} p={p} workload={workload}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sockets_ams_and_hss_output_is_bit_identical_to_sim_and_threads() {
+    for algo in ["ams", "hss"] {
+        for p in [2usize, 4] {
+            for workload in ["uniform", "zipf", "staircase", "adversarial", "identical"] {
+                let seed = 0xA15 + p as u64;
+                let sim = run_sim_algo(algo, p, workload, 800, seed);
+                let thr = run_threads_algo(algo, p, workload, 800, seed);
+                let sock = sockets_world(p)
+                    .run::<AlgoParams, Vec<u64>>(
+                        ENTRY_SORT_ALGO,
+                        &(algo.to_string(), workload.to_string(), 800, seed),
+                    )
+                    .expect("sockets world")
+                    .results;
+                assert_eq!(
+                    sim, sock,
+                    "sim vs sockets divergence: algo={algo} p={p} workload={workload}"
+                );
+                assert_eq!(
+                    thr, sock,
+                    "threads vs sockets divergence: algo={algo} p={p} workload={workload}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn u64_output_is_bit_identical_across_backends() {
     for p in [2usize, 4, 8] {
-        for workload in ["uniform", "zipf", "adversarial", "identical"] {
+        for workload in ["uniform", "zipf", "staircase", "adversarial", "identical"] {
             for stable in [false, true] {
                 let cfg = cfg_for(stable);
                 let seed = 0xE9 + p as u64;
@@ -263,7 +362,7 @@ fn fast_variant_keys_match_and_tags_are_a_permutation() {
 #[test]
 fn sockets_u64_output_is_bit_identical_to_sim_and_threads() {
     for p in [2usize, 4] {
-        for workload in ["uniform", "zipf", "adversarial", "identical"] {
+        for workload in ["uniform", "zipf", "staircase", "adversarial", "identical"] {
             for stable in [false, true] {
                 let cfg = cfg_for(stable);
                 let seed = 0xE9 + p as u64;
